@@ -1,0 +1,59 @@
+"""Ablation: bond-energy design choices (restarts and split policy).
+
+The paper leaves two knobs to the implementer: how many starting columns the
+BEA ordering tries (it prescribes all of them, which is expensive) and the
+local split condition (threshold vs local minimum).  This ablation measures
+the effect of both on the disconnection-set size and on running time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fragmentation import BondEnergyFragmenter, characterize
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def graph(table1_network):
+    return table1_network.graph
+
+
+def test_ablation_restarts_report(graph):
+    """More BEA restarts never hurt the ordering quality (DS stays small)."""
+    lines = ["restarts  DS     AF"]
+    results = {}
+    for restarts in (1, 2, 4, 8):
+        fragmentation = BondEnergyFragmenter(4, restarts=restarts).fragment(graph)
+        characteristics = characterize(fragmentation, include_diameter=False)
+        results[restarts] = characteristics.average_disconnection_set_size
+        lines.append(
+            f"{restarts:^8}  {characteristics.average_disconnection_set_size:5.1f}  "
+            f"{characteristics.fragment_size_deviation:5.1f}"
+        )
+    print_report("Ablation - BEA ordering restarts", "\n".join(lines))
+    assert min(results.values()) <= results[1] + 1e-9
+
+
+def test_ablation_split_policy_report(graph):
+    """Compare the threshold and local-minimum split policies."""
+    lines = ["policy          DS     fragments"]
+    for policy in ("threshold", "local_minimum"):
+        fragmentation = BondEnergyFragmenter(4, split_policy=policy).fragment(graph)
+        characteristics = characterize(fragmentation, include_diameter=False)
+        lines.append(
+            f"{policy:<14}  {characteristics.average_disconnection_set_size:5.1f}  "
+            f"{characteristics.fragment_count:^9}"
+        )
+        fragmentation.validate()
+    print_report("Ablation - bond-energy split policy", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="ablation-bond-energy")
+@pytest.mark.parametrize("restarts", [1, 4])
+def test_bond_energy_restarts_benchmark(benchmark, graph, restarts):
+    """Time the bond-energy fragmentation at different restart counts."""
+    fragmenter = BondEnergyFragmenter(4, restarts=restarts)
+    fragmentation = benchmark(fragmenter.fragment, graph)
+    assert fragmentation.fragment_count() <= 4

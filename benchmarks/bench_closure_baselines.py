@@ -1,0 +1,77 @@
+"""Single-processor transitive closure baselines ([16] in the paper).
+
+The per-fragment subqueries can use "any suitable single-processor algorithm"
+(Sec. 2.1); this benchmark compares the implemented choices — naive,
+semi-naive, smart (squaring), Warshall, and per-source Dijkstra — on a Table 1
+sized transportation graph fragment, both for correctness (identical results)
+and running time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure import (
+    dijkstra_closure,
+    naive_transitive_closure,
+    seminaive_transitive_closure,
+    smart_transitive_closure,
+    warshall_closure,
+)
+from repro.fragmentation import GroundTruthFragmenter
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def fragment_graph(table1_network):
+    """The first cluster of a Table 1 transportation graph (25 nodes)."""
+    fragmentation = GroundTruthFragmenter(table1_network.clusters).fragment(table1_network.graph)
+    return fragmentation.fragment_subgraph(0)
+
+
+def test_closure_baselines_agree(fragment_graph):
+    """All single-processor algorithms compute the same shortest-path closure."""
+    semi = seminaive_transitive_closure(fragment_graph)
+    warshall = warshall_closure(fragment_graph)
+    dijkstra = dijkstra_closure(fragment_graph)
+    # The iterative closures also derive (i, i) facts on symmetric graphs;
+    # per-source Dijkstra reports proper pairs only, so compare on those.
+    semi_pairs = {pair for pair in semi.values if pair[0] != pair[1]}
+    warshall_pairs = {pair for pair in warshall.values if pair[0] != pair[1]}
+    assert semi_pairs == warshall_pairs == set(dijkstra.values)
+    for pair, value in dijkstra.values.items():
+        assert semi.values[pair] == pytest.approx(value)
+        assert warshall.values[pair] == pytest.approx(value)
+    print_report(
+        "Single-processor closure baselines",
+        f"fragment: {fragment_graph.node_count()} nodes, {fragment_graph.edge_count()} edges\n"
+        f"semi-naive iterations: {semi.statistics.iterations}, "
+        f"tuples produced: {semi.statistics.tuples_produced}\n"
+        f"warshall relaxations:  {warshall.statistics.tuples_produced}",
+    )
+
+
+@pytest.mark.benchmark(group="closure-baselines")
+def test_seminaive_benchmark(benchmark, fragment_graph):
+    benchmark(seminaive_transitive_closure, fragment_graph)
+
+
+@pytest.mark.benchmark(group="closure-baselines")
+def test_naive_benchmark(benchmark, fragment_graph):
+    benchmark(naive_transitive_closure, fragment_graph)
+
+
+@pytest.mark.benchmark(group="closure-baselines")
+def test_smart_benchmark(benchmark, fragment_graph):
+    benchmark(smart_transitive_closure, fragment_graph)
+
+
+@pytest.mark.benchmark(group="closure-baselines")
+def test_warshall_benchmark(benchmark, fragment_graph):
+    benchmark(warshall_closure, fragment_graph)
+
+
+@pytest.mark.benchmark(group="closure-baselines")
+def test_dijkstra_closure_benchmark(benchmark, fragment_graph):
+    benchmark(dijkstra_closure, fragment_graph)

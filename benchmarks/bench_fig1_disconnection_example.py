@@ -1,0 +1,64 @@
+"""Figures 1-2: the disconnection set approach on a 3-fragment network.
+
+The paper's Figs. 1-2 illustrate a query between a node of fragment G1 and a
+node of fragment G3 flowing through the chain G1 - G2 - G3 and the
+corresponding fragmentation graph.  This benchmark replays that scenario on
+the European railway example (Amsterdam -> Milan through Germany), checks the
+chain structure, and times both the disconnection-set evaluation and the
+centralised baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure import shortest_path_cost
+from repro.disconnection import DisconnectionSetEngine
+from repro.fragmentation import FragmentationGraph, GroundTruthFragmenter
+from repro.generators import european_railway_example
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def railway_setup():
+    graph, countries = european_railway_example()
+    clusters = [set(cities) for cities in countries.values()]
+    fragmentation = GroundTruthFragmenter(clusters).fragment(graph)
+    engine = DisconnectionSetEngine(fragmentation)
+    return graph, fragmentation, engine
+
+
+def test_fig1_chain_structure_report(railway_setup):
+    """Print the fragmentation graph and the Amsterdam -> Milan chain."""
+    graph, fragmentation, engine = railway_setup
+    fragmentation_graph = FragmentationGraph(fragmentation)
+    answer = engine.query("amsterdam", "milan")
+    body = (
+        f"fragmentation graph edges: {fragmentation_graph.edges()}\n"
+        f"loosely connected: {fragmentation_graph.is_loosely_connected()}\n"
+        f"amsterdam -> milan chain: {answer.chain}\n"
+        f"disconnection-set cost: {answer.value:.1f}\n"
+        f"centralised cost:       {shortest_path_cost(graph, 'amsterdam', 'milan'):.1f}\n"
+        f"sites involved: {sorted(answer.report.site_work)}"
+    )
+    print_report("Fig. 1/2 - disconnection set approach on a 3-fragment network", body)
+    assert answer.chain is not None and len(answer.chain) == 3
+    assert fragmentation_graph.is_loosely_connected()
+    assert answer.value == pytest.approx(shortest_path_cost(graph, "amsterdam", "milan"))
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_disconnection_query_benchmark(benchmark, railway_setup):
+    """Time the disconnection-set evaluation of the cross-fragment query."""
+    _, _, engine = railway_setup
+    answer = benchmark(engine.query, "amsterdam", "milan")
+    assert answer.exists()
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_centralized_query_benchmark(benchmark, railway_setup):
+    """Time the centralised Dijkstra baseline for the same query."""
+    graph, _, _ = railway_setup
+    cost = benchmark(shortest_path_cost, graph, "amsterdam", "milan")
+    assert cost > 0

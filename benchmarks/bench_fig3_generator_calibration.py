@@ -1,0 +1,72 @@
+"""Figure 3 / Sec. 4.1: the transportation-graph generator and its calibration.
+
+Fig. 3 defines the evaluation workload: clusters with dense internal
+connectivity, loosely interconnected.  The paper reports the generated
+instances through their aggregate statistics (429 edges and 2.25 inter-cluster
+edges for Table 1's 4x25 graphs; 3167 edges for Table 2's 4x150 graphs); this
+benchmark regenerates those statistics over several seeds and times the
+generator itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import (
+    generate_transportation_graph,
+    paper_table1_config,
+    paper_table2_config,
+)
+from repro.graph import clustering_ratio, mean
+
+from .conftest import print_report
+
+SEEDS = range(5)
+
+
+def test_fig3_calibration_report():
+    """Print generator statistics next to the paper's reported workload numbers."""
+    table1_edges = []
+    table1_inter = []
+    table1_ratio = []
+    for seed in SEEDS:
+        network = generate_transportation_graph(paper_table1_config(), seed=seed)
+        table1_edges.append(float(network.graph.undirected_edge_count()))
+        table1_inter.append(float(len(network.inter_cluster_pairs)) / 3.0)  # per adjacent pair
+        table1_ratio.append(clustering_ratio(network.graph, network.clusters))
+    body = (
+        f"Table 1 workload (4 clusters x 25 nodes), {len(list(SEEDS))} seeds:\n"
+        f"  average undirected edges: {mean(table1_edges):.1f}   (paper: 429)\n"
+        f"  average inter-cluster edges per adjacent pair: {mean(table1_inter):.2f}   (paper: 2.25)\n"
+        f"  intra-cluster edge ratio: {mean(table1_ratio):.3f}   (paper: 'loosely interconnected clusters')"
+    )
+    print_report("Fig. 3 - transportation graph generator calibration", body)
+    assert 330 <= mean(table1_edges) <= 530
+    assert mean(table1_ratio) > 0.9
+
+
+def test_fig3_table2_calibration_report():
+    """Same calibration check for the Table 2 workload (4 clusters x 150 nodes)."""
+    edges = []
+    for seed in range(2):
+        network = generate_transportation_graph(paper_table2_config(), seed=seed)
+        edges.append(float(network.graph.undirected_edge_count()))
+    print_report(
+        "Fig. 3 - Table 2 workload calibration",
+        f"average undirected edges: {mean(edges):.1f}   (paper: 3167)",
+    )
+    assert 2500 <= mean(edges) <= 3900
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_generator_benchmark_small(benchmark):
+    """Time the generation of one Table 1 sized transportation graph."""
+    network = benchmark(generate_transportation_graph, paper_table1_config(), seed=0)
+    assert network.graph.node_count() == 100
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_generator_benchmark_large(benchmark):
+    """Time the generation of one Table 2 sized transportation graph."""
+    network = benchmark(generate_transportation_graph, paper_table2_config(), seed=0)
+    assert network.graph.node_count() == 600

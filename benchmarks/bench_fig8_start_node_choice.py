@@ -1,0 +1,62 @@
+"""Figures 6/8: the linear fragmentation sweep and its start-node choice.
+
+Fig. 6 illustrates the sweep producing consecutive fragments; Fig. 8 shows
+that sweeping an elongated graph along its long axis (small cross-sections)
+produces much smaller disconnection sets than sweeping across it.  This
+benchmark measures both sweeps on an elongated grid and on a Table 1
+transportation graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fragmentation import FragmentationGraph, LinearFragmenter, characterize
+from repro.generators import grid_graph
+
+from .conftest import print_report
+
+ELONGATED = grid_graph(4, 24)
+FRAGMENTS = 4
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    along = LinearFragmenter(FRAGMENTS, sweep="left_to_right").fragment(ELONGATED)
+    across = LinearFragmenter(FRAGMENTS, sweep="bottom_to_top").fragment(ELONGATED)
+    return along, across
+
+
+def test_fig8_start_choice_report(sweep_results):
+    """Print the DS sizes of the two sweep directions (Fig. 8's comparison)."""
+    along, across = sweep_results
+    along_stats = characterize(along, include_diameter=False)
+    across_stats = characterize(across, include_diameter=False)
+    body = (
+        f"elongated 4x24 grid, {FRAGMENTS} fragments\n"
+        f"  sweep along the long axis : DS = {along_stats.average_disconnection_set_size:.1f}, "
+        f"AF = {along_stats.fragment_size_deviation:.1f}\n"
+        f"  sweep across the short axis: DS = {across_stats.average_disconnection_set_size:.1f}, "
+        f"AF = {across_stats.fragment_size_deviation:.1f}"
+    )
+    print_report("Fig. 8 - start-node choice for the linear fragmentation", body)
+    assert along_stats.average_disconnection_set_size <= across_stats.average_disconnection_set_size
+    # Both sweeps keep the defining guarantee: an acyclic fragmentation graph.
+    assert FragmentationGraph(along).is_loosely_connected()
+    assert FragmentationGraph(across).is_loosely_connected()
+
+
+def test_fig6_consecutive_fragments(sweep_results):
+    """Fragments produced by the sweep overlap only their sweep neighbours (Fig. 6)."""
+    along, _ = sweep_results
+    fragmentation_graph = FragmentationGraph(along)
+    for i, j in fragmentation_graph.edges():
+        assert abs(i - j) == 1
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_linear_sweep_benchmark(benchmark, table1_network):
+    """Time the linear fragmentation of a Table 1 transportation graph."""
+    fragmenter = LinearFragmenter(4)
+    fragmentation = benchmark(fragmenter.fragment, table1_network.graph)
+    assert FragmentationGraph(fragmentation).is_loosely_connected()

@@ -1,0 +1,87 @@
+"""The deferred experiment of Sec. 5: which fragmentation characteristic matters?
+
+The paper defers the question "which of the characteristics identified here is
+of main importance when striving for an optimal parallel evaluation" to its
+PRISMA follow-up.  This benchmark runs that comparison on the simulator: the
+same query workload is executed under each fragmentation algorithm (plus the
+hash baseline) and the simulated parallel cost, per-site work, and
+precomputation size are reported side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disconnection import precompute_complementary_information
+from repro.fragmentation import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    HashFragmenter,
+    LinearFragmenter,
+    characterize,
+)
+from repro.generators import mixed_workload
+from repro.parallel import compare_fragmenters
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def comparison(table1_network):
+    network = table1_network
+    fragmenters = {
+        "center-based": CenterBasedFragmenter(4, center_selection="distributed"),
+        "bond-energy": BondEnergyFragmenter(4),
+        "linear": LinearFragmenter(4),
+        "hash-baseline": HashFragmenter(4),
+    }
+    queries = mixed_workload(network.graph, network.clusters, 8, cross_fraction=0.75, seed=5)
+    simulations = compare_fragmenters(network.graph, fragmenters, queries)
+    return network, fragmenters, simulations
+
+
+def test_fragmenter_query_cost_report(comparison):
+    """Print per-fragmenter query cost, speed-up and precomputation size."""
+    network, fragmenters, simulations = comparison
+    lines = ["algorithm       DS     parallel_time  speedup  complementary_facts"]
+    rows = {}
+    for name, fragmenter in fragmenters.items():
+        fragmentation = fragmenter.fragment(network.graph)
+        characteristics = characterize(fragmentation, include_diameter=False)
+        info = precompute_complementary_information(fragmentation)
+        simulation = simulations[name]
+        rows[name] = {
+            "ds": characteristics.average_disconnection_set_size,
+            "parallel": simulation.total_parallel_time,
+            "speedup": simulation.overall_speedup(),
+            "facts": info.size_in_facts(),
+        }
+        lines.append(
+            f"{name:<14}  {rows[name]['ds']:5.1f}  {rows[name]['parallel']:13.0f}  "
+            f"{rows[name]['speedup']:7.2f}  {rows[name]['facts']:10d}"
+        )
+    print_report("Query cost per fragmentation algorithm (deferred Sec. 5 experiment)", "\n".join(lines))
+    # The graph-aware fragmentations beat the hash baseline on both query cost
+    # and precomputation size — the paper's central premise.
+    graph_aware = min(rows[name]["parallel"] for name in ("center-based", "bond-energy", "linear"))
+    assert graph_aware < rows["hash-baseline"]["parallel"]
+    assert rows["bond-energy"]["facts"] <= rows["hash-baseline"]["facts"]
+
+
+@pytest.mark.benchmark(group="query-cost")
+@pytest.mark.parametrize("algorithm", ["center-based", "bond-energy", "linear"])
+def test_fragmenter_workload_benchmark(benchmark, table1_network, algorithm):
+    """Time an 8-query workload simulation under each paper fragmenter."""
+    from repro.parallel import ParallelSimulator
+
+    network = table1_network
+    fragmenter = {
+        "center-based": CenterBasedFragmenter(4, center_selection="distributed"),
+        "bond-energy": BondEnergyFragmenter(4),
+        "linear": LinearFragmenter(4),
+    }[algorithm]
+    fragmentation = fragmenter.fragment(network.graph)
+    simulator = ParallelSimulator(fragmentation)
+    queries = mixed_workload(network.graph, network.clusters, 8, cross_fraction=0.75, seed=5)
+    result = benchmark(simulator.simulate_workload, queries)
+    assert result.total_parallel_time > 0

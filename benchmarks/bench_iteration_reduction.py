@@ -1,0 +1,61 @@
+"""Sec. 2.1 claim: fragmentation reduces the number of fixpoint iterations.
+
+"The number of iterations required before reaching a fixpoint is given by the
+maximum diameter of the graph; if the graph is fragmented in n fragments of
+equal size, the diameter of each subgraph is highly reduced."  This benchmark
+measures the iteration counts of full vs per-fragment semi-naive closures and
+times both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.closure import seminaive_transitive_closure
+from repro.fragmentation import GroundTruthFragmenter, fragment_diameters
+from repro.graph import hop_diameter
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def fragmented(table1_network):
+    return GroundTruthFragmenter(table1_network.clusters).fragment(table1_network.graph)
+
+
+def test_iteration_reduction_report(table1_network, fragmented):
+    """Print graph vs fragment diameters and the corresponding iteration counts."""
+    graph = table1_network.graph
+    graph_diameter = hop_diameter(graph)
+    diameters = fragment_diameters(fragmented)
+    global_closure = seminaive_transitive_closure(graph)
+    local_iterations = []
+    for fragment in fragmented.fragments:
+        local = seminaive_transitive_closure(fragmented.fragment_subgraph(fragment.fragment_id))
+        local_iterations.append(local.statistics.iterations)
+    body = (
+        f"whole graph diameter: {graph_diameter}, semi-naive iterations: "
+        f"{global_closure.statistics.iterations}\n"
+        f"fragment diameters:   {diameters}\n"
+        f"fragment iterations:  {local_iterations}\n"
+        f"iteration reduction:  {global_closure.statistics.iterations / max(local_iterations):.2f}x"
+    )
+    print_report("Iteration reduction through fragmentation (Sec. 2.1)", body)
+    assert max(local_iterations) < global_closure.statistics.iterations
+    assert max(diameters) < graph_diameter
+
+
+@pytest.mark.benchmark(group="iterations")
+def test_global_closure_benchmark(benchmark, table1_network):
+    """Time the semi-naive closure of the whole (unfragmented) graph."""
+    result = benchmark(seminaive_transitive_closure, table1_network.graph)
+    assert result.size() > 0
+
+
+@pytest.mark.benchmark(group="iterations")
+def test_largest_fragment_closure_benchmark(benchmark, fragmented):
+    """Time the semi-naive closure of the largest single fragment."""
+    largest = max(fragmented.fragments, key=lambda fragment: fragment.edge_count())
+    subgraph = fragmented.fragment_subgraph(largest.fragment_id)
+    result = benchmark(seminaive_transitive_closure, subgraph)
+    assert result.size() > 0

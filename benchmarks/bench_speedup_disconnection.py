@@ -1,0 +1,97 @@
+"""Sec. 1 / Sec. 2.1 claim: "for good fragmentations, it gives a linear speed-up".
+
+This benchmark regenerates the speed-up series: the same cross-cluster query
+workload is simulated under fragmentations of increasing fragment count and
+the parallel/sequential cost ratio is reported, together with the comparison
+against the centralised full-closure baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fragmentation import CenterBasedFragmenter, GroundTruthFragmenter
+from repro.generators import (
+    TransportationGraphConfig,
+    cross_cluster_queries,
+    generate_transportation_graph,
+)
+from repro.parallel import ParallelSimulator, speedup_curve
+
+from .conftest import print_report
+
+
+def _network(cluster_count: int):
+    config = TransportationGraphConfig(
+        cluster_count=cluster_count,
+        nodes_per_cluster=20,
+        cluster_c1=520.0,
+        cluster_c2=0.03,
+        inter_cluster_edges=2,
+    )
+    return generate_transportation_graph(config, seed=17)
+
+
+@pytest.fixture(scope="module")
+def speedup_series():
+    """Speed-up at 2, 4 and 6 fragments over end-to-end query workloads."""
+    points = []
+    for cluster_count in (2, 4, 6):
+        network = _network(cluster_count)
+        queries = cross_cluster_queries(
+            network.clusters, 6, seed=3, minimum_cluster_distance=cluster_count - 1
+        )
+        curve = speedup_curve(
+            network.graph,
+            lambda count: CenterBasedFragmenter(count, center_selection="distributed"),
+            fragment_counts=[cluster_count],
+            queries=queries,
+        )
+        points.append(curve[0])
+    return points
+
+
+def test_speedup_series_report(speedup_series):
+    """Print the speed-up series (the paper's linear speed-up claim)."""
+    lines = ["fragments  speedup  iteration_reduction"]
+    for point in speedup_series:
+        lines.append(
+            f"{point.fragment_count:^9}  {point.speedup:6.2f}  {point.iteration_reduction():8.2f}"
+        )
+    print_report("Speed-up vs number of fragments (disconnection set approach)", "\n".join(lines))
+    speedups = [point.speedup for point in speedup_series]
+    # Speed-up grows with the number of fragments and stays within the
+    # linear-speed-up envelope (<= fragment count).
+    assert speedups == sorted(speedups)
+    for point in speedup_series:
+        assert 1.0 <= point.speedup <= point.fragment_count + 0.5
+
+
+def test_speedup_vs_centralized_report():
+    """Compare the per-query disconnection-set cost with a full centralised closure."""
+    network = _network(4)
+    fragmentation = GroundTruthFragmenter(network.clusters).fragment(network.graph)
+    simulator = ParallelSimulator(fragmentation)
+    queries = cross_cluster_queries(network.clusters, 5, seed=9, minimum_cluster_distance=3)
+    result = simulator.simulate_workload(queries, include_centralized_baseline=True)
+    body = (
+        f"parallel time (simulated): {result.total_parallel_time:10.0f}\n"
+        f"sequential same-plan time: {result.total_sequential_time:10.0f}\n"
+        f"centralised full closure:  {result.centralized_time:10.0f}\n"
+        f"speed-up vs sequential:    {result.overall_speedup():10.2f}\n"
+        f"speed-up vs centralised:   {result.speedup_vs_centralized():10.2f}"
+    )
+    print_report("Disconnection set approach vs centralised evaluation", body)
+    assert result.overall_speedup() > 1.0
+    assert result.speedup_vs_centralized() > 1.0
+
+
+@pytest.mark.benchmark(group="speedup")
+def test_speedup_simulation_benchmark(benchmark):
+    """Time the simulation of a 6-query end-to-end workload on 4 fragments."""
+    network = _network(4)
+    fragmentation = GroundTruthFragmenter(network.clusters).fragment(network.graph)
+    simulator = ParallelSimulator(fragmentation)
+    queries = cross_cluster_queries(network.clusters, 6, seed=3, minimum_cluster_distance=3)
+    result = benchmark(simulator.simulate_workload, queries)
+    assert result.overall_speedup() >= 1.0

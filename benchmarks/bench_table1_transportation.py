@@ -1,0 +1,48 @@
+"""Table 1: fragmentation characteristics on transportation graphs.
+
+Paper workload: transportation graphs of 4 clusters x 25 nodes (~429 edges,
+~2.25 inter-cluster edges); algorithms: center-based, bond-energy, linear.
+Reproduction target: bond-energy yields the smallest average disconnection
+sets, linear the largest but an acyclic fragmentation graph, center-based the
+best-balanced fragment sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TABLE1, format_table, run_table1
+
+from .conftest import print_report
+
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    result = run_table1(trials=TRIALS, seed=42)
+    return result
+
+
+def test_table1_report(table1_rows):
+    """Print the regenerated Table 1 next to the paper's reference values."""
+    measured = format_table(table1_rows.as_rows(), ["algorithm", "F", "DS", "AF", "ADS"])
+    reference = format_table(
+        [{"algorithm": name, **values} for name, values in PAPER_TABLE1.items()],
+        ["algorithm", "F", "DS", "AF", "ADS"],
+    )
+    print_report(
+        "Table 1 - transportation graphs (4 clusters x 25 nodes)",
+        f"measured ({TRIALS} graphs):\n{measured}\n\npaper:\n{reference}",
+    )
+    ds = {row.algorithm: row.average["DS"] for row in table1_rows.rows}
+    assert ds["bond-energy"] <= ds["center-based"]
+    assert ds["bond-energy"] <= ds["linear"]
+    assert table1_rows.row("linear").average["cycles"] == 0.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_benchmark(benchmark):
+    """Time one full Table 1 regeneration (single trial)."""
+    result = benchmark(lambda: run_table1(trials=1, seed=7))
+    assert len(result.rows) == 3

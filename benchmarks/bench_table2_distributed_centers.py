@@ -1,0 +1,57 @@
+"""Table 2: plain vs distributed center selection on large transportation graphs.
+
+Paper workload: 4 clusters x 150 nodes (~3167 edges).  Reproduction target:
+selecting centers with the coordinate-spreading refinement collapses both the
+fragment-size deviation AF (paper: 636.3 -> 12.4) and the disconnection-set
+size DS (paper: 69.5 -> 4.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TABLE2, format_table, run_table2
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2(trials=1, seed=42)
+
+
+def test_table2_report(table2_rows):
+    """Print the regenerated Table 2 next to the paper's reference values."""
+    measured = format_table(table2_rows.as_rows(), ["algorithm", "F", "DS", "AF", "ADS"])
+    reference = format_table(
+        [{"algorithm": name, **values} for name, values in PAPER_TABLE2.items()],
+        ["algorithm", "F", "DS", "AF", "ADS"],
+    )
+    print_report(
+        "Table 2 - distributed centers (4 clusters x 150 nodes)",
+        f"measured:\n{measured}\n\npaper:\n{reference}",
+    )
+    plain = table2_rows.row("center-based").average
+    distributed = table2_rows.row("center-based-distributed").average
+    assert distributed["AF"] < plain["AF"]
+    assert distributed["DS"] < plain["DS"]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_distributed_centers_benchmark(benchmark, table2_network):
+    """Time the distributed-centers fragmentation of the full-size graph."""
+    from repro.fragmentation import CenterBasedFragmenter
+
+    fragmenter = CenterBasedFragmenter(4, center_selection="distributed")
+    fragmentation = benchmark(fragmenter.fragment, table2_network.graph)
+    assert fragmentation.fragment_count() == 4
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_random_centers_benchmark(benchmark, table2_network):
+    """Time the plain (random-centers) fragmentation of the full-size graph."""
+    from repro.fragmentation import CenterBasedFragmenter
+
+    fragmenter = CenterBasedFragmenter(4, center_selection="random", seed=42)
+    fragmentation = benchmark(fragmenter.fragment, table2_network.graph)
+    assert fragmentation.fragment_count() == 4

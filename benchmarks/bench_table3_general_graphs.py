@@ -1,0 +1,45 @@
+"""Table 3: fragmentation characteristics on general (unstructured) graphs.
+
+Paper workload: random graphs of 100 nodes (~279.5 edges), no imposed cluster
+structure.  Reproduction target: the algorithms "again conform to the idea
+that underlies them" — bond-energy minimises DS, linear stays acyclic at the
+price of large DS, center-based balances workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_TABLE3, format_table, run_table3
+
+from .conftest import print_report
+
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return run_table3(trials=TRIALS, seed=42)
+
+
+def test_table3_report(table3_rows):
+    """Print the regenerated Table 3 next to the paper's reference values."""
+    measured = format_table(table3_rows.as_rows(), ["algorithm", "F", "DS", "AF", "ADS"])
+    reference = format_table(
+        [{"algorithm": name, **values} for name, values in PAPER_TABLE3.items()],
+        ["algorithm", "F", "DS", "AF", "ADS"],
+    )
+    print_report(
+        "Table 3 - general graphs (100 nodes)",
+        f"measured ({TRIALS} graphs):\n{measured}\n\npaper:\n{reference}",
+    )
+    ds = {row.algorithm: row.average["DS"] for row in table3_rows.rows}
+    assert ds["bond-energy"] == min(ds.values())
+    assert table3_rows.row("linear").average["cycles"] == 0.0
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_benchmark(benchmark):
+    """Time one full Table 3 regeneration (single trial)."""
+    result = benchmark(lambda: run_table3(trials=1, seed=3))
+    assert len(result.rows) == 4

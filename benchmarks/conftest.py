@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure-level claim of the paper and
+prints the corresponding rows (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them); the ``benchmark`` fixture times the computational core so the
+harness doubles as a performance regression check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a benchmark report block (visible with ``-s`` or on failures)."""
+    separator = "=" * max(len(title), 20)
+    print(f"\n{separator}\n{title}\n{separator}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def table1_network():
+    """One full-size Table 1 transportation graph (4 clusters x 25 nodes)."""
+    from repro.generators import generate_transportation_graph, paper_table1_config
+
+    return generate_transportation_graph(paper_table1_config(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def table2_network():
+    """One full-size Table 2 transportation graph (4 clusters x 150 nodes)."""
+    from repro.generators import generate_transportation_graph, paper_table2_config
+
+    return generate_transportation_graph(paper_table2_config(), seed=42)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare the paper's three fragmentation algorithms on the same graphs.
+
+Regenerates, at example scale, the story of Sec. 4.2: each algorithm achieves
+the goal it was designed for — center-based balances fragment sizes,
+bond-energy minimises disconnection sets, linear keeps the fragmentation graph
+acyclic — and no algorithm wins on every axis.  The comparison is run both on
+a transportation graph (the paper's main workload) and on a general random
+graph (its Table 3), and finishes with the simulated query-cost consequences
+(the experiment the paper defers to future work).
+
+Run with:  python examples/fragmentation_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    HashFragmenter,
+    LinearFragmenter,
+    characterize,
+    generate_random_graph,
+    generate_transportation_graph,
+    paper_table1_config,
+)
+from repro.experiments import format_table, paper_table3_graph_config
+from repro.generators import mixed_workload
+from repro.parallel import compare_fragmenters
+
+
+def _fragmenters(fragment_count: int):
+    return {
+        "center-based": CenterBasedFragmenter(fragment_count, center_selection="random", seed=1),
+        "center-distributed": CenterBasedFragmenter(fragment_count, center_selection="distributed"),
+        "bond-energy": BondEnergyFragmenter(fragment_count),
+        "linear": LinearFragmenter(fragment_count),
+        "hash (baseline)": HashFragmenter(fragment_count),
+    }
+
+
+def characterise_all(graph, fragment_count: int):
+    rows = []
+    for name, fragmenter in _fragmenters(fragment_count).items():
+        fragmentation = fragmenter.fragment(graph)
+        fragmentation.validate()
+        row = characterize(fragmentation).as_dict()
+        row["algorithm"] = name
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    columns = ["algorithm", "fragment_count", "F", "DS", "AF", "ADS", "loosely_connected"]
+
+    # 1. Transportation graph (Table 1 workload).
+    network = generate_transportation_graph(paper_table1_config(), seed=3)
+    rows = characterise_all(network.graph, fragment_count=4)
+    print(format_table(rows, columns, title="Transportation graph (4 clusters x 25 nodes)"))
+
+    # 2. General random graph (Table 3 workload).
+    general = generate_random_graph(paper_table3_graph_config(), seed=3)
+    rows = characterise_all(general, fragment_count=3)
+    print()
+    print(format_table(rows, columns, title="General graph (100 nodes)"))
+
+    # 3. What do these characteristics mean for query cost?  Simulate the same
+    #    mixed workload under every fragmentation (the deferred experiment).
+    queries = mixed_workload(network.graph, network.clusters, 10, cross_fraction=0.7, seed=5)
+    simulations = compare_fragmenters(network.graph, _fragmenters(4), queries)
+    cost_rows = [
+        {
+            "algorithm": name,
+            "parallel_time": simulation.total_parallel_time,
+            "speedup": simulation.overall_speedup(),
+            "vs_centralized": simulation.speedup_vs_centralized(),
+        }
+        for name, simulation in simulations.items()
+    ]
+    print()
+    print(
+        format_table(
+            cost_rows,
+            ["algorithm", "parallel_time", "speedup", "vs_centralized"],
+            title="Simulated cost of a 10-query workload (one processor per fragment)",
+            float_format="{:.2f}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""repro: Data fragmentation for parallel transitive closure strategies.
+
+A full reproduction of Houtsma, Apers and Schipper (ICDE 1993): the
+disconnection set approach to parallel transitive-closure evaluation, the
+three data fragmentation algorithms the paper contributes (center-based,
+bond-energy, linear), the graph generators of its evaluation, and a simulated
+shared-nothing multiprocessor to stand in for the PRISMA/DB machine.
+
+Typical usage::
+
+    from repro import (
+        generate_transportation_graph, paper_table1_config,
+        BondEnergyFragmenter, DisconnectionSetEngine,
+    )
+
+    network = generate_transportation_graph(paper_table1_config(), seed=7)
+    fragmentation = BondEnergyFragmenter(fragment_count=4).fragment(network.graph)
+    engine = DisconnectionSetEngine(fragmentation)
+    answer = engine.query(source, target)
+"""
+
+from .closure import (
+    ClosureResult,
+    ClosureStatistics,
+    Semiring,
+    bill_of_materials,
+    is_connected,
+    naive_transitive_closure,
+    reachability_closure,
+    reachability_semiring,
+    seminaive_transitive_closure,
+    shortest_path_closure,
+    shortest_path_cost,
+    shortest_path_semiring,
+    smart_transitive_closure,
+    warshall_closure,
+)
+from .disconnection import (
+    ComplementaryInformation,
+    DisconnectionSetEngine,
+    DistributedCatalog,
+    HierarchicalEngine,
+    QueryAnswer,
+    QueryPlanner,
+    precompute_complementary_information,
+    reachability_engine,
+    shortest_path_engine,
+)
+from .exceptions import (
+    DisconnectedError,
+    FragmentationError,
+    GraphError,
+    NoChainError,
+    ReproError,
+)
+from .fragmentation import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    Fragment,
+    Fragmentation,
+    FragmentationCharacteristics,
+    FragmentationGraph,
+    Fragmenter,
+    GroundTruthFragmenter,
+    HashFragmenter,
+    KConnectivityFragmenter,
+    LinearFragmenter,
+    RandomNodeFragmenter,
+    characterize,
+)
+from .generators import (
+    PathQuery,
+    RandomGraphConfig,
+    TransportationGraph,
+    TransportationGraphConfig,
+    european_railway_example,
+    generate_random_graph,
+    generate_transportation_graph,
+    paper_table1_config,
+    paper_table2_config,
+)
+from .graph import DiGraph, Point
+from .parallel import (
+    CostModel,
+    MultiprocessQueryExecutor,
+    ParallelSimulator,
+    SpeedupPoint,
+    compare_fragmenters,
+    speedup_curve,
+)
+from .relational import Relation, edge_relation, seminaive_closure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BondEnergyFragmenter",
+    "CenterBasedFragmenter",
+    "ClosureResult",
+    "ClosureStatistics",
+    "ComplementaryInformation",
+    "CostModel",
+    "DiGraph",
+    "DisconnectedError",
+    "DisconnectionSetEngine",
+    "DistributedCatalog",
+    "Fragment",
+    "Fragmentation",
+    "FragmentationCharacteristics",
+    "FragmentationError",
+    "FragmentationGraph",
+    "Fragmenter",
+    "GraphError",
+    "GroundTruthFragmenter",
+    "HashFragmenter",
+    "HierarchicalEngine",
+    "KConnectivityFragmenter",
+    "LinearFragmenter",
+    "MultiprocessQueryExecutor",
+    "NoChainError",
+    "ParallelSimulator",
+    "PathQuery",
+    "Point",
+    "QueryAnswer",
+    "QueryPlanner",
+    "RandomGraphConfig",
+    "RandomNodeFragmenter",
+    "Relation",
+    "ReproError",
+    "Semiring",
+    "SpeedupPoint",
+    "TransportationGraph",
+    "TransportationGraphConfig",
+    "bill_of_materials",
+    "characterize",
+    "compare_fragmenters",
+    "edge_relation",
+    "european_railway_example",
+    "generate_random_graph",
+    "generate_transportation_graph",
+    "is_connected",
+    "naive_transitive_closure",
+    "paper_table1_config",
+    "paper_table2_config",
+    "precompute_complementary_information",
+    "reachability_closure",
+    "reachability_engine",
+    "reachability_semiring",
+    "seminaive_closure",
+    "seminaive_transitive_closure",
+    "shortest_path_closure",
+    "shortest_path_cost",
+    "shortest_path_engine",
+    "shortest_path_semiring",
+    "smart_transitive_closure",
+    "speedup_curve",
+    "warshall_closure",
+]

@@ -1,0 +1,208 @@
+"""Command-line interface for the library.
+
+``python -m repro <command>`` exposes the main workflows without writing
+Python:
+
+* ``generate``  — generate a transportation or general random graph and write
+  it to a JSON file,
+* ``fragment``  — fragment a graph JSON file with one of the paper's
+  algorithms (or the advisor's recommendation) and print the Table 1-3
+  characteristics,
+* ``query``     — answer a reachability or shortest-path query on a graph
+  with the disconnection set approach,
+* ``experiment``— regenerate one of the paper's tables (delegates to
+  :mod:`repro.experiments`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .disconnection import DisconnectionSetEngine, RouteReconstructingEngine
+from .exceptions import ReproError
+from .experiments import render_result, run_experiment
+from .experiments.reporting import format_table
+from .fragmentation import (
+    AdvisorConstraints,
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    Fragmenter,
+    HashFragmenter,
+    KConnectivityFragmenter,
+    LinearFragmenter,
+    characterize,
+    recommend,
+)
+from .generators import (
+    RandomGraphConfig,
+    TransportationGraphConfig,
+    generate_random_graph,
+    generate_transportation_graph,
+)
+from .graph import DiGraph, load_json, save_json
+
+ALGORITHMS = ("center", "center-distributed", "bond-energy", "linear", "k-connectivity", "hash", "auto")
+
+
+def _make_fragmenter(name: str, fragment_count: int, graph: DiGraph, seed: int) -> Fragmenter:
+    """Map a CLI algorithm name to a configured fragmenter."""
+    if name == "center":
+        return CenterBasedFragmenter(fragment_count, center_selection="random", seed=seed)
+    if name == "center-distributed":
+        return CenterBasedFragmenter(fragment_count, center_selection="distributed")
+    if name == "bond-energy":
+        return BondEnergyFragmenter(fragment_count)
+    if name == "linear":
+        return LinearFragmenter(fragment_count)
+    if name == "k-connectivity":
+        return KConnectivityFragmenter(fragment_count)
+    if name == "hash":
+        return HashFragmenter(fragment_count)
+    recommendation = recommend(graph, AdvisorConstraints(processor_count=fragment_count))
+    for line in recommendation.rationale:
+        print(f"# advisor: {line}")
+    return recommendation.fragmenter
+
+
+def _decode_node(value: str):
+    """Interpret a CLI node argument: integers stay integers, the rest are strings."""
+    return int(value) if value.lstrip("-").isdigit() else value
+
+
+# ----------------------------------------------------------------- commands
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "transportation":
+        config = TransportationGraphConfig(
+            cluster_count=args.clusters,
+            nodes_per_cluster=args.nodes,
+            inter_cluster_edges=args.inter_cluster_edges,
+        )
+        network = generate_transportation_graph(config, seed=args.seed)
+        graph = network.graph
+    else:
+        config = RandomGraphConfig(node_count=args.nodes, c1=args.c1, c2=args.c2)
+        graph = generate_random_graph(config, seed=args.seed)
+    save_json(graph, args.output)
+    print(
+        f"wrote {args.output}: {graph.node_count()} nodes, "
+        f"{graph.undirected_edge_count()} undirected edges"
+    )
+    return 0
+
+
+def _cmd_fragment(args: argparse.Namespace) -> int:
+    graph = load_json(args.graph)
+    fragmenter = _make_fragmenter(args.algorithm, args.fragments, graph, args.seed)
+    fragmentation = fragmenter.fragment(graph)
+    fragmentation.validate()
+    characteristics = characterize(fragmentation)
+    rows = [characteristics.as_dict()]
+    print(format_table(rows, ["algorithm", "fragment_count", "F", "DS", "AF", "ADS", "loosely_connected"]))
+    if args.output:
+        document = {
+            "algorithm": fragmentation.algorithm,
+            "fragments": [
+                sorted([list(edge) for edge in fragment.edges], key=repr)
+                for fragment in fragmentation.fragments
+            ],
+        }
+        Path(args.output).write_text(json.dumps(document, indent=2, default=str))
+        print(f"wrote fragmentation to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_json(args.graph)
+    fragmenter = _make_fragmenter(args.algorithm, args.fragments, graph, args.seed)
+    fragmentation = fragmenter.fragment(graph)
+    source = _decode_node(args.source)
+    target = _decode_node(args.target)
+    if args.route:
+        engine = RouteReconstructingEngine(fragmentation)
+        answer = engine.shortest_path(source, target)
+        print(f"cost: {answer.cost}")
+        print(f"route: {' -> '.join(str(node) for node in answer.route)}")
+        print(f"fragment chain: {list(answer.chain)}")
+        return 0
+    engine = DisconnectionSetEngine(fragmentation)
+    result = engine.query(source, target)
+    if not result.exists():
+        print("no path")
+        return 1
+    print(f"cost: {result.value}")
+    print(f"fragment chain: {list(result.chain or ())}")
+    print(f"sites involved: {sorted(result.report.site_work)}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.table, trials=args.trials, seed=args.seed)
+    print(render_result(result, as_csv=args.csv))
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data fragmentation for parallel transitive closure strategies (ICDE 1993).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a graph and write it to JSON")
+    generate.add_argument("output", help="output JSON path")
+    generate.add_argument("--kind", choices=("transportation", "random"), default="transportation")
+    generate.add_argument("--clusters", type=int, default=4)
+    generate.add_argument("--nodes", type=int, default=25, help="nodes per cluster (or total for random)")
+    generate.add_argument("--inter-cluster-edges", type=int, default=2)
+    generate.add_argument("--c1", type=float, default=7800.0)
+    generate.add_argument("--c2", type=float, default=0.08)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    fragment = subparsers.add_parser("fragment", help="fragment a graph JSON file")
+    fragment.add_argument("graph", help="input graph JSON path")
+    fragment.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    fragment.add_argument("--fragments", type=int, default=4)
+    fragment.add_argument("--seed", type=int, default=0)
+    fragment.add_argument("--output", help="optional output JSON path for the fragment edge lists")
+    fragment.set_defaults(handler=_cmd_fragment)
+
+    query = subparsers.add_parser("query", help="answer a path query with the disconnection set approach")
+    query.add_argument("graph", help="input graph JSON path")
+    query.add_argument("source")
+    query.add_argument("target")
+    query.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    query.add_argument("--fragments", type=int, default=4)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--route", action="store_true", help="also reconstruct the node sequence")
+    query.set_defaults(handler=_cmd_query)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a table of the paper")
+    experiment.add_argument("table", choices=("table1", "table2", "table3"))
+    experiment.add_argument("--trials", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--csv", action="store_true")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,55 @@
+"""Transitive closure algorithms over graphs, generalised by path-problem semirings.
+
+These are the single-processor algorithms a site runs on its fragment, and
+the centralised baselines the parallel disconnection set strategy is compared
+against.
+"""
+
+from .base import ClosureResult, ClosureStatistics
+from .iterative import (
+    naive_transitive_closure,
+    seminaive_transitive_closure,
+    smart_transitive_closure,
+)
+from .path_problems import (
+    bill_of_materials,
+    connection_matrix,
+    diameter_in_iterations,
+    is_connected,
+    reachability_closure,
+    shortest_path_closure,
+    shortest_path_cost,
+    shortest_path_route,
+)
+from .semiring import (
+    Semiring,
+    path_count_semiring,
+    reachability_semiring,
+    shortest_path_semiring,
+    widest_path_semiring,
+)
+from .warshall import bfs_closure, dijkstra_closure, warshall_closure
+
+__all__ = [
+    "ClosureResult",
+    "ClosureStatistics",
+    "Semiring",
+    "bfs_closure",
+    "bill_of_materials",
+    "connection_matrix",
+    "diameter_in_iterations",
+    "dijkstra_closure",
+    "is_connected",
+    "naive_transitive_closure",
+    "path_count_semiring",
+    "reachability_closure",
+    "reachability_semiring",
+    "seminaive_transitive_closure",
+    "shortest_path_closure",
+    "shortest_path_cost",
+    "shortest_path_route",
+    "shortest_path_semiring",
+    "smart_transitive_closure",
+    "warshall_closure",
+    "widest_path_semiring",
+]

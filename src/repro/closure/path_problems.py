@@ -1,0 +1,95 @@
+"""High-level path-problem entry points.
+
+These wrap the closure algorithms behind the questions the paper's
+introduction motivates: "Is A connected to B?", "What is the cost of the
+shortest path between A and B?" and bill-of-material aggregations.  They are
+the *centralised* answers; :mod:`repro.disconnection` answers the same
+questions through the fragmented, parallel strategy, and the integration tests
+check both agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..exceptions import DisconnectedError
+from ..graph import DiGraph, shortest_path as graph_shortest_path
+from .base import ClosureResult
+from .iterative import seminaive_transitive_closure
+from .semiring import path_count_semiring, reachability_semiring, shortest_path_semiring
+from .warshall import bfs_closure, dijkstra_closure
+
+Node = Hashable
+
+
+def is_connected(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Answer "is ``source`` connected to ``target``?" on the whole graph."""
+    if not graph.has_node(source) or not graph.has_node(target):
+        return False
+    if source == target:
+        return True
+    result = bfs_closure(graph, sources=[source])
+    return result.reaches(source, target)
+
+
+def shortest_path_cost(graph: DiGraph, source: Node, target: Node) -> float:
+    """Return the cost of the cheapest path from ``source`` to ``target``.
+
+    Raises:
+        DisconnectedError: if no path exists.
+    """
+    result = dijkstra_closure(graph, sources=[source], targets={target})
+    value = result.value(source, target)
+    if value is None:
+        if source == target and graph.has_node(source):
+            return 0.0
+        raise DisconnectedError(f"{target!r} is not reachable from {source!r}")
+    return float(value)  # type: ignore[arg-type]
+
+
+def shortest_path_route(graph: DiGraph, source: Node, target: Node) -> Tuple[float, List[Node]]:
+    """Return ``(cost, node_sequence)`` of a cheapest path."""
+    return graph_shortest_path(graph, source, target)
+
+
+def reachability_closure(graph: DiGraph) -> ClosureResult:
+    """Return the full reachability closure of ``graph``."""
+    return seminaive_transitive_closure(graph, semiring=reachability_semiring())
+
+
+def shortest_path_closure(graph: DiGraph) -> ClosureResult:
+    """Return the full all-pairs shortest-path closure of ``graph``."""
+    return dijkstra_closure(graph)
+
+
+def bill_of_materials(graph: DiGraph, *, max_depth: int = 64) -> ClosureResult:
+    """Count, for every (assembly, part) pair, the number of distinct usage paths.
+
+    The graph must be acyclic (a part hierarchy); ``max_depth`` bounds the
+    iteration as a safety net because the counting semiring is not
+    idempotent.
+    """
+    return seminaive_transitive_closure(
+        graph, semiring=path_count_semiring(), max_iterations=max_depth
+    )
+
+
+def connection_matrix(graph: DiGraph) -> Dict[Node, Dict[Node, bool]]:
+    """Return a nested-dict reachability matrix (convenience for reporting)."""
+    closure = reachability_closure(graph)
+    matrix: Dict[Node, Dict[Node, bool]] = {node: {} for node in graph.nodes()}
+    for (source, target) in closure.pairs():
+        matrix[source][target] = True
+    return matrix
+
+
+def diameter_in_iterations(graph: DiGraph) -> int:
+    """Return the number of semi-naive rounds needed to close ``graph``.
+
+    This is the experimentally observed counterpart of the paper's claim that
+    "the number of iterations required before reaching a fixpoint is given by
+    the maximum diameter of the graph".
+    """
+    result = seminaive_transitive_closure(graph, semiring=reachability_semiring())
+    return result.statistics.iterations

@@ -1,0 +1,59 @@
+"""The disconnection set approach: the parallel transitive-closure strategy
+the fragmentations of this package are designed for.
+
+Complementary-information precomputation, the distributed catalog, query
+planning over the fragmentation graph, independent per-fragment local queries,
+final assembly joins, the end-to-end :class:`DisconnectionSetEngine`, and the
+Parallel Hierarchical Evaluation extension.
+"""
+
+from .assembly import (
+    AssemblyResult,
+    assemble_chain,
+    assemble_chain_with_joins,
+    best_over_chains,
+)
+from .catalog import DistributedCatalog, FragmentSite
+from .complementary import ComplementaryInformation, precompute_complementary_information
+from .engine import (
+    DisconnectionSetEngine,
+    ExecutionReport,
+    QueryAnswer,
+    SiteWork,
+    reachability_engine,
+    shortest_path_engine,
+)
+from .hierarchical import BackboneStatistics, HierarchicalEngine
+from .local_query import LocalQueryEvaluator, LocalQueryResult
+from .maintenance import FragmentedDatabase, UpdateStatistics
+from .planner import ChainPlan, LocalQuerySpec, QueryPlan, QueryPlanner
+from .routes import RoutedAnswer, RouteReconstructingEngine
+
+__all__ = [
+    "AssemblyResult",
+    "BackboneStatistics",
+    "ChainPlan",
+    "ComplementaryInformation",
+    "DisconnectionSetEngine",
+    "DistributedCatalog",
+    "ExecutionReport",
+    "FragmentSite",
+    "FragmentedDatabase",
+    "HierarchicalEngine",
+    "LocalQueryEvaluator",
+    "LocalQueryResult",
+    "LocalQuerySpec",
+    "QueryAnswer",
+    "QueryPlan",
+    "QueryPlanner",
+    "RoutedAnswer",
+    "RouteReconstructingEngine",
+    "SiteWork",
+    "UpdateStatistics",
+    "assemble_chain",
+    "assemble_chain_with_joins",
+    "best_over_chains",
+    "precompute_complementary_information",
+    "reachability_engine",
+    "shortest_path_engine",
+]

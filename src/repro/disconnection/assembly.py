@@ -1,0 +1,144 @@
+"""Final assembly: combining the per-fragment results of a chain.
+
+The final processing of the disconnection set approach "is effectively a
+sequence of binary joins between a number of very small relations"
+(Sec. 2.1): the path relation produced by fragment ``i`` of the chain is
+joined with the path relation of fragment ``i+1`` on the shared disconnection
+set nodes, costs are added, and at the end the best value for the
+(source, destination) pair is selected.
+
+Two equivalent implementations are provided:
+
+* :func:`assemble_chain` — a small dynamic program over the chain, valid for
+  any semiring; this is what the engine uses.
+* :func:`assemble_chain_with_joins` — the literal relational formulation
+  (equi-joins + min aggregation) for the shortest-path problem, used in tests
+  to confirm both agree and in the benchmarks to count join work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..closure import Semiring, shortest_path_semiring
+from ..relational import Relation, aggregate_min, equi_join, project, select_eq
+from .local_query import LocalQueryResult
+from .planner import ChainPlan
+
+Node = Hashable
+
+
+@dataclass
+class AssemblyResult:
+    """The combined answer for one chain.
+
+    Attributes:
+        chain: the fragment chain this result belongs to.
+        value: the best path value from the chain's source to its target, or
+            ``None`` when the chain yields no path.
+        join_operations: number of binary joins performed (cost accounting).
+        intermediate_tuples: total number of tuples flowing through the joins.
+    """
+
+    chain: Tuple[int, ...]
+    value: Optional[object] = None
+    join_operations: int = 0
+    intermediate_tuples: int = 0
+
+
+def assemble_chain(
+    plan: ChainPlan,
+    results: Sequence[LocalQueryResult],
+    *,
+    semiring: Optional[Semiring] = None,
+) -> AssemblyResult:
+    """Combine the local results of one chain into the final path value.
+
+    Args:
+        plan: the chain plan the results belong to (in the same order).
+        results: one :class:`LocalQueryResult` per chain fragment.
+        semiring: the path problem (defaults to shortest paths).
+    """
+    semiring = semiring or shortest_path_semiring()
+    assembly = AssemblyResult(chain=plan.chain)
+    if len(results) != len(plan.chain):
+        raise ValueError(
+            f"expected {len(plan.chain)} local results for chain {plan.chain}, got {len(results)}"
+        )
+    # frontier maps a border node reached so far to the best accumulated value.
+    frontier: Dict[Node, object] = {plan.source: semiring.one}
+    for result in results:
+        next_frontier: Dict[Node, object] = {}
+        for (entry, exit_node), local_value in result.values.items():
+            if entry not in frontier:
+                continue
+            candidate = semiring.times(frontier[entry], local_value)
+            incumbent = next_frontier.get(exit_node)
+            next_frontier[exit_node] = (
+                candidate if incumbent is None else semiring.plus(incumbent, candidate)
+            )
+        assembly.join_operations += 1
+        assembly.intermediate_tuples += len(next_frontier)
+        frontier = next_frontier
+        if not frontier:
+            break
+    if plan.target in frontier:
+        assembly.value = frontier[plan.target]
+    elif plan.source == plan.target:
+        assembly.value = semiring.one
+    return assembly
+
+
+def assemble_chain_with_joins(
+    plan: ChainPlan,
+    results: Sequence[LocalQueryResult],
+) -> AssemblyResult:
+    """Shortest-path assembly expressed as relational equi-joins (paper-literal form).
+
+    Each local result becomes a small relation ``paths_i(entry, exit, cost)``;
+    consecutive relations are joined on ``exit = entry`` with costs added, and
+    the final value is the minimum cost of the rows connecting the chain's
+    source to its target.
+    """
+    assembly = AssemblyResult(chain=plan.chain)
+    relations: List[Relation] = []
+    for index, result in enumerate(results):
+        rows = [
+            (entry, exit_node, float(value))  # type: ignore[arg-type]
+            for (entry, exit_node), value in result.values.items()
+        ]
+        relations.append(Relation(("entry", "exit", "cost"), rows, name=f"paths_{index}"))
+    if not relations:
+        return assembly
+    current = relations[0]
+    for relation in relations[1:]:
+        joined = equi_join(current, relation, on=[("exit", "entry")], suffix="_next")
+        assembly.join_operations += 1
+        assembly.intermediate_tuples += joined.cardinality()
+        if joined.is_empty():
+            return assembly
+        combined_rows = []
+        for row in joined.as_dicts():
+            combined_rows.append((row["entry"], row["exit_next"], row["cost"] + row["cost_next"]))
+        current = Relation(("entry", "exit", "cost"), combined_rows, name="assembled")
+        current = aggregate_min(current, ("entry", "exit"), "cost")
+    final = select_eq(select_eq(current, "entry", plan.source), "exit", plan.target)
+    if not final.is_empty():
+        assembly.value = min(row[final.attribute_index("cost")] for row in final.rows)
+    return assembly
+
+
+def best_over_chains(
+    assemblies: Sequence[AssemblyResult],
+    *,
+    semiring: Optional[Semiring] = None,
+) -> Optional[object]:
+    """Return the best value over all chain assemblies (``None`` if none found a path)."""
+    semiring = semiring or shortest_path_semiring()
+    best: Optional[object] = None
+    for assembly in assemblies:
+        if assembly.value is None:
+            continue
+        best = assembly.value if best is None else semiring.plus(best, assembly.value)
+    return best

@@ -1,0 +1,171 @@
+"""Distributed catalog: what every site stores under the disconnection set approach.
+
+The base relation is fragmented over ``n`` sites; each site stores its
+fragment ``R_i``, the identity of its border nodes, and the complementary
+information of every disconnection set it participates in (Sec. 2.1:
+"Complementary information about the disconnection set DS_ij is stored at
+both sites storing the fragments R_i and R_j").
+
+The :class:`FragmentSite` value object materialises exactly that per-site
+state; the :class:`DistributedCatalog` owns all sites plus the global metadata
+a coordinator needs for planning (the fragmentation graph).  The parallel
+executor hands each :class:`FragmentSite` to a separate worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from ..closure import Semiring, shortest_path_semiring
+from ..fragmentation import Fragmentation, FragmentationGraph
+from ..graph import DiGraph
+from ..relational import Relation, edge_relation
+from .complementary import ComplementaryInformation, precompute_complementary_information
+
+Node = Hashable
+
+
+@dataclass
+class FragmentSite:
+    """Everything one site (processor) stores.
+
+    Attributes:
+        fragment_id: the fragment / site identifier.
+        subgraph: the fragment's edges as a graph (local base relation).
+        border_nodes: nodes shared with at least one other fragment.
+        shortcuts: complementary-information shortcut edges
+            ``(border, border, value)`` stored at this site.
+        neighbours: adjacent fragment ids (nonempty disconnection sets).
+        disconnection_sets: for each neighbour, the shared node set.
+    """
+
+    fragment_id: int
+    subgraph: DiGraph
+    border_nodes: FrozenSet[Node]
+    shortcuts: List[Tuple[Node, Node, object]] = field(default_factory=list)
+    neighbours: List[int] = field(default_factory=list)
+    disconnection_sets: Dict[int, FrozenSet[Node]] = field(default_factory=dict)
+
+    def local_relation(self) -> Relation:
+        """Return the site's fragment as the relation ``R_i(source, target, cost)``."""
+        return edge_relation(self.subgraph.weighted_edges(), name=f"R_{self.fragment_id}")
+
+    def augmented_subgraph(self) -> DiGraph:
+        """Return the fragment subgraph with the complementary shortcuts added.
+
+        Shortcut values that are not numeric (e.g. reachability booleans) are
+        added as zero-weight edges; the local evaluator for those semirings
+        only uses the adjacency anyway.
+        """
+        augmented = self.subgraph.copy()
+        for source, target, value in self.shortcuts:
+            weight = float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else 0.0
+            if augmented.has_edge(source, target):
+                if weight < augmented.edge_weight(source, target):
+                    augmented.add_edge(source, target, weight)
+            else:
+                augmented.add_edge(source, target, weight)
+        return augmented
+
+    def stores_node(self, node: Node) -> bool:
+        """Return ``True`` if the node appears in this site's fragment."""
+        return self.subgraph.has_node(node)
+
+    def edge_count(self) -> int:
+        """Return the number of directed edges stored at this site."""
+        return self.subgraph.edge_count()
+
+
+class DistributedCatalog:
+    """The full distributed database: one :class:`FragmentSite` per fragment.
+
+    Args:
+        fragmentation: the data fragmentation to deploy.
+        semiring: the path problem the complementary information must support
+            (defaults to shortest paths).
+        complementary: reuse previously computed complementary information
+            instead of recomputing it (e.g. when benchmarking the
+            precomputation separately).
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        *,
+        semiring: Optional[Semiring] = None,
+        complementary: Optional[ComplementaryInformation] = None,
+    ) -> None:
+        self._fragmentation = fragmentation
+        self._semiring = semiring or shortest_path_semiring()
+        self._fragmentation_graph = FragmentationGraph(fragmentation)
+        self._complementary = complementary or precompute_complementary_information(
+            fragmentation, semiring=self._semiring
+        )
+        self._sites = self._build_sites()
+
+    def _build_sites(self) -> Dict[int, FragmentSite]:
+        sites: Dict[int, FragmentSite] = {}
+        for fragment in self._fragmentation.fragments:
+            fragment_id = fragment.fragment_id
+            neighbours = self._fragmentation.adjacent_fragments(fragment_id)
+            sites[fragment_id] = FragmentSite(
+                fragment_id=fragment_id,
+                subgraph=self._fragmentation.fragment_subgraph(fragment_id),
+                border_nodes=self._fragmentation.border_nodes(fragment_id),
+                shortcuts=self._complementary.shortcut_edges(fragment_id, self._fragmentation),
+                neighbours=neighbours,
+                disconnection_sets={
+                    neighbour: self._fragmentation.disconnection_set(fragment_id, neighbour)
+                    for neighbour in neighbours
+                },
+            )
+        return sites
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def fragmentation(self) -> Fragmentation:
+        """The deployed fragmentation."""
+        return self._fragmentation
+
+    @property
+    def fragmentation_graph(self) -> FragmentationGraph:
+        """The fragment-level graph used for planning."""
+        return self._fragmentation_graph
+
+    @property
+    def semiring(self) -> Semiring:
+        """The path problem the catalog was built for."""
+        return self._semiring
+
+    @property
+    def complementary(self) -> ComplementaryInformation:
+        """The precomputed complementary information."""
+        return self._complementary
+
+    def sites(self) -> List[FragmentSite]:
+        """Return every site, ordered by fragment id."""
+        return [self._sites[fragment_id] for fragment_id in sorted(self._sites)]
+
+    def site(self, fragment_id: int) -> FragmentSite:
+        """Return the site storing ``fragment_id``."""
+        return self._sites[fragment_id]
+
+    def site_count(self) -> int:
+        """Return the number of sites (= fragments)."""
+        return len(self._sites)
+
+    def sites_storing_node(self, node: Node) -> List[int]:
+        """Return the ids of the sites whose fragment contains ``node``."""
+        return [fragment_id for fragment_id, site in sorted(self._sites.items()) if site.stores_node(node)]
+
+    def total_storage_facts(self) -> int:
+        """Return the total number of stored facts (edges + complementary facts).
+
+        This is the storage-overhead figure: the paper's main cost of the
+        approach is "the pre-processing required for building the
+        complementary information".
+        """
+        edges = sum(site.edge_count() for site in self._sites.values())
+        return edges + self._complementary.size_in_facts()

@@ -1,0 +1,138 @@
+"""Per-fragment local query evaluation.
+
+Each site evaluates a restricted transitive closure over its own fragment:
+"the best path value from every entry node to every exit node".  The entry
+nodes act as the selection the paper calls a *keyhole* — only paths travelling
+through the disconnection set have to be examined — and the fragment subgraph
+is augmented with the complementary-information shortcuts so paths that leave
+the fragment (or the chain) are still accounted for, without communication.
+
+Any single-processor algorithm may be used for this step (Sec. 2.1); the
+evaluator picks a per-source search (Dijkstra or BFS) for the two standard
+semirings and falls back to a restricted semi-naive fixpoint otherwise.  The
+work counters it returns (iterations ≈ fragment diameter, tuples produced)
+feed the parallel cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from ..closure import ClosureStatistics, Semiring, shortest_path_semiring
+from ..graph import DiGraph, bfs_levels, dijkstra, hop_diameter
+from .catalog import FragmentSite
+from .planner import LocalQuerySpec
+
+Node = Hashable
+PathValue = object
+
+
+@dataclass
+class LocalQueryResult:
+    """The result of one per-fragment subquery.
+
+    Attributes:
+        fragment_id: the site that produced the result.
+        values: mapping ``(entry_node, exit_node) -> best path value``.
+        statistics: work counters for the local evaluation.
+        estimated_iterations: the number of fixpoint iterations a semi-naive
+            evaluation of this subquery needs (≈ the fragment diameter); used
+            by the simulator's cost model.
+    """
+
+    fragment_id: int
+    values: Dict[Tuple[Node, Node], PathValue] = field(default_factory=dict)
+    statistics: ClosureStatistics = field(default_factory=ClosureStatistics)
+    estimated_iterations: int = 0
+
+    def exit_values(self) -> Dict[Node, PathValue]:
+        """Return the best value per exit node over all entry nodes (for reporting)."""
+        best: Dict[Node, PathValue] = {}
+        for (_, exit_node), value in self.values.items():
+            if exit_node not in best or value < best[exit_node]:  # type: ignore[operator]
+                best[exit_node] = value
+        return best
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no entry node reaches any exit node."""
+        return not self.values
+
+
+class LocalQueryEvaluator:
+    """Evaluates :class:`LocalQuerySpec` subqueries against a :class:`FragmentSite`."""
+
+    def __init__(self, *, semiring: Optional[Semiring] = None, use_shortcuts: bool = True) -> None:
+        self._semiring = semiring or shortest_path_semiring()
+        self._use_shortcuts = use_shortcuts
+
+    @property
+    def semiring(self) -> Semiring:
+        """The path problem being evaluated."""
+        return self._semiring
+
+    def evaluate(self, site: FragmentSite, spec: LocalQuerySpec) -> LocalQueryResult:
+        """Evaluate ``spec`` on ``site`` and return the entry-to-exit path values."""
+        graph = site.augmented_subgraph() if self._use_shortcuts else site.subgraph
+        entry_nodes = [node for node in spec.entry_nodes if graph.has_node(node)]
+        exit_nodes = {node for node in spec.exit_nodes if graph.has_node(node)}
+        result = LocalQueryResult(fragment_id=site.fragment_id)
+        result.estimated_iterations = hop_diameter(site.subgraph) + 1
+        if not entry_nodes or not exit_nodes:
+            return result
+        if self._semiring.name == "shortest_path":
+            self._evaluate_shortest_path(graph, entry_nodes, exit_nodes, result)
+        elif self._semiring.name == "reachability":
+            self._evaluate_reachability(graph, entry_nodes, exit_nodes, result)
+        else:
+            self._evaluate_generic(graph, entry_nodes, exit_nodes, result)
+        return result
+
+    # ------------------------------------------------------------ strategies
+
+    def _evaluate_shortest_path(
+        self,
+        graph: DiGraph,
+        entry_nodes: List[Node],
+        exit_nodes: set,
+        result: LocalQueryResult,
+    ) -> None:
+        for entry in entry_nodes:
+            distances, _ = dijkstra(graph, entry, targets=set(exit_nodes))
+            produced = 0
+            for exit_node in exit_nodes:
+                if exit_node in distances:
+                    result.values[(entry, exit_node)] = distances[exit_node]
+                    produced += 1
+            result.statistics.record_round(len(distances), produced)
+
+    def _evaluate_reachability(
+        self,
+        graph: DiGraph,
+        entry_nodes: List[Node],
+        exit_nodes: set,
+        result: LocalQueryResult,
+    ) -> None:
+        for entry in entry_nodes:
+            levels = bfs_levels(graph, entry)
+            produced = 0
+            for exit_node in exit_nodes:
+                if exit_node in levels:
+                    result.values[(entry, exit_node)] = True
+                    produced += 1
+            result.statistics.record_round(len(levels), produced)
+
+    def _evaluate_generic(
+        self,
+        graph: DiGraph,
+        entry_nodes: List[Node],
+        exit_nodes: set,
+        result: LocalQueryResult,
+    ) -> None:
+        from ..closure import seminaive_transitive_closure
+
+        closure = seminaive_transitive_closure(graph, semiring=self._semiring, sources=entry_nodes)
+        result.statistics = closure.statistics
+        for (source, target), value in closure.values.items():
+            if target in exit_nodes:
+                result.values[(source, target)] = value

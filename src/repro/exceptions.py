@@ -1,0 +1,89 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by a graph operation does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by a graph operation does not exist in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class MissingCoordinatesError(GraphError):
+    """An algorithm needed node coordinates, but the graph has none."""
+
+
+class NegativeWeightError(GraphError):
+    """A shortest-path routine received an edge with a negative weight."""
+
+
+class DisconnectedError(GraphError):
+    """A path-dependent quantity was requested for unreachable nodes."""
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the relational algebra engine."""
+
+
+class SchemaError(RelationalError):
+    """A relational operation was applied to incompatible schemas."""
+
+
+class FragmentationError(ReproError):
+    """Base class for errors raised while fragmenting a graph."""
+
+
+class InvalidFragmentationError(FragmentationError):
+    """A produced fragmentation violates a structural invariant."""
+
+
+class FragmenterConfigurationError(FragmentationError):
+    """A fragmentation algorithm was configured with invalid parameters."""
+
+
+class DisconnectionSetError(ReproError):
+    """Base class for errors raised by the disconnection set query engine."""
+
+
+class NoChainError(DisconnectionSetError):
+    """No chain of fragments connects the source and destination fragments."""
+
+
+class ComplementaryInfoError(DisconnectionSetError):
+    """Complementary information required by a query is missing or stale."""
+
+
+class ParallelError(ReproError):
+    """Base class for errors raised by the parallel execution substrate."""
+
+
+class SchedulingError(ParallelError):
+    """The scheduler could not produce a valid assignment."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with unknown or invalid settings."""

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.experiments <table>``."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

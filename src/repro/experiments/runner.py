@@ -1,0 +1,73 @@
+"""Command-line experiment runner.
+
+``python -m repro.experiments table1`` (or ``table2`` / ``table3`` / ``all``)
+regenerates the corresponding table of the paper and prints it as text;
+``--csv`` switches to CSV output, ``--trials`` and ``--seed`` control the
+number of generated graphs.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ..exceptions import ExperimentError
+from .reporting import format_table, to_csv
+from .tables import TABLE_RUNNERS, ExperimentResult
+
+TABLE_COLUMNS = ["algorithm", "trials", "fragments", "F", "DS", "AF", "ADS", "cycles"]
+
+
+def run_experiment(name: str, *, trials: Optional[int] = None, seed: int = 0) -> ExperimentResult:
+    """Run one named experiment and return its result.
+
+    Raises:
+        ExperimentError: for an unknown experiment name.
+    """
+    if name not in TABLE_RUNNERS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(TABLE_RUNNERS))}"
+        )
+    runner = TABLE_RUNNERS[name]
+    kwargs = {"seed": seed}
+    if trials is not None:
+        kwargs["trials"] = trials
+    return runner(**kwargs)
+
+
+def render_result(result: ExperimentResult, *, as_csv: bool = False) -> str:
+    """Render an experiment result as text or CSV."""
+    rows = result.as_rows()
+    if as_csv:
+        return to_csv(rows, TABLE_COLUMNS)
+    stats = result.graph_statistics
+    title = (
+        f"{result.name}: {stats.get('graphs', 0):.0f} graph(s), "
+        f"avg nodes {stats.get('average_nodes', 0):.1f}, avg edges {stats.get('average_edges', 0):.1f}"
+    )
+    return format_table(rows, TABLE_COLUMNS, title=title)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the evaluation tables of the fragmentation paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(TABLE_RUNNERS) + ["all"],
+        help="which table to regenerate",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="number of generated graphs")
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a text table")
+    arguments = parser.parse_args(argv)
+
+    names: List[str] = sorted(TABLE_RUNNERS) if arguments.experiment == "all" else [arguments.experiment]
+    outputs: List[str] = []
+    for name in names:
+        result = run_experiment(name, trials=arguments.trials, seed=arguments.seed)
+        outputs.append(render_result(result, as_csv=arguments.csv))
+    print("\n\n".join(outputs))
+    return 0

@@ -1,0 +1,87 @@
+"""Fragmentation framework: the paper's core contribution.
+
+Value objects (:class:`Fragment`, :class:`Fragmentation`), the fragmentation
+graph, the characteristic metrics of Tables 1-3, and the fragmentation
+algorithms: center-based (Sec. 3.1), bond-energy (Sec. 3.2), linear
+(Sec. 3.3), the rejected k-connectivity idea, and the trivial baselines.
+"""
+
+from .advisor import AdvisorConstraints, Recommendation, recommend
+from .base import Fragment, Fragmentation, fragmentation_from_node_blocks
+from .baselines import GroundTruthFragmenter, HashFragmenter, RandomNodeFragmenter
+from .bond_energy import BondEnergyFragmenter
+from .center_based import (
+    BALANCE_BY_DIAMETER,
+    BALANCE_BY_SIZE,
+    CENTER_SELECTION_DISTRIBUTED,
+    CENTER_SELECTION_RANDOM,
+    CENTER_SELECTION_TOP_SCORE,
+    CenterBasedFragmenter,
+)
+from .fragmentation_graph import FragmentationGraph
+from .kconnectivity import KConnectivityFragmenter
+from .linear import (
+    SWEEP_BOTTOM_TO_TOP,
+    SWEEP_LEFT_TO_RIGHT,
+    SWEEP_RIGHT_TO_LEFT,
+    SWEEP_TOP_TO_BOTTOM,
+    LinearFragmenter,
+)
+from .metrics import (
+    FragmentationCharacteristics,
+    characteristics_table,
+    characterize,
+    complementary_information_size,
+    fragment_diameters,
+    total_border_nodes,
+    workload_balance,
+)
+from .protocols import Fragmenter
+from .validation import (
+    assert_valid,
+    cluster_agreement,
+    covers_all_nodes,
+    disconnection_set_correctness,
+    edge_preservation,
+    is_valid,
+)
+
+__all__ = [
+    "AdvisorConstraints",
+    "Recommendation",
+    "recommend",
+    "BALANCE_BY_DIAMETER",
+    "BALANCE_BY_SIZE",
+    "BondEnergyFragmenter",
+    "CENTER_SELECTION_DISTRIBUTED",
+    "CENTER_SELECTION_RANDOM",
+    "CENTER_SELECTION_TOP_SCORE",
+    "CenterBasedFragmenter",
+    "Fragment",
+    "Fragmentation",
+    "FragmentationCharacteristics",
+    "FragmentationGraph",
+    "Fragmenter",
+    "GroundTruthFragmenter",
+    "HashFragmenter",
+    "KConnectivityFragmenter",
+    "LinearFragmenter",
+    "RandomNodeFragmenter",
+    "SWEEP_BOTTOM_TO_TOP",
+    "SWEEP_LEFT_TO_RIGHT",
+    "SWEEP_RIGHT_TO_LEFT",
+    "SWEEP_TOP_TO_BOTTOM",
+    "assert_valid",
+    "characteristics_table",
+    "characterize",
+    "cluster_agreement",
+    "complementary_information_size",
+    "covers_all_nodes",
+    "disconnection_set_correctness",
+    "edge_preservation",
+    "fragment_diameters",
+    "fragmentation_from_node_blocks",
+    "is_valid",
+    "total_border_nodes",
+    "workload_balance",
+]

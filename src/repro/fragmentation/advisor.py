@@ -1,0 +1,179 @@
+"""Fragmentation advisor: pick an algorithm and fragment count for a graph.
+
+The paper closes with the observation that "it may well be the case that the
+actual algorithm to be used for data fragmentation depends on the type of
+graph that is considered, and on the specific characteristics of the
+underlying database system" (Sec. 5).  The advisor operationalises that: it
+inspects structural properties of the graph (cluster separability, coordinate
+availability, elongation, connectivity) and the deployment constraints
+(processor count, whether acyclicity is required), optionally trial-runs the
+candidate algorithms, and recommends a configured fragmenter.
+
+The advisor is a heuristic convenience, not part of the paper's contribution;
+it exists so that downstream users get a sensible default without reading
+Sec. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph import DiGraph, articulation_points, bounding_box, summarize
+from .base import Fragmentation
+from .bond_energy import BondEnergyFragmenter
+from .center_based import CenterBasedFragmenter
+from .linear import LinearFragmenter
+from .metrics import FragmentationCharacteristics, characterize
+from .protocols import Fragmenter
+
+
+@dataclass(frozen=True)
+class AdvisorConstraints:
+    """Deployment constraints influencing the recommendation.
+
+    Attributes:
+        processor_count: available processors; used as the fragment count.
+        require_acyclic: the fragmentation graph must be loosely connected
+            (forces the linear algorithm unless the trial run finds another
+            acyclic candidate).
+        prioritize: which characteristic matters most for the deployment:
+            ``"disconnection_sets"`` (default, the paper's own expectation),
+            ``"balance"`` or ``"acyclicity"``.
+        allow_trial_runs: when ``True`` the advisor actually runs the
+            candidate algorithms on the graph and scores the results instead
+            of relying on structural heuristics alone.
+    """
+
+    processor_count: int = 4
+    require_acyclic: bool = False
+    prioritize: str = "disconnection_sets"
+    allow_trial_runs: bool = True
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output.
+
+    Attributes:
+        fragmenter: the configured fragmenter to use.
+        fragment_count: the recommended number of fragments.
+        rationale: human-readable reasons, one per line.
+        trial_characteristics: per-candidate characteristics when trial runs
+            were allowed (empty otherwise).
+    """
+
+    fragmenter: Fragmenter
+    fragment_count: int
+    rationale: List[str] = field(default_factory=list)
+    trial_characteristics: Dict[str, FragmentationCharacteristics] = field(default_factory=dict)
+
+    def fragment(self, graph: DiGraph) -> Fragmentation:
+        """Apply the recommended fragmenter to ``graph``."""
+        return self.fragmenter.fragment(graph)
+
+
+def _elongation(graph: DiGraph) -> float:
+    """Return the aspect ratio of the coordinate bounding box (1.0 when unknown)."""
+    if not graph.has_coordinates():
+        return 1.0
+    low, high = bounding_box(graph.coordinates().values())
+    width = max(high.x - low.x, 1e-9)
+    height = max(high.y - low.y, 1e-9)
+    return max(width, height) / max(min(width, height), 1e-9)
+
+
+def _score(characteristics: FragmentationCharacteristics, prioritize: str) -> float:
+    """Return a lower-is-better score for a trial fragmentation."""
+    ds = characteristics.average_disconnection_set_size
+    balance = characteristics.fragment_size_deviation / max(characteristics.average_fragment_size, 1e-9)
+    cycles = float(characteristics.cycle_count)
+    if prioritize == "balance":
+        return balance * 10.0 + ds * 0.1 + cycles * 0.5
+    if prioritize == "acyclicity":
+        return cycles * 100.0 + ds * 0.5 + balance
+    # Default: small disconnection sets first (the paper's own bet).
+    return ds + balance * 2.0 + cycles * 0.5
+
+
+def recommend(graph: DiGraph, constraints: Optional[AdvisorConstraints] = None) -> Recommendation:
+    """Recommend a fragmentation algorithm and fragment count for ``graph``."""
+    constraints = constraints or AdvisorConstraints()
+    summary = summarize(graph)
+    fragment_count = max(1, min(constraints.processor_count, max(1, summary.node_count // 2)))
+    rationale: List[str] = [
+        f"graph: {summary.node_count} nodes, {summary.undirected_edge_count} undirected edges, "
+        f"diameter {summary.diameter}",
+        f"fragment count {fragment_count} (from {constraints.processor_count} processors)",
+    ]
+
+    candidates: Dict[str, Fragmenter] = {}
+    if graph.has_coordinates():
+        candidates["linear"] = LinearFragmenter(fragment_count)
+        candidates["center-based-distributed"] = CenterBasedFragmenter(
+            fragment_count, center_selection="distributed"
+        )
+    else:
+        rationale.append("no coordinates: linear sweep unavailable, distributed centers fall back to hop distances")
+        candidates["center-based-distributed"] = CenterBasedFragmenter(
+            fragment_count, center_selection="distributed"
+        )
+    candidates["bond-energy"] = BondEnergyFragmenter(fragment_count)
+
+    if constraints.require_acyclic and "linear" in candidates:
+        rationale.append("acyclic fragmentation graph required: linear fragmentation guarantees it")
+        return Recommendation(
+            fragmenter=candidates["linear"], fragment_count=fragment_count, rationale=rationale
+        )
+
+    # Structural shortcuts when trial runs are not allowed.
+    if not constraints.allow_trial_runs:
+        cut_nodes = articulation_points(graph)
+        if len(cut_nodes) >= fragment_count - 1:
+            rationale.append(
+                f"{len(cut_nodes)} articulation points suggest natural clusters: bond-energy "
+                "will find small disconnection sets"
+            )
+            return Recommendation(
+                fragmenter=candidates["bond-energy"], fragment_count=fragment_count, rationale=rationale
+            )
+        if graph.has_coordinates() and _elongation(graph) >= 3.0:
+            rationale.append("strongly elongated layout: a coordinate sweep cuts thin cross-sections")
+            return Recommendation(
+                fragmenter=candidates["linear"], fragment_count=fragment_count, rationale=rationale
+            )
+        rationale.append("no strong structural signal: center-based fragmentation balances the workload")
+        return Recommendation(
+            fragmenter=candidates["center-based-distributed"],
+            fragment_count=fragment_count,
+            rationale=rationale,
+        )
+
+    # Trial runs: fragment with every candidate and score the outcomes.
+    trial_characteristics: Dict[str, FragmentationCharacteristics] = {}
+    scores: Dict[str, float] = {}
+    for name, fragmenter in candidates.items():
+        fragmentation = fragmenter.fragment(graph)
+        characteristics = characterize(fragmentation, include_diameter=False)
+        trial_characteristics[name] = characteristics
+        if constraints.require_acyclic and not characteristics.loosely_connected:
+            continue
+        scores[name] = _score(characteristics, constraints.prioritize)
+    if not scores:
+        # Nothing satisfied the acyclicity constraint structurally: fall back to linear.
+        best_name = "linear" if "linear" in candidates else next(iter(candidates))
+    else:
+        best_name = min(scores, key=scores.get)  # type: ignore[arg-type]
+    best = trial_characteristics.get(best_name)
+    if best is not None:
+        rationale.append(
+            f"trial runs (priority: {constraints.prioritize}): {best_name} wins with "
+            f"DS={best.average_disconnection_set_size:.1f}, AF={best.fragment_size_deviation:.1f}, "
+            f"cycles={best.cycle_count}"
+        )
+    return Recommendation(
+        fragmenter=candidates[best_name],
+        fragment_count=fragment_count,
+        rationale=rationale,
+        trial_characteristics=trial_characteristics,
+    )

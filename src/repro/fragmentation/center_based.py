@@ -1,0 +1,276 @@
+"""Center-based fragmentation (Sec. 3.1 and Fig. 4 of the paper).
+
+The algorithm aims at a *balanced workload*: fragments that require roughly
+the same amount of per-processor computation.  It works in two phases:
+
+1. **Center selection.**  Nodes are scored with a weighted neighbourhood
+   formula (a variant of Hoede's status score, :mod:`repro.graph.status`);
+   the actual centers are then picked from the high-scoring candidate pool —
+   either at random (the paper's first variant) or spread out geometrically
+   using the node coordinates (the "distributed centers" refinement of
+   Sec. 4.2.1, which Table 2 shows to be a large improvement).
+
+2. **Fragment growth.**  Starting from the centers, the algorithm iterates
+   over the fragments and repeatedly adds all edges adjacent to the fragment's
+   current node set (Fig. 4).  The iteration order is adaptable: the
+   ``round_robin`` balance policy adds one layer per fragment per round (the
+   diameter-balancing variant of Fig. 4), while ``smallest_first`` always
+   expands the fragment with the fewest edges (the size-balancing variant).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import FragmenterConfigurationError
+from ..graph import DiGraph, spread_out_selection, top_candidates
+from .base import Edge, Fragmentation
+from .protocols import Fragmenter
+
+Node = Hashable
+
+BALANCE_BY_DIAMETER = "round_robin"
+BALANCE_BY_SIZE = "smallest_first"
+
+CENTER_SELECTION_RANDOM = "random"
+CENTER_SELECTION_DISTRIBUTED = "distributed"
+CENTER_SELECTION_TOP_SCORE = "top_score"
+
+
+class CenterBasedFragmenter(Fragmenter):
+    """The center-based fragmentation algorithm.
+
+    Args:
+        fragment_count: the number of fragments (= number of centers); the
+            paper notes this "may depend on factors such as the number of
+            processors available".
+        center_selection: how centers are picked from the high-score candidate
+            pool: ``"random"`` (the paper's first variant), ``"distributed"``
+            (coordinate-spread selection, the Table 2 refinement) or
+            ``"top_score"`` (simply the highest-scoring nodes; deterministic
+            but may cluster centers together).
+        balance: ``"round_robin"`` adds one ring of edges per fragment per
+            round (balances fragment diameters); ``"smallest_first"`` always
+            grows the currently smallest fragment (balances fragment sizes).
+        attenuation: the ``a < 1`` factor of the status score.
+        score_radius: how many rings the status score looks at (paper: 3).
+        candidate_pool_factor: size of the candidate pool relative to
+            ``fragment_count``.
+        seed: RNG seed for the random center selection.
+    """
+
+    name = "center-based"
+
+    def __init__(
+        self,
+        fragment_count: int,
+        *,
+        center_selection: str = CENTER_SELECTION_RANDOM,
+        balance: str = BALANCE_BY_DIAMETER,
+        attenuation: float = 0.5,
+        score_radius: int = 3,
+        candidate_pool_factor: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if fragment_count <= 0:
+            raise FragmenterConfigurationError("fragment_count must be positive")
+        if center_selection not in (
+            CENTER_SELECTION_RANDOM,
+            CENTER_SELECTION_DISTRIBUTED,
+            CENTER_SELECTION_TOP_SCORE,
+        ):
+            raise FragmenterConfigurationError(
+                f"unknown center_selection {center_selection!r}"
+            )
+        if balance not in (BALANCE_BY_DIAMETER, BALANCE_BY_SIZE):
+            raise FragmenterConfigurationError(f"unknown balance policy {balance!r}")
+        if not 0.0 < attenuation:
+            raise FragmenterConfigurationError("attenuation must be positive")
+        self.fragment_count = fragment_count
+        self.center_selection = center_selection
+        self.balance = balance
+        self.attenuation = attenuation
+        self.score_radius = score_radius
+        self.candidate_pool_factor = candidate_pool_factor
+        self.seed = seed
+        if center_selection == CENTER_SELECTION_DISTRIBUTED:
+            self.name = "center-based-distributed"
+
+    # ------------------------------------------------------------------ API
+
+    def fragment(self, graph: DiGraph) -> Fragmentation:
+        """Fragment ``graph`` by growing fragments around selected centers."""
+        if graph.edge_count() == 0:
+            raise FragmenterConfigurationError("cannot fragment a graph with no edges")
+        count = min(self.fragment_count, max(1, graph.node_count()))
+        centers = self.select_centers(graph, count)
+        fragment_edges = self._grow_fragments(graph, centers)
+        populated = [edges for edges in fragment_edges if edges]
+        return Fragmentation(
+            graph,
+            populated,
+            algorithm=self.name,
+            metadata={
+                "centers": centers,
+                "balance": self.balance,
+                "center_selection": self.center_selection,
+            },
+        )
+
+    # --------------------------------------------------------------- centers
+
+    def select_centers(self, graph: DiGraph, count: int) -> List[Node]:
+        """Select ``count`` centers using the configured policy."""
+        # The distributed policy needs a wide pool to have geometrically
+        # spread candidates to pick from: with a narrow pool all high-score
+        # nodes may sit in the same dense cluster and the spreading step has
+        # nothing to work with (the failure mode Table 2 documents for the
+        # plain variant).
+        pool_factor = (
+            max(self.candidate_pool_factor, 32.0)
+            if self.center_selection == CENTER_SELECTION_DISTRIBUTED
+            else self.candidate_pool_factor
+        )
+        candidates = list(
+            top_candidates(
+                graph,
+                count,
+                pool_factor=pool_factor,
+                attenuation=self.attenuation,
+                radius=self.score_radius,
+            )
+        )
+        if len(candidates) <= count:
+            return candidates
+        if self.center_selection == CENTER_SELECTION_TOP_SCORE:
+            return candidates[:count]
+        if self.center_selection == CENTER_SELECTION_DISTRIBUTED:
+            if graph.has_coordinates():
+                return spread_out_selection(graph.coordinates(), candidates, count)
+            # Fall back to a graph-distance spread when there are no coordinates.
+            return self._spread_by_graph_distance(graph, candidates, count)
+        rng = random.Random(self.seed)
+        return rng.sample(candidates, count)
+
+    def _spread_by_graph_distance(
+        self, graph: DiGraph, candidates: Sequence[Node], count: int
+    ) -> List[Node]:
+        """Greedy farthest-first selection using hop distances instead of coordinates."""
+        from ..graph import bfs_levels
+
+        selected: List[Node] = [candidates[0]]
+        while len(selected) < count:
+            # Distance from every candidate to the nearest already-selected center.
+            distance_to_selected: Dict[Node, int] = {}
+            for center in selected:
+                levels = bfs_levels(graph, center, undirected=True)
+                for node in candidates:
+                    hops = levels.get(node, graph.node_count() + 1)
+                    if node not in distance_to_selected or hops < distance_to_selected[node]:
+                        distance_to_selected[node] = hops
+            remaining = [node for node in candidates if node not in selected]
+            if not remaining:
+                break
+            best = max(remaining, key=lambda node: (distance_to_selected.get(node, 0), repr(node)))
+            selected.append(best)
+        return selected
+
+    # ---------------------------------------------------------------- growth
+
+    def _grow_fragments(self, graph: DiGraph, centers: List[Node]) -> List[Set[Edge]]:
+        """Grow fragments from the centers until every edge is assigned (Fig. 4)."""
+        count = len(centers)
+        fragment_nodes: List[Set[Node]] = [set() for _ in range(count)]
+        fragment_edges: List[Set[Edge]] = [set() for _ in range(count)]
+        unassigned: Set[Edge] = set(graph.edges())
+
+        # Initialisation: each fragment takes its center and the edges adjacent to it.
+        for index, center in enumerate(centers):
+            fragment_nodes[index].add(center)
+            adjacent = {
+                edge
+                for edge in self._incident_edges(graph, center)
+                if edge in unassigned
+            }
+            fragment_edges[index] |= adjacent
+            unassigned -= adjacent
+            for source, target in adjacent:
+                fragment_nodes[index].add(source)
+                fragment_nodes[index].add(target)
+
+        stalled_rounds = 0
+        while unassigned:
+            order = self._expansion_order(fragment_edges)
+            progress = False
+            for index in order:
+                added = self._expand_once(graph, fragment_nodes[index], fragment_edges[index], unassigned)
+                if added:
+                    progress = True
+                    if self.balance == BALANCE_BY_SIZE:
+                        # Re-evaluate which fragment is smallest after every expansion.
+                        break
+            if not progress:
+                stalled_rounds += 1
+                # Remaining edges are unreachable from every center (other weak
+                # component): seed them into the currently smallest fragment so
+                # the partition still covers the whole relation.
+                if stalled_rounds > 1 or not self._seed_disconnected_edge(
+                    graph, fragment_nodes, fragment_edges, unassigned
+                ):
+                    break
+            else:
+                stalled_rounds = 0
+        return fragment_edges
+
+    def _expansion_order(self, fragment_edges: List[Set[Edge]]) -> List[int]:
+        indices = list(range(len(fragment_edges)))
+        if self.balance == BALANCE_BY_SIZE:
+            indices.sort(key=lambda index: (len(fragment_edges[index]), index))
+        return indices
+
+    def _expand_once(
+        self,
+        graph: DiGraph,
+        nodes: Set[Node],
+        edges: Set[Edge],
+        unassigned: Set[Edge],
+    ) -> bool:
+        """Add every still-unassigned edge touching the fragment's node set."""
+        frontier_edges: Set[Edge] = set()
+        for node in nodes:
+            for edge in self._incident_edges(graph, node):
+                if edge in unassigned:
+                    frontier_edges.add(edge)
+        if not frontier_edges:
+            return False
+        edges |= frontier_edges
+        unassigned -= frontier_edges
+        for source, target in frontier_edges:
+            nodes.add(source)
+            nodes.add(target)
+        return True
+
+    def _seed_disconnected_edge(
+        self,
+        graph: DiGraph,
+        fragment_nodes: List[Set[Node]],
+        fragment_edges: List[Set[Edge]],
+        unassigned: Set[Edge],
+    ) -> bool:
+        """Assign one unreachable edge to the smallest fragment to restart growth."""
+        if not unassigned:
+            return False
+        smallest = min(range(len(fragment_edges)), key=lambda index: (len(fragment_edges[index]), index))
+        edge = min(unassigned, key=repr)
+        unassigned.discard(edge)
+        fragment_edges[smallest].add(edge)
+        fragment_nodes[smallest].add(edge[0])
+        fragment_nodes[smallest].add(edge[1])
+        return True
+
+    @staticmethod
+    def _incident_edges(graph: DiGraph, node: Node) -> List[Edge]:
+        incident: List[Edge] = [(node, target) for target in graph.successors(node)]
+        incident.extend((source, node) for source in graph.predecessors(node))
+        return incident

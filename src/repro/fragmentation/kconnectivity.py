@@ -1,0 +1,168 @@
+"""K-connectivity ("relevant nodes") fragmentation — the paper's rejected first idea.
+
+Section 3 describes an initial attempt at a graph-theoretical fragmentation:
+compute the k-connectivity of the graph, mark the nodes whose removal would
+decrease it as *relevant*, and select disconnection sets among them.  The
+paper abandons the idea because it is computation intensive and because cycles
+through other fragments confuse the connectivity measure — but it remains the
+natural ablation baseline, so we implement a practical variant:
+
+1. Compute the relevant nodes (articulation points first — the cheap, exact
+   case for k = 1 — falling back to the general k-connectivity test on small
+   graphs).
+2. Remove the relevant nodes; the remaining connected components become the
+   cores of the fragments (merged greedily down to the requested count).
+3. Each removed relevant node is attached to every adjacent core, which puts
+   it into the disconnection sets of the fragments it borders.
+
+On transportation graphs whose clusters are joined through cut nodes this
+recovers the intended fragmentation; on densely interconnected graphs it
+degrades exactly the way the paper predicts (few or no relevant nodes are
+found and the result collapses towards a single fragment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from ..exceptions import FragmenterConfigurationError
+from ..graph import DiGraph, articulation_points, relevant_nodes, weakly_connected_components
+from .base import Edge, Fragmentation
+from .protocols import Fragmenter
+
+Node = Hashable
+
+# Above this node count the exact k-connectivity scan is far too slow (the
+# cost that made the paper reject the approach); we then use articulation
+# points only.
+EXACT_KCONNECTIVITY_NODE_LIMIT = 60
+
+
+class KConnectivityFragmenter(Fragmenter):
+    """Fragmentation by removing "relevant" (connectivity-critical) nodes.
+
+    Args:
+        fragment_count: the number of fragments to aim for; components left
+            after removing the relevant nodes are merged down to this count.
+        exact_node_limit: graphs with more nodes than this use articulation
+            points only (k = 1) instead of the full k-connectivity scan.
+    """
+
+    name = "k-connectivity"
+
+    def __init__(
+        self,
+        fragment_count: int,
+        *,
+        exact_node_limit: int = EXACT_KCONNECTIVITY_NODE_LIMIT,
+    ) -> None:
+        if fragment_count <= 0:
+            raise FragmenterConfigurationError("fragment_count must be positive")
+        self.fragment_count = fragment_count
+        self.exact_node_limit = exact_node_limit
+
+    def fragment(self, graph: DiGraph) -> Fragmentation:
+        """Fragment ``graph`` around its connectivity-critical nodes."""
+        if graph.edge_count() == 0:
+            raise FragmenterConfigurationError("cannot fragment a graph with no edges")
+        critical = self._critical_nodes(graph)
+        cores = self._component_cores(graph, critical)
+        blocks = self._merge_cores(graph, cores)
+        fragment_edges = self._assign_edges(graph, blocks, critical)
+        populated = [edges for edges in fragment_edges if edges]
+        if not populated:
+            populated = [set(graph.edges())]
+        return Fragmentation(
+            graph,
+            populated,
+            algorithm=self.name,
+            metadata={
+                "relevant_nodes": sorted(critical, key=repr),
+                "core_count": len(cores),
+            },
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _critical_nodes(self, graph: DiGraph) -> Set[Node]:
+        critical = set(articulation_points(graph))
+        if graph.node_count() <= self.exact_node_limit:
+            critical |= relevant_nodes(graph, sample_pairs=64)
+        return critical
+
+    @staticmethod
+    def _component_cores(graph: DiGraph, critical: Set[Node]) -> List[Set[Node]]:
+        """Return the connected components of the graph minus the critical nodes."""
+        trimmed = graph.copy()
+        for node in critical:
+            if trimmed.has_node(node):
+                trimmed.remove_node(node)
+        if trimmed.node_count() == 0:
+            return []
+        return weakly_connected_components(trimmed)
+
+    def _merge_cores(self, graph: DiGraph, cores: List[Set[Node]]) -> List[Set[Node]]:
+        """Merge the component cores down to at most ``fragment_count`` blocks."""
+        if not cores:
+            return [set(graph.nodes())]
+        blocks = [set(core) for core in sorted(cores, key=len, reverse=True)]
+        while len(blocks) > self.fragment_count:
+            smallest = min(range(len(blocks)), key=lambda index: (len(blocks[index]), index))
+            small_block = blocks.pop(smallest)
+            # Merge into the block with the most adjacencies to it (fallback:
+            # the smallest remaining block, to keep sizes balanced).
+            best_index = None
+            best_links = -1
+            for index, block in enumerate(blocks):
+                links = self._adjacency_count(graph, small_block, block)
+                if links > best_links:
+                    best_links = links
+                    best_index = index
+            if best_index is None:
+                best_index = min(range(len(blocks)), key=lambda index: (len(blocks[index]), index))
+            blocks[best_index] |= small_block
+        return blocks
+
+    @staticmethod
+    def _adjacency_count(graph: DiGraph, left: Set[Node], right: Set[Node]) -> int:
+        count = 0
+        for node in left:
+            for neighbour in graph.neighbors(node):
+                if neighbour in right:
+                    count += 1
+        return count
+
+    def _assign_edges(
+        self,
+        graph: DiGraph,
+        blocks: List[Set[Node]],
+        critical: Set[Node],
+    ) -> List[Set[Edge]]:
+        """Assign every edge to a block; critical nodes join their adjacent blocks."""
+        block_of: Dict[Node, int] = {}
+        for index, block in enumerate(blocks):
+            for node in block:
+                block_of[node] = index
+
+        def nearest_block(node: Node) -> int:
+            votes: Dict[int, int] = {}
+            for neighbour in graph.neighbors(node):
+                if neighbour in block_of:
+                    votes[block_of[neighbour]] = votes.get(block_of[neighbour], 0) + 1
+            if votes:
+                return max(votes, key=lambda index: (votes[index], -index))
+            return 0
+
+        # Critical nodes (and any stragglers) adopt the block most of their
+        # neighbours live in; edges follow their endpoints.
+        resolved: Dict[Node, int] = dict(block_of)
+        for node in graph.nodes():
+            if node not in resolved:
+                resolved[node] = nearest_block(node)
+
+        fragment_edges: List[Set[Edge]] = [set() for _ in range(max(1, len(blocks)))]
+        for source, target in graph.edges():
+            si, ti = resolved[source], resolved[target]
+            owner = si if si == ti else min(si, ti)
+            fragment_edges[owner].add((source, target))
+        return fragment_edges

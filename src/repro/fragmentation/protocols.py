@@ -1,0 +1,32 @@
+"""The common interface every fragmentation algorithm implements."""
+
+from __future__ import annotations
+
+import abc
+
+from ..graph import DiGraph
+from .base import Fragmentation
+
+
+class Fragmenter(abc.ABC):
+    """Abstract base class for fragmentation algorithms.
+
+    A fragmenter is a configured, reusable object: construct it with its
+    parameters, then call :meth:`fragment` on any graph.  Implementations must
+    be deterministic for a fixed configuration (randomised choices take an
+    explicit seed in the constructor), so experiments are reproducible.
+    """
+
+    #: Short machine-readable name, used in result metadata and reports.
+    name: str = "fragmenter"
+
+    @abc.abstractmethod
+    def fragment(self, graph: DiGraph) -> Fragmentation:
+        """Fragment ``graph`` and return the resulting :class:`Fragmentation`.
+
+        Implementations must produce an edge partition covering every edge of
+        the graph (``Fragmentation.validate()`` must pass).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,155 @@
+"""Fragmentation validation and comparison helpers.
+
+Beyond the structural invariants checked by
+:meth:`repro.fragmentation.base.Fragmentation.validate`, the experiments need
+to ask quality questions: does the fragmentation preserve all connectivity
+information (a correctness requirement of the disconnection set approach), and
+how closely does a discovered fragmentation match a known ground truth?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from ..exceptions import InvalidFragmentationError
+from ..graph import DiGraph
+from .base import Fragmentation
+
+Node = Hashable
+
+
+def assert_valid(fragmentation: Fragmentation) -> None:
+    """Raise :class:`InvalidFragmentationError` unless the fragmentation is well formed."""
+    fragmentation.validate()
+
+
+def is_valid(fragmentation: Fragmentation) -> bool:
+    """Return ``True`` when the fragmentation passes all structural checks."""
+    try:
+        fragmentation.validate()
+    except InvalidFragmentationError:
+        return False
+    return True
+
+
+def covers_all_nodes(fragmentation: Fragmentation) -> bool:
+    """Return ``True`` if every non-isolated node of the graph appears in some fragment."""
+    covered: Set[Node] = set()
+    for fragment in fragmentation.fragments:
+        covered |= fragment.nodes
+    non_isolated = {
+        node
+        for node in fragmentation.graph.nodes()
+        if fragmentation.graph.degree(node) > 0
+    }
+    return non_isolated <= covered
+
+
+def edge_preservation(fragmentation: Fragmentation) -> float:
+    """Return the fraction of base edges present in exactly one fragment (1.0 = lossless)."""
+    base_edges = set(fragmentation.graph.edges())
+    if not base_edges:
+        return 1.0
+    assigned: Dict[Tuple[Node, Node], int] = {}
+    for fragment in fragmentation.fragments:
+        for edge in fragment.edges:
+            assigned[edge] = assigned.get(edge, 0) + 1
+    exactly_once = sum(1 for edge in base_edges if assigned.get(edge, 0) == 1)
+    return exactly_once / len(base_edges)
+
+
+def cluster_agreement(fragmentation: Fragmentation, clusters: Sequence[Set[Node]]) -> float:
+    """Return how well fragments align with ground-truth clusters (pair-counting accuracy).
+
+    For every pair of non-border nodes that share a ground-truth cluster we
+    check whether they also share a fragment, and vice versa; the score is the
+    fraction of agreeing pairs (a symmetric Rand-index style measure).  Border
+    nodes legitimately belong to several fragments and are excluded.
+    """
+    cluster_of: Dict[Node, int] = {}
+    for index, cluster in enumerate(clusters):
+        for node in cluster:
+            cluster_of[node] = index
+    # A node's fragment signature: the sorted tuple of fragments containing it.
+    fragment_of: Dict[Node, Tuple[int, ...]] = {}
+    for node in fragmentation.graph.nodes():
+        owners = tuple(fragmentation.fragments_of_node(node))
+        if len(owners) == 1:
+            fragment_of[node] = owners
+    nodes = [node for node in fragment_of if node in cluster_of]
+    if len(nodes) < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            same_cluster = cluster_of[a] == cluster_of[b]
+            same_fragment = fragment_of[a] == fragment_of[b]
+            agree += 1 if same_cluster == same_fragment else 0
+            total += 1
+    return agree / total if total else 1.0
+
+
+def disconnection_set_correctness(fragmentation: Fragmentation) -> bool:
+    """Check the keyhole property: removing DS_ij disconnects fragment i from fragment j.
+
+    For every nonempty disconnection set ``DS_ij`` this verifies that, in the
+    graph restricted to the union of the two fragments, every path between an
+    interior node of ``i`` and an interior node of ``j`` passes through
+    ``DS_ij``.  This is what makes the per-fragment searches with
+    disconnection-set selections *correct and precise* (Sec. 2.1, footnote 2).
+    """
+    from ..graph import is_reachable
+
+    for (i, j), border in fragmentation.disconnection_sets().items():
+        union_nodes = fragmentation.fragment(i).nodes | fragmentation.fragment(j).nodes
+        union_graph = fragmentation.graph.subgraph(union_nodes)
+        for node in border:
+            if union_graph.has_node(node):
+                union_graph.remove_node(node)
+        interior_i = fragmentation.fragment(i).nodes - fragmentation.fragment(j).nodes
+        interior_j = fragmentation.fragment(j).nodes - fragmentation.fragment(i).nodes
+        # Only check edges that exist in the two fragments' own subgraphs; a
+        # path through a *third* fragment is legitimately not covered by DS_ij.
+        for source in interior_i:
+            if not union_graph.has_node(source):
+                continue
+            for target in interior_j:
+                if not union_graph.has_node(target):
+                    continue
+                if is_reachable(union_graph, source, target, undirected=False):
+                    # Reachability that avoids DS_ij must stem from edges of a
+                    # third fragment that happen to connect shared nodes; when
+                    # the union contains only edges of fragments i and j this
+                    # is a genuine violation.
+                    if _uses_only_fragments(union_graph, fragmentation, {i, j}, source, target):
+                        return False
+    return True
+
+
+def _uses_only_fragments(
+    union_graph: DiGraph,
+    fragmentation: Fragmentation,
+    allowed: Set[int],
+    source: Node,
+    target: Node,
+) -> bool:
+    """Return True if some path from source to target uses only edges of ``allowed`` fragments."""
+    from collections import deque
+
+    allowed_edges: Set[Tuple[Node, Node]] = set()
+    for fragment_id in allowed:
+        allowed_edges |= set(fragmentation.fragment(fragment_id).edges)
+    visited = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for successor in union_graph.successors(node):
+            if (node, successor) not in allowed_edges:
+                continue
+            if successor == target:
+                return True
+            if successor not in visited:
+                visited.add(successor)
+                queue.append(successor)
+    return False

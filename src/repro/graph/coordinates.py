@@ -1,0 +1,173 @@
+"""Node coordinates and geometric helpers.
+
+The paper's linear fragmentation algorithm and the "distributed centers"
+refinement of the center-based algorithm both assume that every node carries a
+topological coordinate pair ``(x, y)`` (Sec. 3.3).  The random graph generator
+of Sec. 4.1 likewise places nodes on a plane and biases edge creation towards
+geometrically close pairs.  This module provides the small amount of geometry
+the rest of the package needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the plane, used as a node coordinate.
+
+    Ordering is lexicographic on ``(x, y)``; this matches the paper's use of
+    the *smallest x-coordinates* to pick the start nodes of the linear
+    fragmentation sweep.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def euclidean_distance(a: Point | Tuple[float, float], b: Point | Tuple[float, float]) -> float:
+    """Return the Euclidean distance between two points or ``(x, y)`` tuples."""
+    ax, ay = (a.x, a.y) if isinstance(a, Point) else (a[0], a[1])
+    bx, by = (b.x, b.y) if isinstance(b, Point) else (b[0], b[1])
+    return math.hypot(ax - bx, ay - by)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Return the centroid (arithmetic mean) of ``points``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    xs, ys, count = 0.0, 0.0, 0
+    for point in points:
+        xs += point.x
+        ys += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("cannot compute the centroid of an empty point set")
+    return Point(xs / count, ys / count)
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Return the axis-aligned bounding box of ``points`` as ``(lower_left, upper_right)``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("cannot compute the bounding box of an empty point set") from None
+    min_x = max_x = first.x
+    min_y = max_y = first.y
+    for point in iterator:
+        min_x = min(min_x, point.x)
+        max_x = max(max_x, point.x)
+        min_y = min(min_y, point.y)
+        max_y = max(max_y, point.y)
+    return Point(min_x, min_y), Point(max_x, max_y)
+
+
+def pairwise_distances(coordinates: Mapping[Node, Point]) -> Dict[Tuple[Node, Node], float]:
+    """Return the Euclidean distance for every unordered pair of nodes.
+
+    The result maps each ordered pair ``(u, v)`` with ``u != v`` to the
+    distance between their coordinates; both orders are present so lookups do
+    not need to canonicalise the pair.
+    """
+    nodes = list(coordinates)
+    distances: Dict[Tuple[Node, Node], float] = {}
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            d = coordinates[u].distance_to(coordinates[v])
+            distances[(u, v)] = d
+            distances[(v, u)] = d
+    return distances
+
+
+def nodes_sorted_by_x(coordinates: Mapping[Node, Point]) -> Sequence[Node]:
+    """Return the nodes ordered by increasing x-coordinate (ties broken by y).
+
+    This is the ordering the linear fragmentation algorithm uses to select its
+    start nodes ("s nodes with smallest x-coordinates", Fig. 7 of the paper).
+    """
+    return sorted(coordinates, key=lambda node: (coordinates[node].x, coordinates[node].y, repr(node)))
+
+
+def spread_out_selection(
+    coordinates: Mapping[Node, Point],
+    candidates: Sequence[Node],
+    count: int,
+) -> list:
+    """Select ``count`` candidates that are mutually far apart.
+
+    This implements the "distributed centers" optimisation of Sec. 4.2.1: the
+    centers of the center-based fragmentation are no longer picked at random
+    from the candidate pool but chosen so that they are not too close
+    together.  We use a greedy farthest-point heuristic: the first pick is the
+    candidate farthest from the centroid of all candidates, and each
+    subsequent pick maximises the minimum distance to the already selected
+    centers.
+
+    Args:
+        coordinates: coordinates for (at least) every candidate node.
+        candidates: the candidate pool, ordered by preference; ties in the
+            geometric criterion are broken by this order so the selection is
+            deterministic.
+        count: how many nodes to select.
+
+    Returns:
+        A list of ``min(count, len(candidates))`` selected nodes.
+
+    Raises:
+        MissingCoordinatesError: if a candidate has no coordinate.
+    """
+    from ..exceptions import MissingCoordinatesError
+
+    if count <= 0 or not candidates:
+        return []
+    missing = [node for node in candidates if node not in coordinates]
+    if missing:
+        raise MissingCoordinatesError(
+            f"cannot spread out centers: {len(missing)} candidate(s) have no coordinates, e.g. {missing[0]!r}"
+        )
+    pool = list(candidates)
+    center_of_mass = centroid(coordinates[node] for node in pool)
+    # Farthest from the centroid first, preferring earlier candidates on ties.
+    first = max(
+        range(len(pool)),
+        key=lambda idx: (coordinates[pool[idx]].distance_to(center_of_mass), -idx),
+    )
+    selected = [pool.pop(first)]
+    while pool and len(selected) < count:
+        best_idx = max(
+            range(len(pool)),
+            key=lambda idx: (
+                min(coordinates[pool[idx]].distance_to(coordinates[s]) for s in selected),
+                -idx,
+            ),
+        )
+        selected.append(pool.pop(best_idx))
+    return selected

@@ -1,0 +1,354 @@
+"""A weighted directed graph with optional node coordinates.
+
+The paper models the base relation ``R`` as a directed graph where each tuple
+is an edge, possibly with an associated weight (Sec. 2.1, footnote 1).  This
+module provides that graph as a first-class object: adjacency is kept in both
+directions so that fragmentation algorithms (which grow fragments by following
+edges in either direction) and query evaluation (which follows edges forward)
+are both efficient.
+
+Transportation networks are usually traversable in both directions, so the
+generators in :mod:`repro.generators` produce symmetric edge sets; the data
+structure itself is strictly directed and never assumes symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ..exceptions import EdgeNotFoundError, NodeNotFoundError
+from .coordinates import Point
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+WeightedEdge = Tuple[Node, Node, float]
+
+DEFAULT_WEIGHT = 1.0
+
+
+class DiGraph:
+    """A directed graph with float edge weights and optional node coordinates.
+
+    The graph is a mutable container.  Nodes may be any hashable value; edges
+    are ordered pairs with a weight (defaulting to ``1.0``).  Re-adding an
+    existing edge overwrites its weight.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge | WeightedEdge]] = None,
+        *,
+        nodes: Optional[Iterable[Node]] = None,
+        coordinates: Optional[Mapping[Node, Point | Tuple[float, float]]] = None,
+    ) -> None:
+        self._successors: Dict[Node, Dict[Node, float]] = {}
+        self._predecessors: Dict[Node, Dict[Node, float]] = {}
+        self._coordinates: Dict[Node, Point] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 3:
+                    source, target, weight = edge  # type: ignore[misc]
+                    self.add_edge(source, target, weight)
+                else:
+                    source, target = edge  # type: ignore[misc]
+                    self.add_edge(source, target)
+        if coordinates is not None:
+            for node, point in coordinates.items():
+                self.set_coordinate(node, point)
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph; a no-op if it is already present."""
+        self._successors.setdefault(node, {})
+        self._predecessors.setdefault(node, {})
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge.
+
+        Raises:
+            NodeNotFoundError: if the node is not in the graph.
+        """
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        for target in list(self._successors[node]):
+            del self._predecessors[target][node]
+        for source in list(self._predecessors[node]):
+            del self._successors[source][node]
+        del self._successors[node]
+        del self._predecessors[node]
+        self._coordinates.pop(node, None)
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` if ``node`` is in the graph."""
+        return node in self._successors
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def nodes(self) -> List[Node]:
+        """Return the nodes in insertion order."""
+        return list(self._successors)
+
+    def node_count(self) -> int:
+        """Return the number of nodes."""
+        return len(self._successors)
+
+    def __len__(self) -> int:
+        return self.node_count()
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._successors)
+
+    # ------------------------------------------------------------------ edges
+
+    def add_edge(self, source: Node, target: Node, weight: float = DEFAULT_WEIGHT) -> None:
+        """Add the directed edge ``source -> target`` with ``weight``.
+
+        Both endpoints are added to the graph if missing.  Adding an edge that
+        already exists replaces its weight.
+        """
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source][target] = float(weight)
+        self._predecessors[target][source] = float(weight)
+
+    def add_symmetric_edge(self, a: Node, b: Node, weight: float = DEFAULT_WEIGHT) -> None:
+        """Add both ``a -> b`` and ``b -> a`` with the same weight.
+
+        Transportation networks (railways, roads) are traversable in both
+        directions; the paper's example graphs are of this kind.
+        """
+        self.add_edge(a, b, weight)
+        self.add_edge(b, a, weight)
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the edge ``source -> target``.
+
+        Raises:
+            EdgeNotFoundError: if the edge is not in the graph.
+        """
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        del self._successors[source][target]
+        del self._predecessors[target][source]
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """Return ``True`` if the directed edge ``source -> target`` exists."""
+        return source in self._successors and target in self._successors[source]
+
+    def edge_weight(self, source: Node, target: Node) -> float:
+        """Return the weight of the edge ``source -> target``.
+
+        Raises:
+            EdgeNotFoundError: if the edge is not in the graph.
+        """
+        try:
+            return self._successors[source][target]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def edges(self) -> List[Edge]:
+        """Return every directed edge as a ``(source, target)`` pair."""
+        return [(source, target) for source, targets in self._successors.items() for target in targets]
+
+    def weighted_edges(self) -> List[WeightedEdge]:
+        """Return every directed edge as a ``(source, target, weight)`` triple."""
+        return [
+            (source, target, weight)
+            for source, targets in self._successors.items()
+            for target, weight in targets.items()
+        ]
+
+    def edge_count(self) -> int:
+        """Return the number of directed edges."""
+        return sum(len(targets) for targets in self._successors.values())
+
+    def undirected_edge_count(self) -> int:
+        """Return the number of edges when each symmetric pair counts once.
+
+        A pair ``{a, b}`` connected in both directions contributes 1; an edge
+        present in only one direction also contributes 1.  This matches the
+        paper's edge counts for (undirected) transportation graphs.
+        """
+        seen: Set[Tuple[Node, Node]] = set()
+        count = 0
+        for source, target in self.edges():
+            key = (source, target) if repr(source) <= repr(target) else (target, source)
+            if key not in seen:
+                seen.add(key)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------- adjacency
+
+    def successors(self, node: Node) -> List[Node]:
+        """Return the direct successors of ``node``.
+
+        Raises:
+            NodeNotFoundError: if the node is not in the graph.
+        """
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        return list(self._successors[node])
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Return the direct predecessors of ``node``.
+
+        Raises:
+            NodeNotFoundError: if the node is not in the graph.
+        """
+        if node not in self._predecessors:
+            raise NodeNotFoundError(node)
+        return list(self._predecessors[node])
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Return successors and predecessors of ``node`` (each node once)."""
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        merged: Dict[Node, None] = {}
+        for target in self._successors[node]:
+            merged[target] = None
+        for source in self._predecessors[node]:
+            merged[source] = None
+        return list(merged)
+
+    def out_degree(self, node: Node) -> int:
+        """Return the number of outgoing edges of ``node``."""
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        return len(self._successors[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Return the number of incoming edges of ``node``."""
+        if node not in self._predecessors:
+            raise NodeNotFoundError(node)
+        return len(self._predecessors[node])
+
+    def degree(self, node: Node) -> int:
+        """Return the total degree (in + out) of ``node``.
+
+        For a symmetric (bidirectional) graph this is twice the number of
+        distinct neighbours; the paper's ``grade(i)`` (number of adjacent
+        edges of an undirected node) corresponds to
+        :meth:`undirected_degree`.
+        """
+        return self.out_degree(node) + self.in_degree(node)
+
+    def undirected_degree(self, node: Node) -> int:
+        """Return the number of distinct neighbours of ``node``."""
+        return len(self.neighbors(node))
+
+    def successor_items(self, node: Node) -> List[Tuple[Node, float]]:
+        """Return ``(successor, weight)`` pairs for ``node``."""
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        return list(self._successors[node].items())
+
+    def predecessor_items(self, node: Node) -> List[Tuple[Node, float]]:
+        """Return ``(predecessor, weight)`` pairs for ``node``."""
+        if node not in self._predecessors:
+            raise NodeNotFoundError(node)
+        return list(self._predecessors[node].items())
+
+    # ----------------------------------------------------------- coordinates
+
+    def set_coordinate(self, node: Node, point: Point | Tuple[float, float]) -> None:
+        """Attach a planar coordinate to ``node`` (adding the node if needed)."""
+        self.add_node(node)
+        if not isinstance(point, Point):
+            point = Point(float(point[0]), float(point[1]))
+        self._coordinates[node] = point
+
+    def coordinate(self, node: Node) -> Optional[Point]:
+        """Return the coordinate of ``node`` or ``None`` if it has none."""
+        if node not in self._successors:
+            raise NodeNotFoundError(node)
+        return self._coordinates.get(node)
+
+    def coordinates(self) -> Dict[Node, Point]:
+        """Return a copy of the node-to-coordinate mapping."""
+        return dict(self._coordinates)
+
+    def has_coordinates(self) -> bool:
+        """Return ``True`` if every node has a coordinate."""
+        return bool(self._successors) and len(self._coordinates) == len(self._successors)
+
+    # ----------------------------------------------------------- derivations
+
+    def copy(self) -> "DiGraph":
+        """Return a deep copy of the graph."""
+        clone = DiGraph()
+        for node in self._successors:
+            clone.add_node(node)
+        for source, target, weight in self.weighted_edges():
+            clone.add_edge(source, target, weight)
+        for node, point in self._coordinates.items():
+            clone.set_coordinate(node, point)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes`` (coordinates preserved)."""
+        keep = set(nodes)
+        sub = DiGraph()
+        for node in self._successors:
+            if node in keep:
+                sub.add_node(node)
+                point = self._coordinates.get(node)
+                if point is not None:
+                    sub.set_coordinate(node, point)
+        for source, target, weight in self.weighted_edges():
+            if source in keep and target in keep:
+                sub.add_edge(source, target, weight)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "DiGraph":
+        """Return the subgraph containing exactly ``edges`` and their endpoints.
+
+        Weights and coordinates are carried over from this graph.
+
+        Raises:
+            EdgeNotFoundError: if one of ``edges`` is not in the graph.
+        """
+        sub = DiGraph()
+        for source, target in edges:
+            sub.add_edge(source, target, self.edge_weight(source, target))
+        for node in sub.nodes():
+            point = self._coordinates.get(node)
+            if point is not None:
+                sub.set_coordinate(node, point)
+        return sub
+
+    def reversed(self) -> "DiGraph":
+        """Return a copy of the graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node in self._successors:
+            rev.add_node(node)
+        for source, target, weight in self.weighted_edges():
+            rev.add_edge(target, source, weight)
+        for node, point in self._coordinates.items():
+            rev.set_coordinate(node, point)
+        return rev
+
+    def to_undirected_pairs(self) -> Set[Tuple[Node, Node]]:
+        """Return the set of unordered adjacency pairs, canonicalised by ``repr``."""
+        pairs: Set[Tuple[Node, Node]] = set()
+        for source, target in self.edges():
+            pairs.add((source, target) if repr(source) <= repr(target) else (target, source))
+        return pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            set(self._successors) == set(other._successors)
+            and {
+                (s, t): w for s, t, w in self.weighted_edges()
+            } == {(s, t): w for s, t, w in other.weighted_edges()}
+        )
+
+    def __repr__(self) -> str:
+        return f"DiGraph(nodes={self.node_count()}, edges={self.edge_count()})"

@@ -1,0 +1,113 @@
+"""Serialisation of graphs to and from edge lists and JSON documents.
+
+The base relation of the disconnection set approach is, at the database level,
+just a table of ``(source, target, weight)`` tuples; these helpers move a
+:class:`~repro.graph.digraph.DiGraph` between that tabular form, JSON files on
+disk, and the in-memory object.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Tuple, Union
+
+from .coordinates import Point
+from .digraph import DiGraph
+
+Node = Hashable
+PathLike = Union[str, Path]
+
+
+def to_edge_list(graph: DiGraph) -> List[Tuple[Node, Node, float]]:
+    """Return the graph as a sorted list of ``(source, target, weight)`` tuples."""
+    return sorted(graph.weighted_edges(), key=lambda edge: (repr(edge[0]), repr(edge[1])))
+
+
+def from_edge_list(
+    edges: Iterable[Tuple[Node, Node] | Tuple[Node, Node, float]],
+    *,
+    symmetric: bool = False,
+) -> DiGraph:
+    """Build a graph from ``(source, target[, weight])`` tuples.
+
+    Args:
+        edges: the edge tuples; a missing weight defaults to 1.0.
+        symmetric: when ``True`` every edge is added in both directions,
+            which is the natural reading of an undirected transportation
+            network.
+    """
+    graph = DiGraph()
+    for edge in edges:
+        if len(edge) == 3:
+            source, target, weight = edge  # type: ignore[misc]
+        else:
+            source, target = edge  # type: ignore[misc]
+            weight = 1.0
+        if symmetric:
+            graph.add_symmetric_edge(source, target, weight)
+        else:
+            graph.add_edge(source, target, weight)
+    return graph
+
+
+def to_dict(graph: DiGraph) -> Dict[str, object]:
+    """Return a JSON-serialisable dictionary describing the graph.
+
+    Node identities are preserved as-is when they are strings or integers and
+    stringified otherwise.
+    """
+    def encode(node: Node) -> object:
+        return node if isinstance(node, (str, int)) else repr(node)
+
+    return {
+        "nodes": [encode(node) for node in graph.nodes()],
+        "edges": [
+            {"source": encode(s), "target": encode(t), "weight": w}
+            for s, t, w in graph.weighted_edges()
+        ],
+        "coordinates": {
+            str(encode(node)): [point.x, point.y] for node, point in graph.coordinates().items()
+        },
+    }
+
+
+def from_dict(document: Dict[str, object]) -> DiGraph:
+    """Rebuild a graph from the dictionary produced by :func:`to_dict`.
+
+    Integer-looking string node names are restored to integers so that a
+    round trip through JSON (whose object keys are always strings) preserves
+    integer node identities.
+    """
+    def decode(value: object) -> Node:
+        if isinstance(value, str) and value.lstrip("-").isdigit():
+            return int(value)
+        return value  # type: ignore[return-value]
+
+    graph = DiGraph()
+    for node in document.get("nodes", []):  # type: ignore[union-attr]
+        graph.add_node(decode(node))
+    for edge in document.get("edges", []):  # type: ignore[union-attr]
+        graph.add_edge(decode(edge["source"]), decode(edge["target"]), float(edge.get("weight", 1.0)))
+    for name, xy in document.get("coordinates", {}).items():  # type: ignore[union-attr]
+        graph.set_coordinate(decode(name), Point(float(xy[0]), float(xy[1])))
+    return graph
+
+
+def save_json(graph: DiGraph, path: PathLike) -> None:
+    """Write the graph to ``path`` as a JSON document."""
+    Path(path).write_text(json.dumps(to_dict(graph), indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> DiGraph:
+    """Read a graph previously written by :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def to_relation_rows(graph: DiGraph) -> List[Tuple[Node, Node, float]]:
+    """Return the rows of the base relation R(source, target, weight).
+
+    This is the tabular form consumed by :mod:`repro.relational`; identical to
+    :func:`to_edge_list` but named for its database role.
+    """
+    return to_edge_list(graph)

@@ -1,0 +1,246 @@
+"""Shortest-path algorithms on :class:`~repro.graph.digraph.DiGraph`.
+
+The disconnection set approach needs shortest paths at three places:
+
+* precomputing the *complementary information* — shortest paths among the
+  border nodes of a fragment (all-pairs within a fragment, restricted to the
+  disconnection sets),
+* evaluating the per-fragment subqueries ("find a path from the Dutch border
+  to the southern German border"),
+* the centralised baseline the parallel evaluation is compared against.
+
+We provide Dijkstra (single source), bidirectional queries, Bellman-Ford (for
+completeness and negative-weight detection), Floyd-Warshall (dense all-pairs),
+and path reconstruction helpers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..exceptions import DisconnectedError, NegativeWeightError, NodeNotFoundError
+from .digraph import DiGraph
+
+Node = Hashable
+
+INFINITY = math.inf
+
+
+def dijkstra(
+    graph: DiGraph,
+    source: Node,
+    *,
+    targets: Optional[Iterable[Node]] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Run Dijkstra's algorithm from ``source``.
+
+    Args:
+        graph: the graph; every edge weight must be non-negative.
+        source: the start node.
+        targets: optional set of nodes; when given, the search stops as soon
+            as all of them have been settled (an optimisation used when only
+            the distances to a disconnection set are needed).
+
+    Returns:
+        A pair ``(distances, predecessors)``.  ``distances`` maps every
+        settled node to its distance from ``source``; ``predecessors`` maps a
+        node to the previous node on one shortest path.
+
+    Raises:
+        NodeNotFoundError: if ``source`` is not in the graph.
+        NegativeWeightError: if a negative edge weight is encountered.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    remaining = set(targets) if targets is not None else None
+    distances: Dict[Node, float] = {}
+    predecessors: Dict[Node, Node] = {}
+    counter = 0
+    heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
+    tentative: Dict[Node, float] = {source: 0.0}
+    while heap:
+        distance, _, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = distance
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for successor, weight in graph.successor_items(node):
+            if weight < 0:
+                raise NegativeWeightError(
+                    f"edge ({node!r}, {successor!r}) has negative weight {weight}"
+                )
+            candidate = distance + weight
+            if successor not in distances and candidate < tentative.get(successor, INFINITY):
+                tentative[successor] = candidate
+                predecessors[successor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, successor))
+    return distances, predecessors
+
+
+def shortest_path_length(graph: DiGraph, source: Node, target: Node) -> float:
+    """Return the length of the shortest path from ``source`` to ``target``.
+
+    Raises:
+        DisconnectedError: if ``target`` is unreachable from ``source``.
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    distances, _ = dijkstra(graph, source, targets=[target])
+    if target not in distances:
+        raise DisconnectedError(f"{target!r} is not reachable from {source!r}")
+    return distances[target]
+
+
+def shortest_path(graph: DiGraph, source: Node, target: Node) -> Tuple[float, List[Node]]:
+    """Return ``(length, node_sequence)`` for a shortest path from ``source`` to ``target``.
+
+    Raises:
+        DisconnectedError: if ``target`` is unreachable from ``source``.
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    distances, predecessors = dijkstra(graph, source, targets=[target])
+    if target not in distances:
+        raise DisconnectedError(f"{target!r} is not reachable from {source!r}")
+    return distances[target], reconstruct_path(predecessors, source, target)
+
+
+def reconstruct_path(predecessors: Dict[Node, Node], source: Node, target: Node) -> List[Node]:
+    """Rebuild the node sequence of a path from a predecessor map."""
+    path = [target]
+    node = target
+    while node != source:
+        node = predecessors[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def single_source_shortest_paths(graph: DiGraph, source: Node) -> Dict[Node, float]:
+    """Return the distance from ``source`` to every reachable node."""
+    distances, _ = dijkstra(graph, source)
+    return distances
+
+
+def multi_source_shortest_paths(graph: DiGraph, sources: Iterable[Node]) -> Dict[Node, float]:
+    """Return, for every node, the distance from the *nearest* of ``sources``.
+
+    Implemented as a single Dijkstra run with all sources seeded at distance
+    zero.  Used by the disconnection-set local queries, where the search
+    starts from every border node of the entry disconnection set at once.
+    """
+    source_list = [s for s in sources if graph.has_node(s)]
+    distances: Dict[Node, float] = {}
+    tentative: Dict[Node, float] = {}
+    heap: List[Tuple[float, int, Node]] = []
+    counter = 0
+    for source in source_list:
+        tentative[source] = 0.0
+        heap.append((0.0, counter, source))
+        counter += 1
+    heapq.heapify(heap)
+    while heap:
+        distance, _, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = distance
+        for successor, weight in graph.successor_items(node):
+            if weight < 0:
+                raise NegativeWeightError(
+                    f"edge ({node!r}, {successor!r}) has negative weight {weight}"
+                )
+            candidate = distance + weight
+            if successor not in distances and candidate < tentative.get(successor, INFINITY):
+                tentative[successor] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, successor))
+    return distances
+
+
+def bellman_ford(graph: DiGraph, source: Node) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Run Bellman-Ford from ``source``; supports negative edge weights.
+
+    Returns:
+        ``(distances, predecessors)`` over reachable nodes.
+
+    Raises:
+        NodeNotFoundError: if ``source`` is not in the graph.
+        NegativeWeightError: if a negative cycle is reachable from ``source``.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: Dict[Node, float] = {source: 0.0}
+    predecessors: Dict[Node, Node] = {}
+    edges = graph.weighted_edges()
+    for _ in range(max(0, graph.node_count() - 1)):
+        changed = False
+        for u, v, weight in edges:
+            if u in distances and distances[u] + weight < distances.get(v, INFINITY):
+                distances[v] = distances[u] + weight
+                predecessors[v] = u
+                changed = True
+        if not changed:
+            break
+    for u, v, weight in edges:
+        if u in distances and distances[u] + weight < distances.get(v, INFINITY) - 1e-12:
+            raise NegativeWeightError("graph contains a negative cycle reachable from the source")
+    return distances, predecessors
+
+
+def floyd_warshall(graph: DiGraph) -> Dict[Node, Dict[Node, float]]:
+    """Return all-pairs shortest path lengths (dense dynamic programming).
+
+    Suitable for the small graphs used in tests and for complementary
+    information over small fragments; the engine itself prefers per-border
+    Dijkstra runs which scale better on sparse fragments.
+    """
+    nodes = graph.nodes()
+    dist: Dict[Node, Dict[Node, float]] = {u: {v: INFINITY for v in nodes} for u in nodes}
+    for node in nodes:
+        dist[node][node] = 0.0
+    for u, v, weight in graph.weighted_edges():
+        if weight < dist[u][v]:
+            dist[u][v] = weight
+    for k in nodes:
+        dist_k = dist[k]
+        for i in nodes:
+            dist_i = dist[i]
+            via = dist_i[k]
+            if via == INFINITY:
+                continue
+            for j in nodes:
+                candidate = via + dist_k[j]
+                if candidate < dist_i[j]:
+                    dist_i[j] = candidate
+    return dist
+
+
+def eccentricity(graph: DiGraph, node: Node, *, undirected: bool = True) -> int:
+    """Return the maximum hop distance from ``node`` to any reachable node.
+
+    The paper's workload model uses the *diameter* of a fragment (the number
+    of edges on its longest shortest path) as the driver of the number of
+    semi-naive iterations; eccentricities are its per-node ingredient.
+    """
+    from .traversal import bfs_levels
+
+    levels = bfs_levels(graph, node, undirected=undirected)
+    return max(levels.values()) if levels else 0
+
+
+def hop_diameter(graph: DiGraph, *, undirected: bool = True) -> int:
+    """Return the diameter in hops over reachable pairs (0 for empty graphs).
+
+    Unreachable pairs are ignored, matching the intuition that the diameter of
+    a fragment is the longest path *within* the fragment.
+    """
+    best = 0
+    for node in graph.nodes():
+        best = max(best, eccentricity(graph, node, undirected=undirected))
+    return best

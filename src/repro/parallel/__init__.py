@@ -1,0 +1,37 @@
+"""Parallel execution substrate: cost model, simulator, scheduler, real executor.
+
+The paper's PRISMA/DB multiprocessor is substituted by a simulator whose cost
+model is expressed in the paper's own workload quantities (iterations,
+intermediate tuples, assembly joins); a multiprocessing-based executor runs
+the independent local subqueries as real OS processes for end-to-end
+validation.
+"""
+
+from .cost_model import CostModel
+from .executor import MultiprocessQueryExecutor, ParallelAnswer
+from .scheduler import (
+    POLICY_LPT,
+    POLICY_ROUND_ROBIN,
+    Assignment,
+    assign_fragments,
+    one_processor_per_fragment,
+)
+from .simulator import ParallelSimulator, QuerySimulation, WorkloadSimulation
+from .speedup import SpeedupPoint, compare_fragmenters, speedup_curve
+
+__all__ = [
+    "Assignment",
+    "CostModel",
+    "MultiprocessQueryExecutor",
+    "POLICY_LPT",
+    "POLICY_ROUND_ROBIN",
+    "ParallelAnswer",
+    "ParallelSimulator",
+    "QuerySimulation",
+    "SpeedupPoint",
+    "WorkloadSimulation",
+    "assign_fragments",
+    "compare_fragmenters",
+    "one_processor_per_fragment",
+    "speedup_curve",
+]

@@ -1,0 +1,171 @@
+"""Real parallel execution of local subqueries with ``multiprocessing``.
+
+The simulator (:mod:`repro.parallel.simulator`) charges abstract costs; this
+module actually runs the independent per-fragment subqueries of a query plan
+in separate worker processes, demonstrating the "no communication during the
+first phase" property with real OS-level parallelism.  Processes are used
+instead of threads because CPython's GIL would serialise pure-Python closure
+computations in a thread pool.
+
+Notes on fidelity: each worker receives its fragment site (subgraph +
+shortcuts) once, mirroring the shared-nothing placement of fragments on
+PRISMA/DB nodes; per-query messages contain only the query specs and the
+per-fragment path relations, which is what the paper's final joins consume.
+For the small fragments of the paper's workloads the process start-up cost
+dominates, so the simulator remains the vehicle for the speed-up experiments;
+the executor exists to validate the parallel decomposition end to end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from ..closure import Semiring, shortest_path_semiring
+from ..disconnection import (
+    DisconnectionSetEngine,
+    LocalQueryEvaluator,
+    LocalQueryResult,
+    QueryPlan,
+    QueryPlanner,
+    assemble_chain,
+    best_over_chains,
+)
+from ..disconnection.catalog import DistributedCatalog, FragmentSite
+from ..fragmentation import Fragmentation
+
+Node = Hashable
+
+# Module-level worker state, initialised once per worker process.
+_WORKER_SITES: Dict[int, FragmentSite] = {}
+_WORKER_EVALUATOR: Optional[LocalQueryEvaluator] = None
+
+
+def _worker_init(sites: List[FragmentSite], semiring_name: str) -> None:
+    """Initialise a worker process with its sites and evaluator."""
+    global _WORKER_SITES, _WORKER_EVALUATOR
+    from ..closure import reachability_semiring, shortest_path_semiring
+
+    _WORKER_SITES = {site.fragment_id: site for site in sites}
+    semiring = reachability_semiring() if semiring_name == "reachability" else shortest_path_semiring()
+    _WORKER_EVALUATOR = LocalQueryEvaluator(semiring=semiring)
+
+
+def _worker_evaluate(task: Tuple[int, FrozenSet[Node], FrozenSet[Node]]) -> Tuple[Tuple[int, FrozenSet[Node], FrozenSet[Node]], Dict]:
+    """Evaluate one local query spec inside a worker process."""
+    from ..disconnection.planner import LocalQuerySpec
+
+    fragment_id, entry_nodes, exit_nodes = task
+    spec = LocalQuerySpec(fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes)
+    assert _WORKER_EVALUATOR is not None
+    result = _WORKER_EVALUATOR.evaluate(_WORKER_SITES[fragment_id], spec)
+    # Ship back a plain dict; LocalQueryResult contains only picklable data but
+    # keeping the wire format explicit makes the message size obvious.
+    return task, {
+        "values": dict(result.values),
+        "iterations": result.estimated_iterations,
+        "tuples": result.statistics.tuples_produced,
+    }
+
+
+@dataclass
+class ParallelAnswer:
+    """Answer produced by the multiprocessing executor."""
+
+    source: Node
+    target: Node
+    value: Optional[object]
+    worker_count: int
+    subqueries_executed: int
+
+
+class MultiprocessQueryExecutor:
+    """Execute disconnection-set query plans with a pool of worker processes.
+
+    Args:
+        fragmentation: the deployed fragmentation.
+        semiring: the path problem (defaults to shortest paths); only the two
+            standard semirings are supported because semiring callables do not
+            pickle.
+        processes: number of worker processes (defaults to the fragment count,
+            capped at the CPU count).
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        *,
+        semiring: Optional[Semiring] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        self._semiring = semiring or shortest_path_semiring()
+        if self._semiring.name not in ("shortest_path", "reachability"):
+            raise ValueError("the multiprocessing executor supports shortest_path and reachability only")
+        self._catalog = DistributedCatalog(fragmentation, semiring=self._semiring)
+        self._planner = QueryPlanner(self._catalog)
+        default_processes = min(fragmentation.fragment_count(), multiprocessing.cpu_count())
+        self._processes = max(1, processes if processes is not None else default_processes)
+
+    def query(self, source: Node, target: Node) -> ParallelAnswer:
+        """Answer a query by fanning the local subqueries out to worker processes."""
+        plan = self._planner.plan(source, target)
+        tasks = self._collect_tasks(plan)
+        results = self._run_tasks(tasks)
+        value = self._assemble(plan, results)
+        return ParallelAnswer(
+            source=source,
+            target=target,
+            value=value,
+            worker_count=self._processes,
+            subqueries_executed=len(tasks),
+        )
+
+    # ------------------------------------------------------------- internals
+
+    def _collect_tasks(self, plan: QueryPlan) -> List[Tuple[int, FrozenSet[Node], FrozenSet[Node]]]:
+        tasks = []
+        seen = set()
+        for chain_plan in plan.chains:
+            for spec in chain_plan.local_queries:
+                key = (spec.fragment_id, spec.entry_nodes, spec.exit_nodes)
+                if key not in seen:
+                    seen.add(key)
+                    tasks.append(key)
+        return tasks
+
+    def _run_tasks(self, tasks: List[Tuple[int, FrozenSet[Node], FrozenSet[Node]]]) -> Dict:
+        sites = self._catalog.sites()
+        results: Dict = {}
+        if not tasks:
+            return results
+        with multiprocessing.Pool(
+            processes=self._processes,
+            initializer=_worker_init,
+            initargs=(sites, self._semiring.name),
+        ) as pool:
+            for key, payload in pool.map(_worker_evaluate, tasks):
+                results[key] = payload
+        return results
+
+    def _assemble(self, plan: QueryPlan, results: Dict) -> Optional[object]:
+        from ..closure import ClosureStatistics
+
+        assemblies = []
+        for chain_plan in plan.chains:
+            local_results: List[LocalQueryResult] = []
+            for spec in chain_plan.local_queries:
+                key = (spec.fragment_id, spec.entry_nodes, spec.exit_nodes)
+                payload = results[key]
+                stats = ClosureStatistics()
+                stats.tuples_produced = payload["tuples"]
+                local_results.append(
+                    LocalQueryResult(
+                        fragment_id=spec.fragment_id,
+                        values=dict(payload["values"]),
+                        statistics=stats,
+                        estimated_iterations=payload["iterations"],
+                    )
+                )
+            assemblies.append(assemble_chain(chain_plan, local_results, semiring=self._semiring))
+        return best_over_chains(assemblies, semiring=self._semiring)

@@ -1,0 +1,68 @@
+"""Relational algebra engine: relations, operators, and fixpoint evaluation.
+
+The disconnection set approach is a database strategy: the graph lives in a
+relation, fragments are horizontal fragments of that relation, and both the
+per-fragment transitive closures and the final assembly are relational
+queries.  This package provides that machinery in pure Python.
+"""
+
+from .aggregates import (
+    argmin_rows,
+    count,
+    count_distinct,
+    group_count,
+    maximum,
+    minimum,
+    total,
+)
+from .algebra import (
+    aggregate_min,
+    cartesian_product,
+    compose,
+    difference,
+    equi_join,
+    intersection,
+    natural_join,
+    project,
+    rename,
+    select,
+    select_eq,
+    select_in,
+    semijoin,
+    union,
+)
+from .fixpoint import FixpointStatistics, naive_closure, seminaive_closure, smart_closure
+from .fragmented import FragmentedRelation
+from .relation import Relation, edge_relation, pair_relation
+
+__all__ = [
+    "FixpointStatistics",
+    "FragmentedRelation",
+    "Relation",
+    "aggregate_min",
+    "argmin_rows",
+    "cartesian_product",
+    "compose",
+    "count",
+    "count_distinct",
+    "difference",
+    "edge_relation",
+    "equi_join",
+    "group_count",
+    "intersection",
+    "maximum",
+    "minimum",
+    "naive_closure",
+    "natural_join",
+    "pair_relation",
+    "project",
+    "rename",
+    "select",
+    "select_eq",
+    "select_in",
+    "semijoin",
+    "seminaive_closure",
+    "smart_closure",
+    "total",
+    "union",
+]

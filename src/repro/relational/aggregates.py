@@ -1,0 +1,64 @@
+"""Aggregate helpers over relations.
+
+Besides the grouped minimum already provided by
+:func:`repro.relational.algebra.aggregate_min`, the experiment harness and the
+assembly phase occasionally need counts, grouped counts and min/max scans;
+they are collected here to keep :mod:`repro.relational.algebra` focused on the
+classical operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .relation import Relation
+
+
+def count(relation: Relation) -> int:
+    """Return the number of rows in ``relation``."""
+    return relation.cardinality()
+
+
+def count_distinct(relation: Relation, attribute: str) -> int:
+    """Return the number of distinct values of ``attribute``."""
+    return len(relation.distinct_values(attribute))
+
+
+def group_count(relation: Relation, group_by: Sequence[str]) -> Relation:
+    """Return a relation with one row per group and a ``count`` attribute."""
+    indices = [relation.attribute_index(a) for a in group_by]
+    counts: Dict[Tuple[object, ...], int] = {}
+    for row in relation.rows:
+        key = tuple(row[i] for i in indices)
+        counts[key] = counts.get(key, 0) + 1
+    schema = list(group_by) + ["count"]
+    return Relation(schema, [key + (value,) for key, value in counts.items()], name=relation.name)
+
+
+def minimum(relation: Relation, attribute: str) -> Optional[object]:
+    """Return the minimum value of ``attribute`` or ``None`` for an empty relation."""
+    index = relation.attribute_index(attribute)
+    values = [row[index] for row in relation.rows]
+    return min(values) if values else None
+
+
+def maximum(relation: Relation, attribute: str) -> Optional[object]:
+    """Return the maximum value of ``attribute`` or ``None`` for an empty relation."""
+    index = relation.attribute_index(attribute)
+    values = [row[index] for row in relation.rows]
+    return max(values) if values else None
+
+
+def total(relation: Relation, attribute: str) -> float:
+    """Return the sum of ``attribute`` over all rows (0.0 when empty)."""
+    index = relation.attribute_index(attribute)
+    return float(sum(row[index] for row in relation.rows))  # type: ignore[arg-type]
+
+
+def argmin_rows(relation: Relation, attribute: str) -> List[Tuple[object, ...]]:
+    """Return all rows attaining the minimum of ``attribute`` (sorted for stability)."""
+    index = relation.attribute_index(attribute)
+    best = minimum(relation, attribute)
+    if best is None:
+        return []
+    return sorted((row for row in relation.rows if row[index] == best), key=repr)

@@ -1,0 +1,247 @@
+"""Relational algebra operators over :class:`~repro.relational.relation.Relation`.
+
+The operators are pure functions: they never mutate their inputs and always
+return new relations.  Together with the fixpoint operators in
+:mod:`repro.relational.fixpoint` they are sufficient to express the transitive
+closure queries of the paper in the same algebraic style the PRISMA/DB
+machine evaluates them, including the joins used for the final assembly of
+per-fragment results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import SchemaError
+from .relation import Relation, Row
+
+Predicate = Callable[[Dict[str, object]], bool]
+
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """Return the rows of ``relation`` satisfying ``predicate``.
+
+    The predicate receives each row as an attribute-name dictionary, which
+    keeps call sites readable (``lambda r: r["source"] == "Amsterdam"``).
+    """
+    schema = relation.schema
+    selected = [row for row in relation.rows if predicate(dict(zip(schema, row)))]
+    return relation.with_rows(selected)
+
+
+def select_eq(relation: Relation, attribute: str, value: object) -> Relation:
+    """Return the rows where ``attribute`` equals ``value`` (index-based, fast path)."""
+    index = relation.attribute_index(attribute)
+    return relation.with_rows(row for row in relation.rows if row[index] == value)
+
+
+def select_in(relation: Relation, attribute: str, values: Iterable[object]) -> Relation:
+    """Return the rows where ``attribute`` is one of ``values``.
+
+    This is the *disconnection set selection*: the per-fragment transitive
+    closure queries restrict their search to paths entering or leaving the
+    fragment through the (small) set of border nodes, which is exactly a
+    semijoin of the fragment with the disconnection set.
+    """
+    index = relation.attribute_index(attribute)
+    value_set = set(values)
+    return relation.with_rows(row for row in relation.rows if row[index] in value_set)
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Return the projection of ``relation`` onto ``attributes`` (duplicates removed)."""
+    indices = [relation.attribute_index(attribute) for attribute in attributes]
+    rows = {tuple(row[i] for i in indices) for row in relation.rows}
+    return Relation(attributes, rows, name=relation.name)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Return ``relation`` with attributes renamed according to ``mapping``.
+
+    Attributes not mentioned in ``mapping`` keep their names.
+
+    Raises:
+        SchemaError: if a key of ``mapping`` is not an attribute, or the
+            renaming would create duplicate attribute names.
+    """
+    for old in mapping:
+        relation.attribute_index(old)
+    new_schema = [mapping.get(attribute, attribute) for attribute in relation.schema]
+    if len(set(new_schema)) != len(new_schema):
+        raise SchemaError(f"renaming {dict(mapping)!r} creates duplicate attributes {new_schema!r}")
+    return Relation(new_schema, relation.rows, name=relation.name)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Return the set union of two union-compatible relations.
+
+    Raises:
+        SchemaError: if the schemas differ.
+    """
+    _require_same_schema(left, right, "union")
+    return left.with_rows(left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Return the rows of ``left`` that are not in ``right``.
+
+    Raises:
+        SchemaError: if the schemas differ.
+    """
+    _require_same_schema(left, right, "difference")
+    return left.with_rows(left.rows - right.rows)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """Return the rows present in both relations.
+
+    Raises:
+        SchemaError: if the schemas differ.
+    """
+    _require_same_schema(left, right, "intersection")
+    return left.with_rows(left.rows & right.rows)
+
+
+def cartesian_product(left: Relation, right: Relation) -> Relation:
+    """Return the Cartesian product; attribute clashes are prefixed with the relation names."""
+    left_schema = list(left.schema)
+    right_schema = [
+        attribute if attribute not in left.schema else f"{right.name}.{attribute}"
+        for attribute in right.schema
+    ]
+    schema = left_schema + right_schema
+    rows = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+    return Relation(schema, rows, name=f"{left.name}x{right.name}")
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Return the natural join on all shared attribute names (hash join).
+
+    The result schema is the left schema followed by the right-only
+    attributes, matching the usual convention.
+    """
+    shared = [attribute for attribute in left.schema if attribute in right.schema]
+    if not shared:
+        return cartesian_product(left, right)
+    left_idx = [left.attribute_index(a) for a in shared]
+    right_idx = [right.attribute_index(a) for a in shared]
+    right_only = [a for a in right.schema if a not in shared]
+    right_only_idx = [right.attribute_index(a) for a in right_only]
+
+    buckets: Dict[Tuple[object, ...], List[Row]] = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in right_idx)
+        buckets.setdefault(key, []).append(row)
+
+    schema = list(left.schema) + right_only
+    rows: List[Row] = []
+    for lrow in left.rows:
+        key = tuple(lrow[i] for i in left_idx)
+        for rrow in buckets.get(key, ()):
+            rows.append(lrow + tuple(rrow[i] for i in right_only_idx))
+    return Relation(schema, rows, name=f"{left.name}*{right.name}")
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[Tuple[str, str]],
+    *,
+    suffix: str = "_r",
+) -> Relation:
+    """Return the equi-join of two relations on explicit attribute pairs.
+
+    Args:
+        left, right: the operands.
+        on: pairs ``(left_attribute, right_attribute)`` that must be equal.
+        suffix: appended to right attribute names that clash with left ones
+            in the result schema (join attributes from the right are dropped).
+
+    This is the join shape used in the assembly phase of the disconnection
+    set approach, where per-fragment path relations are chained on border
+    nodes: ``paths_i.exit = paths_{i+1}.entry``.
+    """
+    left_idx = [left.attribute_index(l) for l, _ in on]
+    right_idx = [right.attribute_index(r) for _, r in on]
+    dropped = {r for _, r in on}
+
+    right_kept = [a for a in right.schema if a not in dropped]
+    right_kept_idx = [right.attribute_index(a) for a in right_kept]
+    result_right_names = [a if a not in left.schema else f"{a}{suffix}" for a in right_kept]
+    schema = list(left.schema) + result_right_names
+
+    buckets: Dict[Tuple[object, ...], List[Row]] = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in right_idx)
+        buckets.setdefault(key, []).append(row)
+
+    rows: List[Row] = []
+    for lrow in left.rows:
+        key = tuple(lrow[i] for i in left_idx)
+        for rrow in buckets.get(key, ()):
+            rows.append(lrow + tuple(rrow[i] for i in right_kept_idx))
+    return Relation(schema, rows, name=f"{left.name}|x|{right.name}")
+
+
+def semijoin(left: Relation, right: Relation, on: Sequence[Tuple[str, str]]) -> Relation:
+    """Return the rows of ``left`` that join with at least one row of ``right``."""
+    left_idx = [left.attribute_index(l) for l, _ in on]
+    right_idx = [right.attribute_index(r) for _, r in on]
+    keys = {tuple(row[i] for i in right_idx) for row in right.rows}
+    return left.with_rows(row for row in left.rows if tuple(row[i] for i in left_idx) in keys)
+
+
+def compose(left: Relation, right: Relation) -> Relation:
+    """Return the relational composition of two binary path relations.
+
+    Both operands must have schema ``(source, target[, cost])``.  The result
+    contains ``(a, c)`` whenever ``(a, b)`` is in ``left`` and ``(b, c)`` is in
+    ``right``; when a ``cost`` attribute is present, costs are added.  This is
+    the single algebraic step of the transitive closure iteration.
+    """
+    has_cost = "cost" in left.schema and "cost" in right.schema
+    ls, lt = left.attribute_index("source"), left.attribute_index("target")
+    rs, rt = right.attribute_index("source"), right.attribute_index("target")
+    lc = left.attribute_index("cost") if has_cost else None
+    rc = right.attribute_index("cost") if has_cost else None
+
+    buckets: Dict[object, List[Row]] = {}
+    for row in right.rows:
+        buckets.setdefault(row[rs], []).append(row)
+
+    rows: List[Row] = []
+    for lrow in left.rows:
+        for rrow in buckets.get(lrow[lt], ()):
+            if has_cost:
+                rows.append((lrow[ls], rrow[rt], lrow[lc] + rrow[rc]))  # type: ignore[index]
+            else:
+                rows.append((lrow[ls], rrow[rt]))
+    schema = ("source", "target", "cost") if has_cost else ("source", "target")
+    return Relation(schema, rows, name=f"{left.name}o{right.name}")
+
+
+def aggregate_min(relation: Relation, group_by: Sequence[str], value_attribute: str) -> Relation:
+    """Group rows by ``group_by`` and keep the minimum of ``value_attribute``.
+
+    For shortest-path transitive closure this is the "cheapest path per
+    (source, target)" reduction applied after each composition step and in the
+    final assembly.
+    """
+    group_idx = [relation.attribute_index(a) for a in group_by]
+    value_idx = relation.attribute_index(value_attribute)
+    best: Dict[Tuple[object, ...], object] = {}
+    for row in relation.rows:
+        key = tuple(row[i] for i in group_idx)
+        value = row[value_idx]
+        if key not in best or value < best[key]:  # type: ignore[operator]
+            best[key] = value
+    schema = list(group_by) + [value_attribute]
+    rows = [key + (value,) for key, value in best.items()]
+    return Relation(schema, rows, name=relation.name)
+
+
+def _require_same_schema(left: Relation, right: Relation, operation: str) -> None:
+    if left.schema != right.schema:
+        raise SchemaError(
+            f"{operation} requires identical schemas, got {left.schema!r} and {right.schema!r}"
+        )

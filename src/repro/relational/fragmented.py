@@ -1,0 +1,202 @@
+"""Horizontally fragmented relations.
+
+At the database level the disconnection set approach is a *horizontal
+fragmentation* of the base relation ``R(source, target, cost)``: each site
+stores a selection of R's tuples, the union of the fragments reconstructs R,
+and the per-fragment transitive closure queries restrict themselves to their
+fragment plus the (small) disconnection-set selections.  This module provides
+that relational view, independent of graphs, so that the paper's algebraic
+framing — fragments are relations, reconstruction is a union, disconnection
+set filtering is a semijoin — is directly executable.
+
+It is also where classic distribution checks live: completeness (every tuple
+of R is in some fragment), disjointness (no tuple is stored twice) and
+reconstructability (the union equals R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import FragmentationError, SchemaError
+from .algebra import select, select_in, union
+from .relation import Relation, Row
+
+Predicate = Callable[[Dict[str, object]], bool]
+
+
+@dataclass
+class FragmentedRelation:
+    """A relation split into named horizontal fragments over a shared schema.
+
+    Attributes:
+        schema: the shared attribute names.
+        fragments: fragment name -> fragment relation.
+        name: the logical relation name.
+    """
+
+    schema: Tuple[str, ...]
+    fragments: Dict[str, Relation] = field(default_factory=dict)
+    name: str = "R"
+
+    # ------------------------------------------------------------ factories
+
+    @staticmethod
+    def from_predicates(
+        relation: Relation,
+        predicates: Mapping[str, Predicate],
+        *,
+        rest_fragment: Optional[str] = None,
+    ) -> "FragmentedRelation":
+        """Fragment ``relation`` by named selection predicates.
+
+        Tuples matching several predicates go to the first matching fragment
+        (mapping order); tuples matching none go to ``rest_fragment`` when
+        given, otherwise a :class:`FragmentationError` is raised (the
+        fragmentation would not be complete).
+        """
+        assigned: Dict[str, List[Row]] = {name: [] for name in predicates}
+        rest: List[Row] = []
+        for row in relation.rows:
+            as_dict = dict(zip(relation.schema, row))
+            for name, predicate in predicates.items():
+                if predicate(as_dict):
+                    assigned[name].append(row)
+                    break
+            else:
+                rest.append(row)
+        if rest and rest_fragment is None:
+            raise FragmentationError(
+                f"{len(rest)} tuple(s) match no fragmentation predicate and no rest fragment was given"
+            )
+        fragments = {
+            name: Relation(relation.schema, rows, name=f"{relation.name}_{name}")
+            for name, rows in assigned.items()
+        }
+        if rest_fragment is not None:
+            fragments[rest_fragment] = Relation(
+                relation.schema, rest, name=f"{relation.name}_{rest_fragment}"
+            )
+        return FragmentedRelation(schema=relation.schema, fragments=fragments, name=relation.name)
+
+    @staticmethod
+    def from_attribute_values(
+        relation: Relation,
+        attribute: str,
+        groups: Mapping[str, Iterable[object]],
+        *,
+        rest_fragment: Optional[str] = "rest",
+    ) -> "FragmentedRelation":
+        """Fragment by the value of one attribute (e.g. the country of a city)."""
+        predicates: Dict[str, Predicate] = {}
+        for name, values in groups.items():
+            value_set = set(values)
+            predicates[name] = (lambda row, vs=value_set: row[attribute] in vs)
+        return FragmentedRelation.from_predicates(relation, predicates, rest_fragment=rest_fragment)
+
+    @staticmethod
+    def from_graph_fragmentation(fragmentation, *, name: str = "R") -> "FragmentedRelation":
+        """Build the relational view of a graph :class:`~repro.fragmentation.base.Fragmentation`."""
+        schema = ("source", "target", "cost")
+        fragments: Dict[str, Relation] = {}
+        graph = fragmentation.graph
+        for fragment in fragmentation.fragments:
+            rows = [
+                (source, target, graph.edge_weight(source, target))
+                for source, target in fragment.edges
+            ]
+            fragments[f"fragment_{fragment.fragment_id}"] = Relation(
+                schema, rows, name=f"{name}_{fragment.fragment_id}"
+            )
+        return FragmentedRelation(schema=schema, fragments=fragments, name=name)
+
+    # ------------------------------------------------------------ accessors
+
+    def fragment(self, name: str) -> Relation:
+        """Return one fragment by name.
+
+        Raises:
+            KeyError: if the fragment does not exist.
+        """
+        return self.fragments[name]
+
+    def fragment_names(self) -> List[str]:
+        """Return the fragment names in insertion order."""
+        return list(self.fragments)
+
+    def cardinality(self) -> int:
+        """Return the total number of stored tuples (duplicates across fragments count once)."""
+        return len(self._all_rows())
+
+    def fragment_cardinalities(self) -> Dict[str, int]:
+        """Return per-fragment tuple counts (the relational view of the paper's F)."""
+        return {name: fragment.cardinality() for name, fragment in self.fragments.items()}
+
+    def _all_rows(self) -> frozenset:
+        rows: set = set()
+        for fragment in self.fragments.values():
+            rows |= fragment.rows
+        return frozenset(rows)
+
+    # ------------------------------------------------------------ operations
+
+    def reconstruct(self) -> Relation:
+        """Return the union of all fragments (the reconstructed base relation)."""
+        if not self.fragments:
+            return Relation.empty(self.schema, name=self.name)
+        result: Optional[Relation] = None
+        for fragment in self.fragments.values():
+            result = fragment if result is None else union(result, fragment)
+        assert result is not None
+        return result.with_name(self.name)
+
+    def select_fragmentwise(self, predicate: Predicate) -> Dict[str, Relation]:
+        """Push a selection into every fragment (the distributed query pattern)."""
+        return {name: select(fragment, predicate) for name, fragment in self.fragments.items()}
+
+    def semijoin_reduce(self, attribute: str, values: Iterable[object]) -> Dict[str, Relation]:
+        """Restrict every fragment to tuples whose ``attribute`` is in ``values``.
+
+        This is the disconnection-set selection expressed relationally: the
+        values are the border nodes, and each site filters its fragment
+        locally before any data is shipped.
+        """
+        value_list = list(values)
+        return {
+            name: select_in(fragment, attribute, value_list)
+            for name, fragment in self.fragments.items()
+        }
+
+    def locate(self, row: Sequence[object]) -> List[str]:
+        """Return the names of the fragments storing ``row``."""
+        key = tuple(row)
+        return [name for name, fragment in self.fragments.items() if key in fragment]
+
+    # ------------------------------------------------------------ validation
+
+    def is_complete(self, base: Relation) -> bool:
+        """Return ``True`` if every tuple of ``base`` is stored in some fragment."""
+        self._require_same_schema(base)
+        return base.rows <= self._all_rows()
+
+    def is_disjoint(self) -> bool:
+        """Return ``True`` if no tuple is stored in more than one fragment."""
+        seen: set = set()
+        for fragment in self.fragments.values():
+            overlap = seen & fragment.rows
+            if overlap:
+                return False
+            seen |= fragment.rows
+        return True
+
+    def reconstructs(self, base: Relation) -> bool:
+        """Return ``True`` if the union of the fragments equals ``base`` exactly."""
+        self._require_same_schema(base)
+        return self._all_rows() == base.rows
+
+    def _require_same_schema(self, base: Relation) -> None:
+        if base.schema != self.schema:
+            raise SchemaError(
+                f"fragmented relation has schema {self.schema!r} but the base relation has {base.schema!r}"
+            )

@@ -1,0 +1,169 @@
+"""Relations: schema-carrying sets of tuples.
+
+The disconnection set approach is formulated over a relational database: the
+base relation ``R(source, target, cost)`` stores the graph, fragments are
+horizontal fragments of ``R``, and the transitive closure is evaluated with
+relational algebra plus a fixpoint.  This module provides the ``Relation``
+value type that the algebra in :mod:`repro.relational.algebra` operates on.
+
+A relation is an *immutable* set of equal-length tuples together with a
+schema (a tuple of attribute names).  Duplicate tuples are eliminated, as in
+the standard set semantics of the relational model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import SchemaError
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """An immutable relation: a named schema plus a set of rows."""
+
+    __slots__ = ("_schema", "_rows", "_name")
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        rows: Optional[Iterable[Sequence[object]]] = None,
+        *,
+        name: str = "R",
+    ) -> None:
+        schema_tuple = tuple(schema)
+        if len(set(schema_tuple)) != len(schema_tuple):
+            raise SchemaError(f"duplicate attribute names in schema {schema_tuple!r}")
+        if not schema_tuple:
+            raise SchemaError("a relation needs at least one attribute")
+        normalized: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                row_tuple = tuple(row)
+                if len(row_tuple) != len(schema_tuple):
+                    raise SchemaError(
+                        f"row {row_tuple!r} has {len(row_tuple)} values but the schema "
+                        f"{schema_tuple!r} has {len(schema_tuple)} attributes"
+                    )
+                normalized.append(row_tuple)
+        self._schema: Tuple[str, ...] = schema_tuple
+        self._rows: FrozenSet[Row] = frozenset(normalized)
+        self._name = name
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """The (informational) name of the relation."""
+        return self._name
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The rows as a frozen set of tuples."""
+        return self._rows
+
+    def arity(self) -> int:
+        """Return the number of attributes."""
+        return len(self._schema)
+
+    def cardinality(self) -> int:
+        """Return the number of rows."""
+        return len(self._rows)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` if the relation has no rows."""
+        return not self._rows
+
+    def attribute_index(self, attribute: str) -> int:
+        """Return the position of ``attribute`` in the schema.
+
+        Raises:
+            SchemaError: if the attribute is not part of the schema.
+        """
+        try:
+            return self._schema.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {attribute!r} is not in schema {self._schema!r}"
+            ) from None
+
+    # -------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(name={self._name!r}, schema={self._schema!r}, rows={len(self._rows)})"
+
+    # --------------------------------------------------------------- helpers
+
+    def with_name(self, name: str) -> "Relation":
+        """Return the same relation under a different name."""
+        return Relation(self._schema, self._rows, name=name)
+
+    def with_rows(self, rows: Iterable[Sequence[object]]) -> "Relation":
+        """Return a relation with the same schema and name but new rows."""
+        return Relation(self._schema, rows, name=self._name)
+
+    def sorted_rows(self) -> List[Row]:
+        """Return the rows sorted by their ``repr`` (stable for reporting)."""
+        return sorted(self._rows, key=repr)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Return the rows as attribute-name dictionaries, sorted for stability."""
+        return [dict(zip(self._schema, row)) for row in self.sorted_rows()]
+
+    def column(self, attribute: str) -> List[object]:
+        """Return the values in ``attribute`` (with duplicates, sorted by repr)."""
+        index = self.attribute_index(attribute)
+        return [row[index] for row in self.sorted_rows()]
+
+    def distinct_values(self, attribute: str) -> FrozenSet[object]:
+        """Return the distinct values appearing in ``attribute``."""
+        index = self.attribute_index(attribute)
+        return frozenset(row[index] for row in self._rows)
+
+    @staticmethod
+    def empty(schema: Sequence[str], *, name: str = "R") -> "Relation":
+        """Return an empty relation over ``schema``."""
+        return Relation(schema, [], name=name)
+
+
+def edge_relation(
+    edges: Iterable[Tuple[object, object, float]],
+    *,
+    schema: Sequence[str] = ("source", "target", "cost"),
+    name: str = "R",
+) -> Relation:
+    """Build the base relation R(source, target, cost) from weighted edges."""
+    return Relation(schema, [tuple(edge) for edge in edges], name=name)
+
+
+def pair_relation(
+    pairs: Iterable[Tuple[object, object]],
+    *,
+    schema: Sequence[str] = ("source", "target"),
+    name: str = "R",
+) -> Relation:
+    """Build a binary relation from (source, target) pairs."""
+    return Relation(schema, [tuple(pair) for pair in pairs], name=name)

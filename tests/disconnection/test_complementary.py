@@ -1,0 +1,77 @@
+"""Unit tests for complementary-information precomputation."""
+
+import pytest
+
+from repro.closure import reachability_semiring, shortest_path_semiring, widest_path_semiring
+from repro.disconnection import precompute_complementary_information
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+from repro.graph import shortest_path_length
+
+
+@pytest.fixture
+def two_bridge_fragmentation():
+    graph = two_cluster_dumbbell(4, bridge_nodes=2)
+    clusters = [set(range(4)), set(range(4, 8))]
+    return graph, GroundTruthFragmenter(clusters).fragment(graph)
+
+
+class TestShortestPathInformation:
+    def test_values_match_global_shortest_paths(self, two_bridge_fragmentation):
+        graph, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        for (i, j), pairs in info.values.items():
+            for (a, b), value in pairs.items():
+                assert value == pytest.approx(shortest_path_length(graph, a, b))
+
+    def test_every_border_pair_is_covered(self, two_bridge_fragmentation):
+        graph, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        for (i, j), border in fragmentation.disconnection_sets().items():
+            pairs = info.for_pair(i, j)
+            for a in border:
+                for b in border:
+                    if a != b:
+                        assert (a, b) in pairs
+
+    def test_for_pair_is_order_insensitive(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        assert info.for_pair(0, 1) == info.for_pair(1, 0)
+
+    def test_missing_pair_returns_empty(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        assert info.for_pair(5, 9) == {}
+
+    def test_size_and_work_counters(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        assert info.size_in_facts() == sum(len(v) for v in info.values.values())
+        assert info.precompute_work > 0
+
+    def test_shortcut_edges_cover_fragment_borders(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(fragmentation)
+        shortcuts = info.shortcut_edges(0, fragmentation)
+        border = fragmentation.border_nodes(0)
+        assert all(source in border and target in border for source, target, _ in shortcuts)
+
+
+class TestOtherSemirings:
+    def test_reachability_information(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(
+            fragmentation, semiring=reachability_semiring()
+        )
+        assert info.semiring_name == "reachability"
+        for pairs in info.values.values():
+            assert all(value is True for value in pairs.values())
+
+    def test_generic_semiring_falls_back_to_fixpoint(self, two_bridge_fragmentation):
+        _, fragmentation = two_bridge_fragmentation
+        info = precompute_complementary_information(
+            fragmentation, semiring=widest_path_semiring()
+        )
+        assert info.semiring_name == "widest_path"
+        assert info.size_in_facts() > 0

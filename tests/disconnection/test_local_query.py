@@ -1,0 +1,81 @@
+"""Unit tests for per-fragment local query evaluation."""
+
+import pytest
+
+from repro.closure import reachability_semiring, widest_path_semiring
+from repro.disconnection import DistributedCatalog, LocalQueryEvaluator
+from repro.disconnection.planner import LocalQuerySpec
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+
+
+@pytest.fixture
+def catalog():
+    graph = two_cluster_dumbbell(4, bridge_nodes=2)
+    fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+    return DistributedCatalog(fragmentation)
+
+
+class TestShortestPathEvaluation:
+    def test_entry_to_exit_values(self, catalog):
+        site = catalog.site(0)
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([2]), exit_nodes=frozenset([0, 1]))
+        result = LocalQueryEvaluator().evaluate(site, spec)
+        assert result.values[(2, 0)] == 1.0
+        assert result.values[(2, 1)] == 1.0
+
+    def test_entry_equals_exit_gives_zero(self, catalog):
+        site = catalog.site(0)
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([1]), exit_nodes=frozenset([1]))
+        result = LocalQueryEvaluator().evaluate(site, spec)
+        assert result.values[(1, 1)] == 0.0
+
+    def test_missing_entry_node_yields_empty_result(self, catalog):
+        site = catalog.site(1)
+        spec = LocalQuerySpec(fragment_id=1, entry_nodes=frozenset(["ghost"]), exit_nodes=frozenset([7]))
+        result = LocalQueryEvaluator().evaluate(site, spec)
+        assert result.is_empty()
+
+    def test_statistics_and_iterations_populated(self, catalog):
+        site = catalog.site(0)
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([0]), exit_nodes=frozenset([3]))
+        result = LocalQueryEvaluator().evaluate(site, spec)
+        assert result.estimated_iterations >= 1
+        assert result.statistics.tuples_produced >= 1
+
+    def test_exit_values_best_per_exit(self, catalog):
+        site = catalog.site(0)
+        spec = LocalQuerySpec(
+            fragment_id=0, entry_nodes=frozenset([0, 1]), exit_nodes=frozenset([2, 3])
+        )
+        result = LocalQueryEvaluator().evaluate(site, spec)
+        best = result.exit_values()
+        assert set(best) <= {2, 3}
+        assert all(value <= 2.0 for value in best.values())
+
+    def test_shortcuts_can_be_disabled(self, catalog):
+        site = catalog.site(0)
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([0]), exit_nodes=frozenset([1]))
+        with_shortcuts = LocalQueryEvaluator(use_shortcuts=True).evaluate(site, spec)
+        without_shortcuts = LocalQueryEvaluator(use_shortcuts=False).evaluate(site, spec)
+        assert with_shortcuts.values[(0, 1)] <= without_shortcuts.values[(0, 1)]
+
+
+class TestOtherSemirings:
+    def test_reachability_evaluation(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        fragmentation = GroundTruthFragmenter([set(range(3)), set(range(3, 6))]).fragment(graph)
+        catalog = DistributedCatalog(fragmentation, semiring=reachability_semiring())
+        evaluator = LocalQueryEvaluator(semiring=reachability_semiring())
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([0]), exit_nodes=frozenset([2]))
+        result = evaluator.evaluate(catalog.site(0), spec)
+        assert result.values[(0, 2)] is True
+
+    def test_generic_semiring_evaluation(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        fragmentation = GroundTruthFragmenter([set(range(3)), set(range(3, 6))]).fragment(graph)
+        catalog = DistributedCatalog(fragmentation, semiring=widest_path_semiring())
+        evaluator = LocalQueryEvaluator(semiring=widest_path_semiring(), use_shortcuts=False)
+        spec = LocalQuerySpec(fragment_id=0, entry_nodes=frozenset([0]), exit_nodes=frozenset([2]))
+        result = evaluator.evaluate(catalog.site(0), spec)
+        assert result.values[(0, 2)] == 1.0

@@ -1,0 +1,110 @@
+"""Tests for distributed route reconstruction."""
+
+import pytest
+
+from repro.closure import shortest_path_cost
+from repro.disconnection import RouteReconstructingEngine, precompute_complementary_information
+from repro.exceptions import DisconnectedError, NoChainError
+from repro.fragmentation import GroundTruthFragmenter, LinearFragmenter
+from repro.generators import cross_cluster_queries, european_railway_example, two_cluster_dumbbell
+from repro.graph import shortest_path
+
+
+def _route_cost(graph, route):
+    return sum(graph.edge_weight(a, b) for a, b in zip(route, route[1:]))
+
+
+class TestDumbbellRoutes:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        return graph, RouteReconstructingEngine(fragmentation)
+
+    def test_route_matches_centralized_cost(self, setup):
+        graph, engine = setup
+        answer = engine.shortest_path(2, 7)
+        expected_cost, _ = shortest_path(graph, 2, 7)
+        assert answer.cost == pytest.approx(expected_cost)
+
+    def test_route_is_a_valid_walk_with_the_reported_cost(self, setup):
+        graph, engine = setup
+        answer = engine.shortest_path(3, 6)
+        assert answer.route[0] == 3 and answer.route[-1] == 6
+        for a, b in zip(answer.route, answer.route[1:]):
+            assert graph.has_edge(a, b)
+        assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)
+
+    def test_route_to_self(self, setup):
+        _, engine = setup
+        answer = engine.shortest_path(5, 5)
+        assert answer.cost == 0.0
+        assert answer.route == [5]
+        assert answer.hops() == 0
+
+    def test_unknown_node_raises(self, setup):
+        _, engine = setup
+        with pytest.raises(NoChainError):
+            engine.shortest_path("ghost", 3)
+
+    def test_unreachable_raises(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        from repro.graph import DiGraph
+        directed = DiGraph([("a", "b", 1.0), ("c", "b", 1.0)])
+        from repro.fragmentation import Fragmentation
+
+        fragmentation = Fragmentation(directed, [[("a", "b")], [("c", "b")]])
+        engine = RouteReconstructingEngine(fragmentation)
+        with pytest.raises(DisconnectedError):
+            engine.shortest_path("a", "c")
+
+
+class TestRailwayRoutes:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph, countries = european_railway_example()
+        clusters = [set(v) for v in countries.values()]
+        fragmentation = GroundTruthFragmenter(clusters).fragment(graph)
+        return graph, RouteReconstructingEngine(fragmentation)
+
+    def test_amsterdam_milan_route(self, setup):
+        graph, engine = setup
+        answer = engine.shortest_path("amsterdam", "milan")
+        expected_cost, expected_route = shortest_path(graph, "amsterdam", "milan")
+        assert answer.cost == pytest.approx(expected_cost)
+        assert answer.route[0] == "amsterdam" and answer.route[-1] == "milan"
+        assert _route_cost(graph, answer.route) == pytest.approx(expected_cost)
+
+    def test_domestic_route_with_detour_over_the_border(self, setup):
+        graph, engine = setup
+        # The best Arnhem -> Enschede route stays domestic, but the engine must
+        # still return a valid walk whose cost equals the optimum.
+        answer = engine.shortest_path("arnhem", "enschede")
+        expected_cost, _ = shortest_path(graph, "arnhem", "enschede")
+        assert answer.cost == pytest.approx(expected_cost)
+        assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)
+
+    def test_reuses_precomputed_information_with_paths(self, setup):
+        graph, _ = setup
+        _, countries = european_railway_example()
+        clusters = [set(v) for v in countries.values()]
+        fragmentation = GroundTruthFragmenter(clusters).fragment(graph)
+        info = precompute_complementary_information(fragmentation, store_paths=True)
+        engine = RouteReconstructingEngine(fragmentation, complementary=info)
+        answer = engine.shortest_path("utrecht", "verona")
+        assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)
+
+
+class TestGeneratedNetworkRoutes:
+    def test_routes_on_linear_fragmentation(self, small_transportation_network):
+        network = small_transportation_network
+        graph = network.graph
+        fragmentation = LinearFragmenter(4).fragment(graph)
+        engine = RouteReconstructingEngine(fragmentation)
+        queries = cross_cluster_queries(network.clusters, 5, seed=8)
+        for query in queries:
+            answer = engine.shortest_path(query.source, query.target)
+            assert answer.cost == pytest.approx(shortest_path_cost(graph, query.source, query.target))
+            assert answer.route[0] == query.source
+            assert answer.route[-1] == query.target
+            assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)

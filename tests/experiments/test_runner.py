@@ -1,0 +1,39 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import render_result, run_experiment
+from repro.experiments.runner import main
+
+
+class TestRunExperiment:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+    def test_table1_runs_with_reduced_trials(self):
+        result = run_experiment("table1", trials=1, seed=3)
+        assert result.name == "table1"
+        assert len(result.rows) == 3
+
+    def test_render_text_and_csv(self):
+        result = run_experiment("table1", trials=1, seed=3)
+        text = render_result(result)
+        assert "algorithm" in text and "bond-energy" in text
+        csv_text = render_result(result, as_csv=True)
+        assert csv_text.startswith("algorithm,")
+
+
+class TestMain:
+    def test_main_prints_table(self, capsys):
+        exit_code = main(["table1", "--trials", "1", "--seed", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "bond-energy" in captured.out
+
+    def test_main_csv_flag(self, capsys):
+        exit_code = main(["table1", "--trials", "1", "--csv"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.startswith("algorithm,")

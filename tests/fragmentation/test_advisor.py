@@ -1,0 +1,74 @@
+"""Tests for the fragmentation advisor."""
+
+import pytest
+
+from repro.fragmentation import (
+    AdvisorConstraints,
+    BondEnergyFragmenter,
+    LinearFragmenter,
+    recommend,
+)
+from repro.generators import grid_graph, two_cluster_dumbbell
+from repro.graph import DiGraph
+
+
+class TestRecommendations:
+    def test_recommendation_is_usable(self, small_transportation_network):
+        graph = small_transportation_network.graph
+        recommendation = recommend(graph, AdvisorConstraints(processor_count=4))
+        fragmentation = recommendation.fragment(graph)
+        fragmentation.validate()
+        assert recommendation.fragment_count == 4
+        assert recommendation.rationale
+
+    def test_acyclicity_requirement_picks_linear(self, small_transportation_network):
+        graph = small_transportation_network.graph
+        recommendation = recommend(
+            graph, AdvisorConstraints(processor_count=4, require_acyclic=True)
+        )
+        assert isinstance(recommendation.fragmenter, LinearFragmenter)
+
+    def test_trial_runs_record_characteristics(self, small_transportation_network):
+        graph = small_transportation_network.graph
+        recommendation = recommend(graph, AdvisorConstraints(processor_count=3, allow_trial_runs=True))
+        assert recommendation.trial_characteristics
+        for characteristics in recommendation.trial_characteristics.values():
+            assert characteristics.fragment_count >= 1
+
+    def test_structural_heuristics_without_trials(self):
+        graph = two_cluster_dumbbell(5, bridge_nodes=1)
+        recommendation = recommend(
+            graph, AdvisorConstraints(processor_count=2, allow_trial_runs=False)
+        )
+        # The single bridge creates articulation points -> bond-energy is advised.
+        assert isinstance(recommendation.fragmenter, BondEnergyFragmenter)
+
+    def test_elongated_graph_without_trials_prefers_linear(self):
+        graph = grid_graph(2, 30)
+        recommendation = recommend(
+            graph, AdvisorConstraints(processor_count=3, allow_trial_runs=False)
+        )
+        assert isinstance(recommendation.fragmenter, LinearFragmenter)
+
+    def test_graph_without_coordinates_still_gets_a_recommendation(self):
+        graph = DiGraph()
+        for a, b in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("b", "d")]:
+            graph.add_symmetric_edge(a, b)
+        recommendation = recommend(graph, AdvisorConstraints(processor_count=2))
+        fragmentation = recommendation.fragment(graph)
+        fragmentation.validate()
+
+    def test_processor_count_is_clamped_for_tiny_graphs(self):
+        graph = DiGraph()
+        graph.add_symmetric_edge("a", "b")
+        graph.add_symmetric_edge("b", "c")
+        recommendation = recommend(graph, AdvisorConstraints(processor_count=16))
+        assert recommendation.fragment_count <= 2
+
+    def test_priority_balance_changes_scoring(self, small_transportation_network):
+        graph = small_transportation_network.graph
+        ds_first = recommend(graph, AdvisorConstraints(processor_count=4, prioritize="disconnection_sets"))
+        balance_first = recommend(graph, AdvisorConstraints(processor_count=4, prioritize="balance"))
+        # Both recommendations must be valid; they may or may not coincide.
+        ds_first.fragment(graph).validate()
+        balance_first.fragment(graph).validate()

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the fragmentation algorithms.
+
+The invariants checked here hold for *every* graph and every fragmenter:
+
+* the produced fragmentation is a valid edge partition (validate passes),
+* every disconnection set is the node intersection of its two fragments,
+* the linear fragmenter always yields an acyclic fragmentation graph,
+* the characteristics are internally consistent (averages vs. sizes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fragmentation import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    FragmentationGraph,
+    HashFragmenter,
+    LinearFragmenter,
+    characterize,
+)
+from repro.graph import DiGraph, Point, mean
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_coordinate_graphs(draw) -> DiGraph:
+    """Generate a small connected symmetric graph with coordinates."""
+    node_count = draw(st.integers(min_value=4, max_value=18))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    extra_edges = draw(st.integers(min_value=0, max_value=2 * node_count))
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for node in range(node_count):
+        graph.set_coordinate(node, Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+    # Spanning tree first (guarantees connectivity), then extra random edges.
+    for node in range(1, node_count):
+        graph.add_symmetric_edge(node, rng.randrange(node), rng.uniform(1, 10))
+    for _ in range(extra_edges):
+        a, b = rng.randrange(node_count), rng.randrange(node_count)
+        if a != b:
+            graph.add_symmetric_edge(a, b, rng.uniform(1, 10))
+    return graph
+
+
+@st.composite
+def fragmenters(draw, fragment_count: int):
+    """Pick one of the fragmentation algorithms, configured for ``fragment_count``."""
+    choice = draw(st.sampled_from(["center", "center-distributed", "bond", "linear", "hash"]))
+    if choice == "center":
+        return CenterBasedFragmenter(fragment_count, center_selection="random", seed=draw(st.integers(0, 99)))
+    if choice == "center-distributed":
+        return CenterBasedFragmenter(fragment_count, center_selection="distributed")
+    if choice == "bond":
+        return BondEnergyFragmenter(fragment_count, restarts=2)
+    if choice == "linear":
+        return LinearFragmenter(fragment_count)
+    return HashFragmenter(fragment_count)
+
+
+class TestFragmentationInvariants:
+    @SETTINGS
+    @given(graph=connected_coordinate_graphs(), data=st.data())
+    def test_every_fragmenter_produces_a_valid_edge_partition(self, graph, data):
+        fragment_count = data.draw(st.integers(min_value=1, max_value=4))
+        fragmenter = data.draw(fragmenters(fragment_count))
+        fragmentation = fragmenter.fragment(graph)
+        fragmentation.validate()
+        total_edges = sum(fragment.edge_count() for fragment in fragmentation.fragments)
+        assert total_edges == graph.edge_count()
+
+    @SETTINGS
+    @given(graph=connected_coordinate_graphs(), data=st.data())
+    def test_disconnection_sets_are_node_intersections(self, graph, data):
+        fragment_count = data.draw(st.integers(min_value=2, max_value=4))
+        fragmenter = data.draw(fragmenters(fragment_count))
+        fragmentation = fragmenter.fragment(graph)
+        for (i, j), border in fragmentation.disconnection_sets().items():
+            expected = fragmentation.fragment(i).nodes & fragmentation.fragment(j).nodes
+            assert border == expected
+            assert border  # stored disconnection sets are nonempty by construction
+
+    @SETTINGS
+    @given(graph=connected_coordinate_graphs(), count=st.integers(min_value=1, max_value=5))
+    def test_linear_fragmentation_graph_is_always_acyclic(self, graph, count):
+        fragmentation = LinearFragmenter(count).fragment(graph)
+        fragmentation.validate()
+        assert FragmentationGraph(fragmentation).is_loosely_connected()
+
+    @SETTINGS
+    @given(graph=connected_coordinate_graphs(), data=st.data())
+    def test_characteristics_are_consistent_with_raw_sizes(self, graph, data):
+        fragment_count = data.draw(st.integers(min_value=1, max_value=4))
+        fragmenter = data.draw(fragmenters(fragment_count))
+        fragmentation = fragmenter.fragment(graph)
+        characteristics = characterize(fragmentation, include_diameter=False)
+        sizes = [float(size) for size in fragmentation.fragment_sizes()]
+        ds_sizes = [float(size) for size in fragmentation.disconnection_set_sizes()]
+        assert characteristics.average_fragment_size == mean(sizes)
+        assert characteristics.average_disconnection_set_size == mean(ds_sizes)
+        assert characteristics.fragment_count == fragmentation.fragment_count()
+        assert characteristics.fragment_count <= fragment_count or fragment_count == 1
+
+    @SETTINGS
+    @given(graph=connected_coordinate_graphs(), count=st.integers(min_value=2, max_value=4))
+    def test_border_nodes_belong_to_multiple_fragments(self, graph, count):
+        fragmentation = CenterBasedFragmenter(count, center_selection="distributed").fragment(graph)
+        for fragment in fragmentation.fragments:
+            for node in fragmentation.border_nodes(fragment.fragment_id):
+                assert len(fragmentation.fragments_of_node(node)) >= 2

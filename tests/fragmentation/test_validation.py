@@ -1,0 +1,74 @@
+"""Unit tests for fragmentation validation and quality measures."""
+
+import pytest
+
+from repro.fragmentation import (
+    Fragmentation,
+    GroundTruthFragmenter,
+    HashFragmenter,
+    cluster_agreement,
+    covers_all_nodes,
+    disconnection_set_correctness,
+    edge_preservation,
+    is_valid,
+)
+from repro.generators import two_cluster_dumbbell
+from repro.graph import DiGraph
+
+
+@pytest.fixture
+def dumbbell():
+    graph = two_cluster_dumbbell(4, bridge_nodes=1)
+    clusters = [set(range(4)), set(range(4, 8))]
+    return graph, clusters, GroundTruthFragmenter(clusters).fragment(graph)
+
+
+class TestStructuralValidation:
+    def test_valid_fragmentation(self, dumbbell):
+        _, _, fragmentation = dumbbell
+        assert is_valid(fragmentation)
+        assert covers_all_nodes(fragmentation)
+        assert edge_preservation(fragmentation) == 1.0
+
+    def test_partial_fragmentation_detected(self):
+        graph = DiGraph()
+        graph.add_symmetric_edge("a", "b")
+        graph.add_symmetric_edge("b", "c")
+        partial = Fragmentation(graph, [[("a", "b"), ("b", "a")]])
+        assert not is_valid(partial)
+        assert edge_preservation(partial) == 0.5
+
+    def test_covers_all_nodes_ignores_isolated(self):
+        graph = DiGraph()
+        graph.add_symmetric_edge("a", "b")
+        graph.add_node("isolated")
+        fragmentation = Fragmentation(graph, [[("a", "b"), ("b", "a")]])
+        assert covers_all_nodes(fragmentation)
+
+
+class TestClusterAgreement:
+    def test_perfect_agreement(self, dumbbell):
+        _, clusters, fragmentation = dumbbell
+        assert cluster_agreement(fragmentation, clusters) == 1.0
+
+    def test_hash_fragmentation_agrees_less(self, dumbbell):
+        graph, clusters, truth = dumbbell
+        hashed = HashFragmenter(2).fragment(graph)
+        assert cluster_agreement(hashed, clusters) <= cluster_agreement(truth, clusters)
+
+    def test_agreement_with_few_nodes_defaults_to_one(self):
+        graph = DiGraph()
+        graph.add_symmetric_edge("a", "b")
+        fragmentation = Fragmentation(graph, [[("a", "b"), ("b", "a")]])
+        assert cluster_agreement(fragmentation, [{"a", "b"}]) == 1.0
+
+
+class TestDisconnectionSetCorrectness:
+    def test_ground_truth_is_correct(self, dumbbell):
+        _, _, fragmentation = dumbbell
+        assert disconnection_set_correctness(fragmentation)
+
+    def test_two_bridge_dumbbell_is_correct(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        assert disconnection_set_correctness(fragmentation)

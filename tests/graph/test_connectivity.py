@@ -1,0 +1,82 @@
+"""Unit tests for k-connectivity and relevant-node analysis."""
+
+import pytest
+
+from repro.generators import chain_graph, complete_graph, cycle_graph, two_cluster_dumbbell
+from repro.graph import (
+    DiGraph,
+    articulation_points,
+    k_connectivity,
+    relevant_nodes,
+    vertex_disjoint_path_count,
+)
+
+
+class TestArticulationPoints:
+    def test_chain_interior_nodes_are_articulation_points(self):
+        graph = chain_graph(5)
+        assert articulation_points(graph) == {1, 2, 3}
+
+    def test_cycle_has_no_articulation_points(self):
+        assert articulation_points(cycle_graph(5)) == set()
+
+    def test_dumbbell_bridge_endpoints(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=1)
+        points = articulation_points(graph)
+        # The two endpoints of the single bridge are the cut nodes.
+        assert points == {0, 4}
+
+    def test_complete_graph_has_none(self):
+        assert articulation_points(complete_graph(5)) == set()
+
+
+class TestDisjointPaths:
+    def test_adjacent_nodes_are_uncuttable(self):
+        graph = complete_graph(4)
+        assert vertex_disjoint_path_count(graph, 0, 1) >= 3
+
+    def test_chain_has_single_path(self):
+        graph = chain_graph(4)
+        assert vertex_disjoint_path_count(graph, 0, 3) == 1
+
+    def test_cycle_has_two_paths(self):
+        graph = cycle_graph(6)
+        assert vertex_disjoint_path_count(graph, 0, 3) == 2
+
+    def test_same_node_raises(self):
+        with pytest.raises(ValueError):
+            vertex_disjoint_path_count(chain_graph(3), 1, 1)
+
+    def test_disconnected_pair_has_zero(self):
+        graph = DiGraph(nodes=["a", "b"])
+        graph.add_symmetric_edge("a", "c")
+        assert vertex_disjoint_path_count(graph, "a", "b") == 0
+
+
+class TestKConnectivity:
+    def test_chain_is_1_connected(self):
+        assert k_connectivity(chain_graph(5)) == 1
+
+    def test_cycle_is_2_connected(self):
+        assert k_connectivity(cycle_graph(6)) == 2
+
+    def test_disconnected_graph_is_0_connected(self):
+        graph = DiGraph()
+        graph.add_symmetric_edge("a", "b")
+        graph.add_symmetric_edge("c", "d")
+        assert k_connectivity(graph) == 0
+
+    def test_single_node(self):
+        assert k_connectivity(DiGraph(nodes=["x"])) == 0
+
+
+class TestRelevantNodes:
+    def test_dumbbell_relevant_nodes_include_bridge_endpoints(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        relevant = relevant_nodes(graph)
+        assert {0, 3} <= relevant
+
+    def test_cycle_every_node_relevant(self):
+        # Removing any node of a cycle drops connectivity from 2 to 1.
+        relevant = relevant_nodes(cycle_graph(5))
+        assert relevant == set(range(5))

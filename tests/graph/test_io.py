@@ -1,0 +1,68 @@
+"""Unit tests for graph serialisation."""
+
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    Point,
+    from_dict,
+    from_edge_list,
+    load_json,
+    save_json,
+    to_dict,
+    to_edge_list,
+    to_relation_rows,
+)
+
+
+class TestEdgeLists:
+    def test_roundtrip(self):
+        graph = DiGraph([("a", "b", 1.0), ("b", "c", 2.5)])
+        rebuilt = from_edge_list(to_edge_list(graph))
+        assert rebuilt == graph
+
+    def test_edge_list_is_sorted(self):
+        graph = DiGraph([("z", "a", 1.0), ("a", "b", 1.0)])
+        listed = to_edge_list(graph)
+        assert listed[0][0] == "a"
+
+    def test_symmetric_construction(self):
+        graph = from_edge_list([("a", "b")], symmetric=True)
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "a")
+
+    def test_default_weight(self):
+        graph = from_edge_list([("a", "b")])
+        assert graph.edge_weight("a", "b") == 1.0
+
+    def test_to_relation_rows_matches_edge_list(self):
+        graph = DiGraph([("a", "b", 2.0)])
+        assert to_relation_rows(graph) == to_edge_list(graph)
+
+
+class TestDictAndJson:
+    def test_dict_roundtrip_with_coordinates(self):
+        graph = DiGraph([(1, 2, 3.0)])
+        graph.set_coordinate(1, Point(0.5, 1.5))
+        graph.set_coordinate(2, Point(2.0, 0.0))
+        rebuilt = from_dict(to_dict(graph))
+        assert rebuilt == graph
+        assert rebuilt.coordinate(1) == Point(0.5, 1.5)
+
+    def test_integer_nodes_survive_roundtrip(self):
+        graph = DiGraph([(10, 20, 1.0)])
+        rebuilt = from_dict(to_dict(graph))
+        assert rebuilt.has_edge(10, 20)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        graph = DiGraph([("amsterdam", "utrecht", 4.0)])
+        graph.set_coordinate("amsterdam", Point(4.9, 52.4))
+        graph.set_coordinate("utrecht", Point(5.1, 52.1))
+        path = tmp_path / "graph.json"
+        save_json(graph, path)
+        assert load_json(path) == graph
+
+    def test_isolated_nodes_survive(self):
+        graph = DiGraph(nodes=["only"])
+        rebuilt = from_dict(to_dict(graph))
+        assert rebuilt.has_node("only")
+        assert rebuilt.edge_count() == 0

@@ -1,0 +1,125 @@
+"""Unit tests for shortest-path algorithms."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DisconnectedError, NegativeWeightError, NodeNotFoundError
+from repro.generators import chain_graph, grid_graph
+from repro.graph import (
+    DiGraph,
+    bellman_ford,
+    dijkstra,
+    eccentricity,
+    floyd_warshall,
+    hop_diameter,
+    multi_source_shortest_paths,
+    shortest_path,
+    shortest_path_length,
+    single_source_shortest_paths,
+)
+
+
+@pytest.fixture
+def weighted_graph() -> DiGraph:
+    graph = DiGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 2.0)
+    graph.add_edge("a", "c", 10.0)
+    graph.add_edge("c", "d", 3.0)
+    graph.add_edge("b", "d", 9.0)
+    return graph
+
+
+class TestDijkstra:
+    def test_distances(self, weighted_graph):
+        distances, _ = dijkstra(weighted_graph, "a")
+        assert distances["c"] == 3.0
+        assert distances["d"] == 6.0
+
+    def test_target_restriction_stops_early(self, weighted_graph):
+        distances, _ = dijkstra(weighted_graph, "a", targets=["b"])
+        assert distances["b"] == 1.0
+
+    def test_missing_source_raises(self, weighted_graph):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(weighted_graph, "ghost")
+
+    def test_negative_weight_raises(self):
+        graph = DiGraph([("a", "b", -1.0)])
+        with pytest.raises(NegativeWeightError):
+            dijkstra(graph, "a")
+
+    def test_shortest_path_route(self, weighted_graph):
+        length, path = shortest_path(weighted_graph, "a", "d")
+        assert length == 6.0
+        assert path == ["a", "b", "c", "d"]
+
+    def test_shortest_path_length_unreachable_raises(self, weighted_graph):
+        weighted_graph.add_node("island")
+        with pytest.raises(DisconnectedError):
+            shortest_path_length(weighted_graph, "a", "island")
+
+    def test_single_source_shortest_paths(self, weighted_graph):
+        distances = single_source_shortest_paths(weighted_graph, "a")
+        assert distances["a"] == 0.0
+        assert distances["d"] == 6.0
+
+
+class TestMultiSource:
+    def test_nearest_source_wins(self):
+        graph = chain_graph(7, symmetric=True)
+        distances = multi_source_shortest_paths(graph, [0, 6])
+        assert distances[3] == 3.0
+        assert distances[1] == 1.0
+        assert distances[5] == 1.0
+
+    def test_missing_sources_are_ignored(self):
+        graph = chain_graph(3)
+        distances = multi_source_shortest_paths(graph, [0, "ghost"])
+        assert distances[2] == 2.0
+
+
+class TestBellmanFordAndFloydWarshall:
+    def test_bellman_ford_matches_dijkstra(self, weighted_graph):
+        bf_distances, _ = bellman_ford(weighted_graph, "a")
+        dj_distances, _ = dijkstra(weighted_graph, "a")
+        assert bf_distances == dj_distances
+
+    def test_bellman_ford_handles_negative_edges(self):
+        graph = DiGraph([("a", "b", 4.0), ("a", "c", 2.0), ("c", "b", -1.0)])
+        distances, _ = bellman_ford(graph, "a")
+        assert distances["b"] == 1.0
+
+    def test_bellman_ford_detects_negative_cycle(self):
+        graph = DiGraph([("a", "b", 1.0), ("b", "a", -2.0)])
+        with pytest.raises(NegativeWeightError):
+            bellman_ford(graph, "a")
+
+    def test_floyd_warshall_matches_dijkstra(self, weighted_graph):
+        all_pairs = floyd_warshall(weighted_graph)
+        for source in weighted_graph.nodes():
+            distances, _ = dijkstra(weighted_graph, source)
+            for target, value in distances.items():
+                assert all_pairs[source][target] == pytest.approx(value)
+
+    def test_floyd_warshall_unreachable_is_inf(self):
+        graph = DiGraph([("a", "b")])
+        graph.add_node("z")
+        assert floyd_warshall(graph)["a"]["z"] == math.inf
+
+
+class TestDiameter:
+    def test_chain_diameter(self):
+        assert hop_diameter(chain_graph(6)) == 5
+
+    def test_grid_diameter(self):
+        assert hop_diameter(grid_graph(3, 4)) == 5  # (3-1) + (4-1)
+
+    def test_eccentricity_of_chain_end(self):
+        graph = chain_graph(4)
+        assert eccentricity(graph, 0) == 3
+        assert eccentricity(graph, 1) == 2
+
+    def test_empty_graph_diameter_zero(self):
+        assert hop_diameter(DiGraph()) == 0

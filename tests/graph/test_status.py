@@ -1,0 +1,56 @@
+"""Unit tests for the center (status) score of Sec. 3.1."""
+
+import pytest
+
+from repro.generators import chain_graph, star_graph
+from repro.graph import DiGraph, rank_by_status, status_score, status_scores, top_candidates
+
+
+class TestStatusScore:
+    def test_star_center_scores_highest(self):
+        graph = star_graph(6)
+        ranking = rank_by_status(graph)
+        assert ranking[0] == 0
+
+    def test_chain_middle_scores_higher_than_end(self):
+        graph = chain_graph(7)
+        scores = status_scores(graph)
+        assert scores[3] > scores[0]
+        assert scores[3] > scores[6]
+
+    def test_attenuation_reduces_far_contributions(self):
+        graph = chain_graph(7)
+        tight = status_score(graph, 3, attenuation=0.1)
+        loose = status_score(graph, 3, attenuation=0.9)
+        assert loose > tight
+
+    def test_radius_zero_is_just_grade(self):
+        graph = star_graph(5)
+        assert status_score(graph, 0, radius=0) == 5.0
+
+    def test_isolated_node_scores_zero(self):
+        graph = DiGraph(nodes=["lonely"])
+        assert status_score(graph, "lonely") == 0.0
+
+    def test_scores_cover_every_node(self):
+        graph = chain_graph(5)
+        assert set(status_scores(graph)) == set(graph.nodes())
+
+
+class TestRankingAndCandidates:
+    def test_ranking_is_deterministic(self):
+        graph = chain_graph(9)
+        assert rank_by_status(graph) == rank_by_status(graph)
+
+    def test_top_candidates_size(self):
+        graph = chain_graph(20)
+        pool = top_candidates(graph, 2, pool_factor=3.0)
+        assert len(pool) == 6
+
+    def test_top_candidates_zero_count(self):
+        graph = chain_graph(5)
+        assert list(top_candidates(graph, 0)) == []
+
+    def test_top_candidates_contains_best_node(self):
+        graph = star_graph(8)
+        assert 0 in top_candidates(graph, 1)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests: generator -> fragmenter -> engine -> simulator."""
+
+import pytest
+
+from repro.closure import shortest_path_cost
+from repro.disconnection import DisconnectionSetEngine
+from repro.exceptions import DisconnectedError
+from repro.fragmentation import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    GroundTruthFragmenter,
+    LinearFragmenter,
+    characterize,
+)
+from repro.generators import (
+    european_railway_example,
+    mixed_workload,
+)
+from repro.parallel import ParallelSimulator
+
+
+class TestRailwayScenario:
+    """The Amsterdam-to-Milan scenario of Sec. 2.1, end to end."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph, countries = european_railway_example()
+        clusters = [set(cities) for cities in countries.values()]
+        fragmentation = GroundTruthFragmenter(clusters).fragment(graph)
+        engine = DisconnectionSetEngine(fragmentation)
+        return graph, fragmentation, engine
+
+    def test_fragmentation_matches_countries(self, setup):
+        _, fragmentation, _ = setup
+        fragmentation.validate()
+        assert fragmentation.fragment_count() == 3
+
+    def test_amsterdam_to_milan(self, setup):
+        graph, _, engine = setup
+        expected = shortest_path_cost(graph, "amsterdam", "milan")
+        answer = engine.query("amsterdam", "milan")
+        assert answer.value == pytest.approx(expected)
+        # The route crosses Holland -> Germany -> Italy: three fragments.
+        assert len(answer.chain) == 3
+
+    def test_dutch_query_answered_by_dutch_site_alone(self, setup):
+        graph, _, engine = setup
+        answer = engine.query("amsterdam", "eindhoven")
+        assert answer.value == pytest.approx(shortest_path_cost(graph, "amsterdam", "eindhoven"))
+        assert len(answer.report.site_work) == 1
+
+    def test_every_city_pair_matches_centralized(self, setup):
+        graph, _, engine = setup
+        cities = graph.nodes()
+        for source in cities[::3]:
+            for target in cities[1::4]:
+                if source == target:
+                    continue
+                assert engine.query(source, target).value == pytest.approx(
+                    shortest_path_cost(graph, source, target)
+                )
+
+
+class TestFragmenterEnginePipeline:
+    """Every paper fragmenter feeds the engine and preserves query answers."""
+
+    @pytest.mark.parametrize(
+        "make_fragmenter",
+        [
+            lambda: CenterBasedFragmenter(4, center_selection="distributed"),
+            lambda: BondEnergyFragmenter(4),
+            lambda: LinearFragmenter(4),
+        ],
+        ids=["center-based", "bond-energy", "linear"],
+    )
+    def test_queries_match_centralized(self, small_transportation_network, make_fragmenter):
+        network = small_transportation_network
+        graph = network.graph
+        fragmentation = make_fragmenter().fragment(graph)
+        fragmentation.validate()
+        engine = DisconnectionSetEngine(fragmentation)
+        workload = mixed_workload(graph, network.clusters, 8, cross_fraction=0.5, seed=13)
+        for query in workload:
+            try:
+                expected = shortest_path_cost(graph, query.source, query.target)
+            except DisconnectedError:
+                expected = None
+            answer = engine.query(query.source, query.target)
+            if expected is None:
+                assert not answer.exists()
+            else:
+                assert answer.value == pytest.approx(expected)
+
+    def test_fragmentation_quality_feeds_simulation(self, small_transportation_network):
+        network = small_transportation_network
+        graph = network.graph
+        fragmentation = CenterBasedFragmenter(4, center_selection="distributed").fragment(graph)
+        characteristics = characterize(fragmentation)
+        simulator = ParallelSimulator(fragmentation)
+        workload = mixed_workload(graph, network.clusters, 5, cross_fraction=0.8, seed=21)
+        result = simulator.simulate_workload(workload, include_centralized_baseline=True)
+        assert characteristics.fragment_count == 4
+        assert result.overall_speedup() >= 1.0
+        assert result.speedup_vs_centralized() > 1.0

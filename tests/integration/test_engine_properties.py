@@ -1,0 +1,108 @@
+"""Property-based integration tests: the disconnection set approach is lossless.
+
+For every randomly generated clustered graph, every fragmentation produced by
+the paper's algorithms, and every source/destination pair drawn, the engine's
+answer must equal the centralised Dijkstra answer — the "correct and precise"
+requirement of Sec. 2.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.closure import reachability_semiring, shortest_path_cost
+from repro.disconnection import DisconnectionSetEngine
+from repro.exceptions import DisconnectedError, NoChainError
+from repro.fragmentation import (
+    BondEnergyFragmenter,
+    CenterBasedFragmenter,
+    LinearFragmenter,
+)
+from repro.graph import DiGraph, Point, is_reachable
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _clustered_graph(seed: int, cluster_count: int, cluster_size: int) -> DiGraph:
+    """A connected, clustered, symmetric weighted graph with coordinates."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for cluster in range(cluster_count):
+        offset = cluster * 30.0
+        members = [cluster * cluster_size + index for index in range(cluster_size)]
+        for node in members:
+            graph.set_coordinate(node, Point(offset + rng.uniform(0, 10), rng.uniform(0, 10)))
+        # Spanning path + random chords inside the cluster.
+        for a, b in zip(members, members[1:]):
+            graph.add_symmetric_edge(a, b, rng.uniform(1, 5))
+        for _ in range(cluster_size):
+            a, b = rng.choice(members), rng.choice(members)
+            if a != b:
+                graph.add_symmetric_edge(a, b, rng.uniform(1, 5))
+    # Chain the clusters with one or two border edges.
+    for cluster in range(cluster_count - 1):
+        left = cluster * cluster_size + cluster_size - 1
+        right = (cluster + 1) * cluster_size
+        graph.add_symmetric_edge(left, right, rng.uniform(3, 8))
+        if rng.random() < 0.5:
+            graph.add_symmetric_edge(left - 1, right + 1, rng.uniform(3, 8))
+    return graph
+
+
+@st.composite
+def engine_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=2_000))
+    cluster_count = draw(st.integers(min_value=2, max_value=4))
+    cluster_size = draw(st.integers(min_value=4, max_value=7))
+    graph = _clustered_graph(seed, cluster_count, cluster_size)
+    fragmenter_name = draw(st.sampled_from(["center", "bond", "linear"]))
+    if fragmenter_name == "center":
+        fragmenter = CenterBasedFragmenter(cluster_count, center_selection="distributed")
+    elif fragmenter_name == "bond":
+        fragmenter = BondEnergyFragmenter(cluster_count, restarts=2)
+    else:
+        fragmenter = LinearFragmenter(cluster_count)
+    node_count = cluster_count * cluster_size
+    source = draw(st.integers(min_value=0, max_value=node_count - 1))
+    target = draw(st.integers(min_value=0, max_value=node_count - 1))
+    return graph, fragmenter, source, target
+
+
+class TestEngineMatchesCentralized:
+    @SETTINGS
+    @given(case=engine_cases())
+    def test_shortest_path_answers_are_lossless(self, case):
+        graph, fragmenter, source, target = case
+        fragmentation = fragmenter.fragment(graph)
+        fragmentation.validate()
+        engine = DisconnectionSetEngine(fragmentation)
+        try:
+            expected = shortest_path_cost(graph, source, target)
+        except DisconnectedError:
+            expected = None
+        try:
+            answer = engine.query(source, target)
+            value = answer.value
+        except NoChainError:
+            value = None
+        if expected is None:
+            assert value is None
+        else:
+            assert value == pytest.approx(expected)
+
+    @SETTINGS
+    @given(case=engine_cases())
+    def test_reachability_answers_are_lossless(self, case):
+        graph, fragmenter, source, target = case
+        fragmentation = fragmenter.fragment(graph)
+        engine = DisconnectionSetEngine(fragmentation, semiring=reachability_semiring())
+        expected = is_reachable(graph, source, target)
+        assert engine.is_connected(source, target) == expected

@@ -1,0 +1,38 @@
+"""Tests for the multiprocessing query executor (real OS-level parallelism)."""
+
+import pytest
+
+from repro.closure import reachability_semiring, shortest_path_cost, widest_path_semiring
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+from repro.parallel import MultiprocessQueryExecutor
+
+
+@pytest.fixture(scope="module")
+def dumbbell_setup():
+    graph = two_cluster_dumbbell(4, bridge_nodes=2)
+    fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+    return graph, fragmentation
+
+
+class TestMultiprocessExecutor:
+    def test_rejects_unsupported_semiring(self, dumbbell_setup):
+        _, fragmentation = dumbbell_setup
+        with pytest.raises(ValueError):
+            MultiprocessQueryExecutor(fragmentation, semiring=widest_path_semiring())
+
+    def test_cross_fragment_query_matches_centralized(self, dumbbell_setup):
+        graph, fragmentation = dumbbell_setup
+        executor = MultiprocessQueryExecutor(fragmentation, processes=2)
+        answer = executor.query(1, 7)
+        assert answer.value == pytest.approx(shortest_path_cost(graph, 1, 7))
+        assert answer.worker_count == 2
+        assert answer.subqueries_executed >= 2
+
+    def test_reachability_semiring(self, dumbbell_setup):
+        _, fragmentation = dumbbell_setup
+        executor = MultiprocessQueryExecutor(
+            fragmentation, semiring=reachability_semiring(), processes=2
+        )
+        answer = executor.query(0, 7)
+        assert answer.value is True

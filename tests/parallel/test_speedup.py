@@ -1,0 +1,56 @@
+"""Unit tests for the speed-up / iteration-reduction analysis."""
+
+import pytest
+
+from repro.fragmentation import CenterBasedFragmenter, GroundTruthFragmenter, LinearFragmenter
+from repro.generators import cross_cluster_queries, mixed_workload
+from repro.parallel import compare_fragmenters, speedup_curve
+
+
+class TestSpeedupCurve:
+    def test_curve_points_and_iteration_reduction(self, small_transportation_network):
+        network = small_transportation_network
+        queries = cross_cluster_queries(network.clusters, 4, seed=1)
+        points = speedup_curve(
+            network.graph,
+            lambda count: CenterBasedFragmenter(count, center_selection="distributed"),
+            fragment_counts=[2, 4],
+            queries=queries,
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.speedup >= 1.0
+            assert point.graph_diameter >= point.max_fragment_diameter
+            assert point.iteration_reduction() >= 1.0
+
+    def test_more_fragments_do_not_increase_parallel_time_much(self, small_transportation_network):
+        network = small_transportation_network
+        queries = cross_cluster_queries(network.clusters, 4, seed=2)
+        points = speedup_curve(
+            network.graph,
+            lambda count: CenterBasedFragmenter(count, center_selection="distributed"),
+            fragment_counts=[1, 4],
+            queries=queries,
+        )
+        single, many = points
+        # With one fragment there is no parallelism at all.
+        assert single.speedup == pytest.approx(1.0, abs=0.05)
+        assert many.speedup >= single.speedup
+
+
+class TestCompareFragmenters:
+    def test_all_fragmenters_simulated(self, small_transportation_network):
+        network = small_transportation_network
+        queries = mixed_workload(network.graph, network.clusters, 4, cross_fraction=0.75, seed=3)
+        results = compare_fragmenters(
+            network.graph,
+            {
+                "ground-truth": GroundTruthFragmenter(network.clusters),
+                "linear": LinearFragmenter(4),
+            },
+            queries,
+        )
+        assert set(results) == {"ground-truth", "linear"}
+        for simulation in results.values():
+            assert simulation.total_parallel_time > 0
+            assert simulation.centralized_time is not None

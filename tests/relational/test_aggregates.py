@@ -1,0 +1,62 @@
+"""Unit tests for the aggregate helpers."""
+
+from repro.relational import Relation
+from repro.relational.aggregates import (
+    argmin_rows,
+    count,
+    count_distinct,
+    group_count,
+    maximum,
+    minimum,
+    total,
+)
+
+
+def _sample() -> Relation:
+    return Relation(
+        ("country", "city", "population"),
+        [
+            ("nl", "amsterdam", 870),
+            ("nl", "utrecht", 360),
+            ("it", "milan", 1370),
+        ],
+    )
+
+
+class TestAggregates:
+    def test_count(self):
+        assert count(_sample()) == 3
+
+    def test_count_distinct(self):
+        assert count_distinct(_sample(), "country") == 2
+
+    def test_group_count(self):
+        grouped = group_count(_sample(), ("country",))
+        assert ("nl", 2) in grouped
+        assert ("it", 1) in grouped
+        assert grouped.schema == ("country", "count")
+
+    def test_minimum_maximum(self):
+        assert minimum(_sample(), "population") == 360
+        assert maximum(_sample(), "population") == 1370
+
+    def test_minimum_of_empty_is_none(self):
+        empty = Relation.empty(("x",))
+        assert minimum(empty, "x") is None
+        assert maximum(empty, "x") is None
+
+    def test_total(self):
+        assert total(_sample(), "population") == 2600.0
+        assert total(Relation.empty(("x",)), "x") == 0.0
+
+    def test_argmin_rows(self):
+        rows = argmin_rows(_sample(), "population")
+        assert len(rows) == 1
+        assert rows[0][1] == "utrecht"
+
+    def test_argmin_rows_empty(self):
+        assert argmin_rows(Relation.empty(("x",)), "x") == []
+
+    def test_argmin_rows_ties(self):
+        relation = Relation(("k", "v"), [("a", 1), ("b", 1), ("c", 2)])
+        assert len(argmin_rows(relation, "v")) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for the relational algebra operators."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import (
+    Relation,
+    aggregate_min,
+    cartesian_product,
+    compose,
+    difference,
+    edge_relation,
+    equi_join,
+    intersection,
+    natural_join,
+    project,
+    rename,
+    select,
+    select_eq,
+    select_in,
+    semijoin,
+    union,
+)
+
+
+@pytest.fixture
+def cities() -> Relation:
+    return Relation(
+        ("city", "country", "population"),
+        [
+            ("amsterdam", "nl", 870),
+            ("utrecht", "nl", 360),
+            ("milan", "it", 1370),
+            ("verona", "it", 257),
+        ],
+        name="cities",
+    )
+
+
+class TestSelectionProjection:
+    def test_select_with_predicate(self, cities):
+        result = select(cities, lambda row: row["population"] > 500)
+        assert result.cardinality() == 2
+
+    def test_select_eq(self, cities):
+        result = select_eq(cities, "country", "it")
+        assert {row[0] for row in result.rows} == {"milan", "verona"}
+
+    def test_select_in(self, cities):
+        result = select_in(cities, "city", ["utrecht", "milan", "ghost"])
+        assert result.cardinality() == 2
+
+    def test_project_removes_duplicates(self, cities):
+        result = project(cities, ["country"])
+        assert result.cardinality() == 2
+        assert result.schema == ("country",)
+
+    def test_project_missing_attribute_raises(self, cities):
+        with pytest.raises(SchemaError):
+            project(cities, ["unknown"])
+
+    def test_rename(self, cities):
+        renamed = rename(cities, {"city": "name"})
+        assert renamed.schema == ("name", "country", "population")
+
+    def test_rename_collision_raises(self, cities):
+        with pytest.raises(SchemaError):
+            rename(cities, {"city": "country"})
+
+
+class TestSetOperators:
+    def test_union(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("a",), [(2,)])
+        assert union(left, right).cardinality() == 2
+
+    def test_union_schema_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            union(Relation(("a",), []), Relation(("b",), []))
+
+    def test_difference_and_intersection(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (3,)])
+        assert difference(left, right).rows == frozenset({(1,)})
+        assert intersection(left, right).rows == frozenset({(2,)})
+
+
+class TestJoins:
+    def test_natural_join_on_shared_attribute(self):
+        left = Relation(("id", "name"), [(1, "a"), (2, "b")])
+        right = Relation(("id", "score"), [(1, 10), (3, 30)])
+        joined = natural_join(left, right)
+        assert joined.cardinality() == 1
+        assert joined.schema == ("id", "name", "score")
+
+    def test_natural_join_without_shared_attributes_is_product(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("b",), [(2,), (3,)])
+        assert natural_join(left, right).cardinality() == 2
+
+    def test_cartesian_product_prefixes_clashes(self):
+        left = Relation(("x", "y"), [(1, 2)], name="L")
+        right = Relation(("y", "z"), [(3, 4)], name="R")
+        product = cartesian_product(left, right)
+        assert "R.y" in product.schema
+        assert product.cardinality() == 1
+
+    def test_equi_join_chains_paths(self):
+        hops1 = Relation(("entry", "exit", "cost"), [("a", "x", 1.0), ("a", "y", 2.0)])
+        hops2 = Relation(("entry", "exit", "cost"), [("x", "b", 5.0), ("y", "b", 1.0)])
+        joined = equi_join(hops1, hops2, on=[("exit", "entry")], suffix="_2")
+        assert joined.cardinality() == 2
+        assert "exit_2" in joined.schema
+
+    def test_semijoin(self):
+        edges = Relation(("source", "target"), [("a", "b"), ("c", "d")])
+        border = Relation(("node",), [("a",)])
+        result = semijoin(edges, border, on=[("source", "node")])
+        assert result.rows == frozenset({("a", "b")})
+
+
+class TestComposeAndAggregate:
+    def test_compose_without_cost(self):
+        left = Relation(("source", "target"), [("a", "b")])
+        right = Relation(("source", "target"), [("b", "c")])
+        composed = compose(left, right)
+        assert ("a", "c") in composed
+
+    def test_compose_with_cost_adds_costs(self):
+        left = edge_relation([("a", "b", 2.0)])
+        right = edge_relation([("b", "c", 3.0)])
+        composed = compose(left, right)
+        assert ("a", "c", 5.0) in composed
+
+    def test_aggregate_min(self):
+        relation = Relation(
+            ("source", "target", "cost"),
+            [("a", "b", 5.0), ("a", "b", 2.0), ("a", "c", 1.0)],
+        )
+        best = aggregate_min(relation, ("source", "target"), "cost")
+        assert ("a", "b", 2.0) in best
+        assert best.cardinality() == 2

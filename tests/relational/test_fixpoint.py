@@ -1,0 +1,80 @@
+"""Unit tests for the relational fixpoint (transitive closure) operators."""
+
+import pytest
+
+from repro.relational import (
+    edge_relation,
+    naive_closure,
+    pair_relation,
+    seminaive_closure,
+    smart_closure,
+)
+
+
+@pytest.fixture
+def chain_relation():
+    return pair_relation([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def weighted_cycle():
+    return edge_relation([("a", "b", 1.0), ("b", "c", 1.0), ("c", "a", 1.0)])
+
+
+class TestCorrectness:
+    def test_chain_closure_contains_all_pairs(self, chain_relation):
+        closure, _ = seminaive_closure(chain_relation)
+        expected = {("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")}
+        assert closure.rows == frozenset(expected)
+
+    def test_all_strategies_agree_on_reachability(self, chain_relation):
+        naive, _ = naive_closure(chain_relation)
+        semi, _ = seminaive_closure(chain_relation)
+        smart, _ = smart_closure(chain_relation)
+        assert naive.rows == semi.rows == smart.rows
+
+    def test_weighted_closure_keeps_cheapest_cost(self):
+        relation = edge_relation([("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 10.0)])
+        closure, _ = seminaive_closure(relation)
+        costs = {(s, t): c for s, t, c in closure.rows}
+        assert costs[("a", "c")] == 2.0
+
+    def test_cycle_closure_terminates(self, weighted_cycle):
+        closure, stats = seminaive_closure(weighted_cycle)
+        costs = {(s, t): c for s, t, c in closure.rows}
+        assert costs[("a", "a")] == 3.0
+        assert stats.iterations < 20
+
+    def test_strategies_agree_on_weighted_cycle(self, weighted_cycle):
+        semi, _ = seminaive_closure(weighted_cycle)
+        naive, _ = naive_closure(weighted_cycle)
+        smart, _ = smart_closure(weighted_cycle)
+        assert semi.rows == naive.rows == smart.rows
+
+    def test_empty_relation(self):
+        closure, stats = seminaive_closure(pair_relation([]))
+        assert closure.is_empty()
+        assert stats.result_size == 0
+
+
+class TestStatistics:
+    def test_seminaive_iterations_track_diameter(self):
+        # A chain of length 5 needs about 5 rounds (diameter) to converge.
+        chain = pair_relation([(i, i + 1) for i in range(5)])
+        _, stats = seminaive_closure(chain)
+        assert 4 <= stats.iterations <= 6
+
+    def test_smart_uses_logarithmic_iterations(self):
+        chain = pair_relation([(i, i + 1) for i in range(16)])
+        _, smart_stats = smart_closure(chain)
+        _, semi_stats = seminaive_closure(chain)
+        assert smart_stats.iterations < semi_stats.iterations
+
+    def test_max_iterations_caps_work(self, chain_relation):
+        _, stats = seminaive_closure(chain_relation, max_iterations=1)
+        assert stats.iterations == 1
+
+    def test_statistics_record_tuples(self, chain_relation):
+        _, stats = seminaive_closure(chain_relation)
+        assert stats.tuples_produced >= stats.result_size - len(chain_relation)
+        assert len(stats.delta_sizes) == stats.iterations

@@ -1,0 +1,107 @@
+"""Tests for horizontally fragmented relations."""
+
+import pytest
+
+from repro.exceptions import FragmentationError, SchemaError
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+from repro.relational import FragmentedRelation, Relation, edge_relation
+
+
+@pytest.fixture
+def cities() -> Relation:
+    return Relation(
+        ("city", "country"),
+        [
+            ("amsterdam", "nl"), ("utrecht", "nl"),
+            ("milan", "it"), ("verona", "it"),
+            ("paris", "fr"),
+        ],
+        name="cities",
+    )
+
+
+class TestConstruction:
+    def test_from_attribute_values(self, cities):
+        fragmented = FragmentedRelation.from_attribute_values(
+            cities, "country", {"nl": ["nl"], "it": ["it"]}, rest_fragment="other"
+        )
+        assert fragmented.fragment("nl").cardinality() == 2
+        assert fragmented.fragment("it").cardinality() == 2
+        assert fragmented.fragment("other").cardinality() == 1
+
+    def test_from_predicates_requires_completeness(self, cities):
+        with pytest.raises(FragmentationError):
+            FragmentedRelation.from_predicates(
+                cities, {"nl": lambda row: row["country"] == "nl"}
+            )
+
+    def test_first_matching_predicate_wins(self, cities):
+        fragmented = FragmentedRelation.from_predicates(
+            cities,
+            {
+                "all": lambda row: True,
+                "nl": lambda row: row["country"] == "nl",
+            },
+        )
+        assert fragmented.fragment("all").cardinality() == 5
+        assert fragmented.fragment("nl").is_empty()
+
+    def test_from_graph_fragmentation(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        fragmentation = GroundTruthFragmenter([set(range(3)), set(range(3, 6))]).fragment(graph)
+        fragmented = FragmentedRelation.from_graph_fragmentation(fragmentation)
+        assert set(fragmented.fragment_names()) == {"fragment_0", "fragment_1"}
+        base = edge_relation(graph.weighted_edges())
+        assert fragmented.reconstructs(base)
+
+
+class TestValidationAndOperations:
+    def test_completeness_disjointness_reconstruction(self, cities):
+        fragmented = FragmentedRelation.from_attribute_values(
+            cities, "country", {"nl": ["nl"], "it": ["it"], "fr": ["fr"]}, rest_fragment=None
+        )
+        assert fragmented.is_complete(cities)
+        assert fragmented.is_disjoint()
+        assert fragmented.reconstructs(cities)
+        assert fragmented.reconstruct() == cities.with_name("cities")
+
+    def test_overlapping_fragments_are_not_disjoint(self, cities):
+        fragmented = FragmentedRelation(
+            schema=cities.schema,
+            fragments={"a": cities, "b": cities},
+        )
+        assert not fragmented.is_disjoint()
+        assert fragmented.is_complete(cities)
+
+    def test_schema_mismatch_raises(self, cities):
+        fragmented = FragmentedRelation.from_attribute_values(
+            cities, "country", {"nl": ["nl"]}, rest_fragment="rest"
+        )
+        with pytest.raises(SchemaError):
+            fragmented.is_complete(Relation(("other",), [("x",)]))
+
+    def test_locate_and_cardinalities(self, cities):
+        fragmented = FragmentedRelation.from_attribute_values(
+            cities, "country", {"nl": ["nl"]}, rest_fragment="rest"
+        )
+        assert fragmented.locate(("amsterdam", "nl")) == ["nl"]
+        assert fragmented.locate(("ghost", "xx")) == []
+        assert fragmented.fragment_cardinalities() == {"nl": 2, "rest": 3}
+        assert fragmented.cardinality() == 5
+
+    def test_fragmentwise_selection_and_semijoin(self, cities):
+        fragmented = FragmentedRelation.from_attribute_values(
+            cities, "country", {"nl": ["nl"], "it": ["it"]}, rest_fragment="rest"
+        )
+        selected = fragmented.select_fragmentwise(lambda row: row["city"].startswith("m"))
+        assert selected["it"].cardinality() == 1
+        assert selected["nl"].is_empty()
+        reduced = fragmented.semijoin_reduce("city", ["amsterdam", "verona"])
+        assert reduced["nl"].cardinality() == 1
+        assert reduced["it"].cardinality() == 1
+        assert reduced["rest"].is_empty()
+
+    def test_reconstruct_empty(self):
+        fragmented = FragmentedRelation(schema=("a",), fragments={})
+        assert fragmented.reconstruct().is_empty()

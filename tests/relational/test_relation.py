@@ -1,0 +1,82 @@
+"""Unit tests for the Relation value type."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import Relation, edge_relation, pair_relation
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        relation = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert relation.cardinality() == 2
+        assert relation.arity() == 2
+
+    def test_duplicate_rows_are_removed(self):
+        relation = Relation(("a",), [(1,), (1,), (2,)])
+        assert relation.cardinality() == 2
+
+    def test_duplicate_attributes_raise(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), [])
+
+    def test_empty_schema_raises(self):
+        with pytest.raises(SchemaError):
+            Relation((), [])
+
+    def test_wrong_arity_row_raises(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_empty_factory(self):
+        relation = Relation.empty(("x", "y"))
+        assert relation.is_empty()
+
+    def test_edge_relation_schema(self):
+        relation = edge_relation([("a", "b", 1.0)])
+        assert relation.schema == ("source", "target", "cost")
+
+    def test_pair_relation_schema(self):
+        relation = pair_relation([("a", "b")])
+        assert relation.schema == ("source", "target")
+
+
+class TestAccessors:
+    def test_attribute_index(self):
+        relation = Relation(("x", "y", "z"), [])
+        assert relation.attribute_index("y") == 1
+        with pytest.raises(SchemaError):
+            relation.attribute_index("missing")
+
+    def test_membership_and_iteration(self):
+        relation = Relation(("a", "b"), [(1, 2)])
+        assert (1, 2) in relation
+        assert [1, 2] in relation
+        assert list(relation) == [(1, 2)]
+
+    def test_equality_and_hash(self):
+        left = Relation(("a", "b"), [(1, 2), (3, 4)])
+        right = Relation(("a", "b"), [(3, 4), (1, 2)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality_different_schema(self):
+        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+
+    def test_as_dicts_sorted(self):
+        relation = Relation(("name", "value"), [("b", 2), ("a", 1)])
+        dicts = relation.as_dicts()
+        assert dicts[0] == {"name": "a", "value": 1}
+
+    def test_column_and_distinct_values(self):
+        relation = Relation(("k", "v"), [("x", 1), ("y", 1)])
+        assert relation.distinct_values("v") == frozenset({1})
+        assert sorted(relation.column("k")) == ["x", "y"]
+
+    def test_with_name_and_with_rows(self):
+        relation = Relation(("a",), [(1,)], name="R")
+        renamed = relation.with_name("S")
+        assert renamed.name == "S"
+        assert renamed.rows == relation.rows
+        refilled = relation.with_rows([(9,)])
+        assert (9,) in refilled

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import load_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    """Generate a small transportation graph JSON via the CLI itself."""
+    path = tmp_path / "graph.json"
+    exit_code = main(
+        [
+            "generate", str(path),
+            "--kind", "transportation",
+            "--clusters", "3",
+            "--nodes", "8",
+            "--seed", "5",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_transportation(self, graph_file, capsys):
+        graph = load_json(graph_file)
+        assert graph.node_count() == 24
+        assert graph.has_coordinates()
+
+    def test_generate_random(self, tmp_path, capsys):
+        path = tmp_path / "random.json"
+        exit_code = main(["generate", str(path), "--kind", "random", "--nodes", "30", "--seed", "1"])
+        assert exit_code == 0
+        assert load_json(path).node_count() == 30
+
+
+class TestFragment:
+    def test_fragment_with_named_algorithm(self, graph_file, capsys, tmp_path):
+        output = tmp_path / "fragmentation.json"
+        exit_code = main(
+            ["fragment", str(graph_file), "--algorithm", "linear", "--fragments", "3",
+             "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "linear" in captured.out
+        document = json.loads(output.read_text())
+        assert document["algorithm"] == "linear"
+        assert len(document["fragments"]) >= 2
+
+    def test_fragment_with_advisor(self, graph_file, capsys):
+        exit_code = main(["fragment", str(graph_file), "--algorithm", "auto", "--fragments", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "advisor" in captured.out
+        assert "DS" in captured.out
+
+
+class TestQuery:
+    def test_query_cost(self, graph_file, capsys):
+        exit_code = main(
+            ["query", str(graph_file), "0", "20", "--algorithm", "center-distributed", "--fragments", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cost:" in captured.out
+        assert "fragment chain:" in captured.out
+
+    def test_query_with_route(self, graph_file, capsys):
+        exit_code = main(
+            ["query", str(graph_file), "0", "20", "--algorithm", "linear", "--fragments", "3", "--route"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "route:" in captured.out
+
+    def test_query_unknown_node_reports_error(self, graph_file, capsys):
+        exit_code = main(
+            ["query", str(graph_file), "0", "no-such-node", "--algorithm", "linear", "--fragments", "2"]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_experiment_table1(self, capsys):
+        exit_code = main(["experiment", "table1", "--trials", "1", "--seed", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "bond-energy" in captured.out
