@@ -39,9 +39,11 @@ from .disconnection import (
     ComplementaryInformation,
     DisconnectionSetEngine,
     DistributedCatalog,
+    FragmentedDatabase,
     HierarchicalEngine,
     QueryAnswer,
     QueryPlanner,
+    UpdateEvent,
     precompute_complementary_information,
     reachability_engine,
     shortest_path_engine,
@@ -89,10 +91,22 @@ from .parallel import (
     speedup_curve,
 )
 from .relational import Relation, edge_relation, seminaive_closure
+from .service import (
+    BatchPlanner,
+    LRUCache,
+    QueryService,
+    ResidentWorkerPool,
+    ServiceAnswer,
+    ServiceStatistics,
+    SnapshotStore,
+    load_snapshot,
+    save_snapshot,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchPlanner",
     "BondEnergyFragmenter",
     "CenterBasedFragmenter",
     "ClosureResult",
@@ -108,12 +122,14 @@ __all__ = [
     "FragmentationCharacteristics",
     "FragmentationError",
     "FragmentationGraph",
+    "FragmentedDatabase",
     "Fragmenter",
     "GraphError",
     "GroundTruthFragmenter",
     "HashFragmenter",
     "HierarchicalEngine",
     "KConnectivityFragmenter",
+    "LRUCache",
     "LinearFragmenter",
     "MultiprocessQueryExecutor",
     "NoChainError",
@@ -122,14 +138,20 @@ __all__ = [
     "Point",
     "QueryAnswer",
     "QueryPlanner",
+    "QueryService",
     "RandomGraphConfig",
     "RandomNodeFragmenter",
     "Relation",
     "ReproError",
+    "ResidentWorkerPool",
     "Semiring",
+    "ServiceAnswer",
+    "ServiceStatistics",
+    "SnapshotStore",
     "SpeedupPoint",
     "TransportationGraph",
     "TransportationGraphConfig",
+    "UpdateEvent",
     "bill_of_materials",
     "characterize",
     "compare_fragmenters",
@@ -138,6 +160,7 @@ __all__ = [
     "generate_random_graph",
     "generate_transportation_graph",
     "is_connected",
+    "load_snapshot",
     "naive_transitive_closure",
     "paper_table1_config",
     "paper_table2_config",
@@ -145,6 +168,7 @@ __all__ = [
     "reachability_closure",
     "reachability_engine",
     "reachability_semiring",
+    "save_snapshot",
     "seminaive_closure",
     "seminaive_transitive_closure",
     "shortest_path_closure",

@@ -11,7 +11,13 @@ Python:
 * ``query``     — answer a reachability or shortest-path query on a graph
   with the disconnection set approach,
 * ``experiment``— regenerate one of the paper's tables (delegates to
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`),
+* ``snapshot``  — prepare a graph (fragment + complementary information) and
+  persist the catalog so later commands skip the preparation,
+* ``batch-query``— answer many queries in one shared-work batch, from a
+  snapshot directory or a graph JSON file,
+* ``serve``     — run a long-lived query service reading a line protocol
+  (``query A B`` / ``update A B W`` / ``stats`` / ...) from stdin.
 """
 
 from __future__ import annotations
@@ -44,8 +50,10 @@ from .generators import (
     generate_transportation_graph,
 )
 from .graph import DiGraph, load_json, save_json
+from .service import QueryService, is_snapshot_directory, save_snapshot, semiring_from_name
 
 ALGORITHMS = ("center", "center-distributed", "bond-energy", "linear", "k-connectivity", "hash", "auto")
+SEMIRINGS = ("shortest-path", "reachability")
 
 
 def _make_fragmenter(name: str, fragment_count: int, graph: DiGraph, seed: int) -> Fragmenter:
@@ -147,6 +155,138 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------- service commands
+
+
+def _build_service(args: argparse.Namespace) -> QueryService:
+    """Build a :class:`QueryService` from a snapshot directory or a graph JSON file."""
+    source = Path(args.source)
+    options = {"cache_size": args.cache_size, "workers": args.workers}
+    if is_snapshot_directory(source):
+        service = QueryService.from_snapshot(source, **options)
+        print(f"# loaded snapshot {source} (version {service.catalog_version})")
+        return service
+    if source.is_dir():
+        raise ReproError(
+            f"{source} is a directory but not a snapshot (missing manifest.json/payload.pkl)"
+        )
+    if not source.is_file():
+        raise ReproError(f"{source} does not exist")
+    graph = load_json(source)
+    fragmenter = _make_fragmenter(args.algorithm, args.fragments, graph, args.seed)
+    fragmentation = fragmenter.fragment(graph)
+    semiring = semiring_from_name(args.semiring.replace("-", "_"))
+    print(f"# prepared {fragmentation.fragment_count()} fragments from {source}")
+    return QueryService(fragmentation, semiring=semiring, **options)
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    graph = load_json(args.graph)
+    fragmenter = _make_fragmenter(args.algorithm, args.fragments, graph, args.seed)
+    fragmentation = fragmenter.fragment(graph)
+    fragmentation.validate()
+    semiring = semiring_from_name(args.semiring.replace("-", "_"))
+    engine = DisconnectionSetEngine(fragmentation, semiring=semiring)
+    manifest = save_snapshot(args.output, engine)
+    for key, value in manifest.as_dict().items():
+        print(f"{key}: {value}")
+    print(f"wrote snapshot to {args.output}")
+    return 0
+
+
+def _parse_pairs(pairs: List[str]) -> List[tuple]:
+    queries = []
+    for pair in pairs:
+        if ":" not in pair:
+            raise ReproError(f"batch query {pair!r} is not of the form SOURCE:TARGET")
+        source, _, target = pair.partition(":")
+        queries.append((_decode_node(source), _decode_node(target)))
+    return queries
+
+
+def _print_answer(answer) -> None:
+    if answer.error is not None:
+        print(f"{answer.source} -> {answer.target}: error: {answer.error}")
+    elif not answer.exists():
+        print(f"{answer.source} -> {answer.target}: no path")
+    else:
+        cached = " (cached)" if answer.cached else ""
+        chain = list(answer.chain) if answer.chain else []
+        print(f"{answer.source} -> {answer.target}: value {answer.value}, chain {chain}{cached}")
+
+
+def _print_stats(service: QueryService) -> None:
+    for key, value in service.stats.as_dict().items():
+        if key in ("average_latency", "max_latency"):
+            print(f"{key}: {value:.6f}s")
+        else:
+            print(f"{key}: {value}")
+
+
+def _cmd_batch_query(args: argparse.Namespace) -> int:
+    if args.queries:
+        queries = [
+            (_decode_node(str(pair[0])), _decode_node(str(pair[1])))
+            for pair in json.loads(Path(args.queries).read_text())
+        ]
+    else:
+        queries = _parse_pairs(args.pairs)
+    if not queries:
+        raise ReproError("no queries given: pass SOURCE:TARGET pairs or --queries FILE")
+    with _build_service(args) as service:
+        for answer in service.query_batch(queries):
+            _print_answer(answer)
+        if args.stats:
+            _print_stats(service)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with _build_service(args) as service:
+        print("# ready; commands: query A B | batch A B [C D ...] | update A B [W] | "
+              "delete A B | stats | snapshot DIR | quit")
+        for line in sys.stdin:
+            words = line.split()
+            if not words:
+                continue
+            command, rest = words[0].lower(), words[1:]
+            try:
+                if command in ("quit", "exit"):
+                    break
+                elif command == "query" and len(rest) == 2:
+                    _print_answer(service.query(_decode_node(rest[0]), _decode_node(rest[1])))
+                elif command == "batch" and rest and len(rest) % 2 == 0:
+                    pairs = [
+                        (_decode_node(rest[i]), _decode_node(rest[i + 1]))
+                        for i in range(0, len(rest), 2)
+                    ]
+                    for answer in service.query_batch(pairs):
+                        _print_answer(answer)
+                elif command == "update" and len(rest) in (2, 3):
+                    weight = float(rest[2]) if len(rest) == 3 else 1.0
+                    owner = service.update_edge(
+                        _decode_node(rest[0]), _decode_node(rest[1]), weight
+                    )
+                    print(f"updated; fragment {owner}, catalog version {service.catalog_version}")
+                elif command == "delete" and len(rest) == 2:
+                    owner = service.update_edge(
+                        _decode_node(rest[0]), _decode_node(rest[1]), delete=True
+                    )
+                    print(f"deleted; fragment {owner}, catalog version {service.catalog_version}")
+                elif command == "stats":
+                    _print_stats(service)
+                elif command == "snapshot" and len(rest) == 1:
+                    manifest = service.snapshot(rest[0])
+                    print(f"wrote snapshot to {rest[0]} (version {manifest.version})")
+                else:
+                    print(f"error: unrecognised command {line.strip()!r}")
+            except (ReproError, ValueError, OSError) as error:
+                # A bad line must not take the server down.
+                print(f"error: {error}")
+        print("# bye")
+    return 0
+
+
 # -------------------------------------------------------------------- parser
 
 
@@ -193,6 +333,45 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--csv", action="store_true")
     experiment.set_defaults(handler=_cmd_experiment)
+
+    def add_service_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "source", help="snapshot directory or graph JSON path"
+        )
+        subparser.add_argument("--algorithm", choices=ALGORITHMS, default="auto",
+                               help="fragmenter when preparing from a graph JSON")
+        subparser.add_argument("--fragments", type=int, default=4)
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument("--semiring", choices=SEMIRINGS, default="shortest-path")
+        subparser.add_argument("--cache-size", type=int, default=1024)
+        subparser.add_argument("--workers", type=int, default=None,
+                               help="resident worker processes (default: in-process evaluation)")
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="prepare a graph and persist the catalog for serving"
+    )
+    snapshot.add_argument("graph", help="input graph JSON path")
+    snapshot.add_argument("output", help="output snapshot directory")
+    snapshot.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    snapshot.add_argument("--fragments", type=int, default=4)
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--semiring", choices=SEMIRINGS, default="shortest-path")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    batch_query = subparsers.add_parser(
+        "batch-query", help="answer a batch of queries with shared local work"
+    )
+    add_service_options(batch_query)
+    batch_query.add_argument("pairs", nargs="*", help="queries as SOURCE:TARGET pairs")
+    batch_query.add_argument("--queries", help="JSON file with a list of [source, target] pairs")
+    batch_query.add_argument("--stats", action="store_true", help="also print service statistics")
+    batch_query.set_defaults(handler=_cmd_batch_query)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve queries from stdin against a prepared catalog"
+    )
+    add_service_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -9,9 +9,11 @@ Parallel Hierarchical Evaluation extension.
 
 from .assembly import (
     AssemblyResult,
+    assemble_best_chain,
     assemble_chain,
     assemble_chain_with_joins,
     best_over_chains,
+    collect_task_keys,
 )
 from .catalog import DistributedCatalog, FragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
@@ -25,7 +27,7 @@ from .engine import (
 )
 from .hierarchical import BackboneStatistics, HierarchicalEngine
 from .local_query import LocalQueryEvaluator, LocalQueryResult
-from .maintenance import FragmentedDatabase, UpdateStatistics
+from .maintenance import FragmentedDatabase, UpdateEvent, UpdateStatistics
 from .planner import ChainPlan, LocalQuerySpec, QueryPlan, QueryPlanner
 from .routes import RoutedAnswer, RouteReconstructingEngine
 
@@ -49,10 +51,13 @@ __all__ = [
     "RoutedAnswer",
     "RouteReconstructingEngine",
     "SiteWork",
+    "UpdateEvent",
     "UpdateStatistics",
+    "assemble_best_chain",
     "assemble_chain",
     "assemble_chain_with_joins",
     "best_over_chains",
+    "collect_task_keys",
     "precompute_complementary_information",
     "reachability_engine",
     "shortest_path_engine",

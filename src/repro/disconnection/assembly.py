@@ -24,9 +24,10 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from ..closure import Semiring, shortest_path_semiring
 from ..relational import Relation, aggregate_min, equi_join, project, select_eq
 from .local_query import LocalQueryResult
-from .planner import ChainPlan
+from .planner import ChainPlan, QueryPlan
 
 Node = Hashable
+TaskKey = Tuple[int, "frozenset", "frozenset"]
 
 
 @dataclass
@@ -142,3 +143,49 @@ def best_over_chains(
             continue
         best = assembly.value if best is None else semiring.plus(best, assembly.value)
     return best
+
+
+def collect_task_keys(plans: Sequence[QueryPlan]) -> Tuple[List[TaskKey], int]:
+    """Pool the local query specs of ``plans`` into a duplicate-free task list.
+
+    Returns the deduplicated ``(fragment, entry, exit)`` keys in
+    first-appearance order plus the total number of spec references; the
+    difference is the local work sharing saved (chains of one query — and
+    queries of one batch — often need the identical border-to-border
+    subquery).
+    """
+    keys: Dict[TaskKey, None] = {}
+    references = 0
+    for plan in plans:
+        for chain_plan in plan.chains:
+            for spec in chain_plan.local_queries:
+                references += 1
+                keys.setdefault(spec.key(), None)
+    return list(keys), references
+
+
+def assemble_best_chain(
+    plan: QueryPlan,
+    results_by_key: Dict[TaskKey, LocalQueryResult],
+    *,
+    semiring: Optional[Semiring] = None,
+) -> Tuple[Optional[object], Optional[Tuple[int, ...]]]:
+    """Assemble every chain of ``plan`` from shared local results.
+
+    Returns the best path value over all chains and the chain that realised
+    it (``(None, None)`` when no chain yields a path).  ``results_by_key``
+    maps :meth:`LocalQuerySpec.key` to the evaluated local result, as
+    produced by the executor pool or the query service.
+    """
+    semiring = semiring or shortest_path_semiring()
+    assemblies: List[Tuple[ChainPlan, AssemblyResult]] = []
+    for chain_plan in plan.chains:
+        local_results = [results_by_key[spec.key()] for spec in chain_plan.local_queries]
+        assemblies.append(
+            (chain_plan, assemble_chain(chain_plan, local_results, semiring=semiring))
+        )
+    best_value = best_over_chains([assembly for _, assembly in assemblies], semiring=semiring)
+    for chain_plan, assembly in assemblies:
+        if assembly.value is not None and assembly.value == best_value:
+            return best_value, chain_plan.chain
+    return best_value, None

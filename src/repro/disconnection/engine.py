@@ -172,7 +172,7 @@ class DisconnectionSetEngine:
         for chain_plan in plan.chains:
             results: List[LocalQueryResult] = []
             for spec in chain_plan.local_queries:
-                key = (spec.fragment_id, spec.entry_nodes, spec.exit_nodes)
+                key = spec.key()
                 if key not in local_cache:
                     site = self._catalog.site(spec.fragment_id)
                     local_result = self._evaluator.evaluate(site, spec)

@@ -26,17 +26,39 @@ provided for explicit, operator-triggered reorganisation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..closure import Semiring, shortest_path_semiring
 from ..exceptions import FragmentationError
 from ..fragmentation import Fragmentation, Fragmenter
 from ..graph import DiGraph
-from .complementary import precompute_complementary_information
+from .complementary import ComplementaryInformation, precompute_complementary_information
 from .engine import DisconnectionSetEngine
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One applied change to the fragmented base relation.
+
+    Listeners registered with :meth:`FragmentedDatabase.add_update_listener`
+    receive these events after the change is applied — the hook a serving
+    layer uses to invalidate caches and re-pin worker state.
+
+    Attributes:
+        kind: ``"insert"``, ``"delete"``, ``"reweight"`` or ``"refragment"``.
+        source, target: the affected edge's endpoints (``None`` for
+            ``refragment``, which affects every fragment).
+        fragment_id: the fragment that absorbed the change (``None`` for
+            ``refragment``).
+    """
+
+    kind: str
+    source: Optional[Node] = None
+    target: Optional[Node] = None
+    fragment_id: Optional[int] = None
 
 
 @dataclass
@@ -67,6 +89,10 @@ class FragmentedDatabase:
         fragmentation: the initial fragmentation to deploy.
         semiring: the path problem queries will use (defaults to shortest
             paths).
+        complementary: optionally reuse already-precomputed complementary
+            information for the *initial* state (e.g. from a snapshot); the
+            first :meth:`engine` call then costs no search work.  Updates
+            still trigger the usual lazy recomputation.
     """
 
     def __init__(
@@ -74,6 +100,7 @@ class FragmentedDatabase:
         fragmentation: Fragmentation,
         *,
         semiring: Optional[Semiring] = None,
+        complementary: Optional[ComplementaryInformation] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         self._graph = fragmentation.graph.copy()
@@ -83,7 +110,27 @@ class FragmentedDatabase:
         self._algorithm = fragmentation.algorithm
         self._stale = True
         self._engine: Optional[DisconnectionSetEngine] = None
+        self._listeners: List[Callable[[UpdateEvent], None]] = []
         self.statistics = UpdateStatistics()
+        if complementary is not None:
+            self._engine = DisconnectionSetEngine(
+                fragmentation, semiring=self._semiring, complementary=complementary
+            )
+            self._stale = False
+
+    # ------------------------------------------------------------ listeners
+
+    def add_update_listener(self, listener: Callable[[UpdateEvent], None]) -> None:
+        """Register a callback invoked after every applied update.
+
+        The serving layer hooks its cache invalidation here; listeners run
+        synchronously in registration order and must not mutate the database.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, event: UpdateEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
 
     # ------------------------------------------------------------- accessors
 
@@ -141,6 +188,7 @@ class FragmentedDatabase:
             self._fragment_edges[owner].add((target, source))
             self.statistics.edges_inserted += 1
         self._mark_affected(owner)
+        self._notify(UpdateEvent(kind="insert", source=source, target=target, fragment_id=owner))
         return owner
 
     def delete_edge(self, source: Node, target: Node, *, symmetric: bool = False) -> int:
@@ -162,6 +210,7 @@ class FragmentedDatabase:
             self._graph.remove_edge(target, source)
             self.statistics.edges_deleted += 1
         self._mark_affected(owner)
+        self._notify(UpdateEvent(kind="delete", source=source, target=target, fragment_id=owner))
         return owner
 
     def update_edge_weight(self, source: Node, target: Node, weight: float) -> int:
@@ -171,6 +220,7 @@ class FragmentedDatabase:
             raise FragmentationError(f"edge ({source!r}, {target!r}) is not stored")
         self._graph.add_edge(source, target, weight)
         self._mark_affected(owner)
+        self._notify(UpdateEvent(kind="reweight", source=source, target=target, fragment_id=owner))
         return owner
 
     def refragment(self, fragmenter: Fragmenter) -> Fragmentation:
@@ -179,6 +229,7 @@ class FragmentedDatabase:
         self._fragment_edges = [set(fragment.edges) for fragment in fragmentation.fragments]
         self._algorithm = fragmentation.algorithm
         self._stale = True
+        self._notify(UpdateEvent(kind="refragment"))
         return self.fragmentation()
 
     # ------------------------------------------------------------- internals

@@ -44,6 +44,10 @@ class LocalQuerySpec:
     entry_nodes: FrozenSet[Node]
     exit_nodes: FrozenSet[Node]
 
+    def key(self) -> Tuple[int, FrozenSet[Node], FrozenSet[Node]]:
+        """The hashable identity used to deduplicate and route this subquery."""
+        return (self.fragment_id, self.entry_nodes, self.exit_nodes)
+
 
 @dataclass(frozen=True)
 class ChainPlan:

@@ -7,66 +7,31 @@ first phase" property with real OS-level parallelism.  Processes are used
 instead of threads because CPython's GIL would serialise pure-Python closure
 computations in a thread pool.
 
-Notes on fidelity: each worker receives its fragment site (subgraph +
-shortcuts) once, mirroring the shared-nothing placement of fragments on
-PRISMA/DB nodes; per-query messages contain only the query specs and the
-per-fragment path relations, which is what the paper's final joins consume.
-For the small fragments of the paper's workloads the process start-up cost
-dominates, so the simulator remains the vehicle for the speed-up experiments;
-the executor exists to validate the parallel decomposition end to end.
+The workers come from the :class:`~repro.service.pool.ResidentWorkerPool`:
+they are started once, receive the fragment sites (subgraph + shortcuts)
+once, and stay resident across queries, so repeated queries pay only for
+the query specs going out and the per-fragment path relations coming back,
+which is what the paper's final joins consume.  Call :meth:`close` (or use a
+``with`` block) to release the workers.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, Optional
 
 from ..closure import Semiring, shortest_path_semiring
 from ..disconnection import (
-    DisconnectionSetEngine,
-    LocalQueryEvaluator,
-    LocalQueryResult,
-    QueryPlan,
     QueryPlanner,
-    assemble_chain,
-    best_over_chains,
+    assemble_best_chain,
+    collect_task_keys,
 )
-from ..disconnection.catalog import DistributedCatalog, FragmentSite
+from ..disconnection.catalog import DistributedCatalog
 from ..fragmentation import Fragmentation
+from ..service.pool import PICKLABLE_SEMIRINGS, ResidentWorkerPool
 
 Node = Hashable
-
-# Module-level worker state, initialised once per worker process.
-_WORKER_SITES: Dict[int, FragmentSite] = {}
-_WORKER_EVALUATOR: Optional[LocalQueryEvaluator] = None
-
-
-def _worker_init(sites: List[FragmentSite], semiring_name: str) -> None:
-    """Initialise a worker process with its sites and evaluator."""
-    global _WORKER_SITES, _WORKER_EVALUATOR
-    from ..closure import reachability_semiring, shortest_path_semiring
-
-    _WORKER_SITES = {site.fragment_id: site for site in sites}
-    semiring = reachability_semiring() if semiring_name == "reachability" else shortest_path_semiring()
-    _WORKER_EVALUATOR = LocalQueryEvaluator(semiring=semiring)
-
-
-def _worker_evaluate(task: Tuple[int, FrozenSet[Node], FrozenSet[Node]]) -> Tuple[Tuple[int, FrozenSet[Node], FrozenSet[Node]], Dict]:
-    """Evaluate one local query spec inside a worker process."""
-    from ..disconnection.planner import LocalQuerySpec
-
-    fragment_id, entry_nodes, exit_nodes = task
-    spec = LocalQuerySpec(fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes)
-    assert _WORKER_EVALUATOR is not None
-    result = _WORKER_EVALUATOR.evaluate(_WORKER_SITES[fragment_id], spec)
-    # Ship back a plain dict; LocalQueryResult contains only picklable data but
-    # keeping the wire format explicit makes the message size obvious.
-    return task, {
-        "values": dict(result.values),
-        "iterations": result.estimated_iterations,
-        "tuples": result.statistics.tuples_produced,
-    }
 
 
 @dataclass
@@ -90,6 +55,9 @@ class MultiprocessQueryExecutor:
             pickle.
         processes: number of worker processes (defaults to the fragment count,
             capped at the CPU count).
+
+    The pool is created on the first query and reused afterwards; the
+    executor can be used as a context manager to release it deterministically.
     """
 
     def __init__(
@@ -100,19 +68,23 @@ class MultiprocessQueryExecutor:
         processes: Optional[int] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
-        if self._semiring.name not in ("shortest_path", "reachability"):
-            raise ValueError("the multiprocessing executor supports shortest_path and reachability only")
+        if self._semiring.name not in PICKLABLE_SEMIRINGS:
+            raise ValueError(
+                "the multiprocessing executor supports "
+                f"{' and '.join(PICKLABLE_SEMIRINGS)} only"
+            )
         self._catalog = DistributedCatalog(fragmentation, semiring=self._semiring)
         self._planner = QueryPlanner(self._catalog)
         default_processes = min(fragmentation.fragment_count(), multiprocessing.cpu_count())
         self._processes = max(1, processes if processes is not None else default_processes)
+        self._pool: Optional[ResidentWorkerPool] = None
 
     def query(self, source: Node, target: Node) -> ParallelAnswer:
-        """Answer a query by fanning the local subqueries out to worker processes."""
+        """Answer a query by fanning the local subqueries out to the resident workers."""
         plan = self._planner.plan(source, target)
-        tasks = self._collect_tasks(plan)
-        results = self._run_tasks(tasks)
-        value = self._assemble(plan, results)
+        tasks, _ = collect_task_keys([plan])
+        results = self._ensure_pool().evaluate(tasks)
+        value, _ = assemble_best_chain(plan, results, semiring=self._semiring)
         return ParallelAnswer(
             source=source,
             target=target,
@@ -121,51 +93,21 @@ class MultiprocessQueryExecutor:
             subqueries_executed=len(tasks),
         )
 
+    def close(self) -> None:
+        """Terminate the resident workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessQueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------- internals
 
-    def _collect_tasks(self, plan: QueryPlan) -> List[Tuple[int, FrozenSet[Node], FrozenSet[Node]]]:
-        tasks = []
-        seen = set()
-        for chain_plan in plan.chains:
-            for spec in chain_plan.local_queries:
-                key = (spec.fragment_id, spec.entry_nodes, spec.exit_nodes)
-                if key not in seen:
-                    seen.add(key)
-                    tasks.append(key)
-        return tasks
-
-    def _run_tasks(self, tasks: List[Tuple[int, FrozenSet[Node], FrozenSet[Node]]]) -> Dict:
-        sites = self._catalog.sites()
-        results: Dict = {}
-        if not tasks:
-            return results
-        with multiprocessing.Pool(
-            processes=self._processes,
-            initializer=_worker_init,
-            initargs=(sites, self._semiring.name),
-        ) as pool:
-            for key, payload in pool.map(_worker_evaluate, tasks):
-                results[key] = payload
-        return results
-
-    def _assemble(self, plan: QueryPlan, results: Dict) -> Optional[object]:
-        from ..closure import ClosureStatistics
-
-        assemblies = []
-        for chain_plan in plan.chains:
-            local_results: List[LocalQueryResult] = []
-            for spec in chain_plan.local_queries:
-                key = (spec.fragment_id, spec.entry_nodes, spec.exit_nodes)
-                payload = results[key]
-                stats = ClosureStatistics()
-                stats.tuples_produced = payload["tuples"]
-                local_results.append(
-                    LocalQueryResult(
-                        fragment_id=spec.fragment_id,
-                        values=dict(payload["values"]),
-                        statistics=stats,
-                        estimated_iterations=payload["iterations"],
-                    )
-                )
-            assemblies.append(assemble_chain(chain_plan, local_results, semiring=self._semiring))
-        return best_over_chains(assemblies, semiring=self._semiring)
+    def _ensure_pool(self) -> ResidentWorkerPool:
+        if self._pool is None:
+            self._pool = ResidentWorkerPool(self._catalog, processes=self._processes)
+        return self._pool

@@ -1,0 +1,48 @@
+"""The query-serving subsystem: prepare a fragmentation once, serve it many times.
+
+The paper's economics — pay for fragmentation and complementary information
+up front, then answer transitive-closure queries with communication-free
+local work — only pay off when the prepared catalog outlives a single query.
+This package provides the serving layer that makes that true in practice:
+
+* :mod:`~repro.service.snapshot` — persist/reload prepared catalogs,
+* :mod:`~repro.service.pool` — resident worker processes pinning the sites,
+* :mod:`~repro.service.cache` — a bounded LRU cache of query answers,
+* :mod:`~repro.service.batch` — shared-subquery batch planning,
+* :mod:`~repro.service.server` — the :class:`QueryService` façade,
+* :mod:`~repro.service.stats` — hit-rate / latency / load observability.
+"""
+
+from .batch import BatchPlan, BatchPlanner
+from .cache import LRUCache
+from .pool import ResidentWorkerPool, result_from_payload, semiring_from_name
+from .server import QueryService, ServiceAnswer
+from .snapshot import (
+    LoadedSnapshot,
+    SnapshotError,
+    SnapshotManifest,
+    SnapshotStore,
+    is_snapshot_directory,
+    load_snapshot,
+    save_snapshot,
+)
+from .stats import ServiceStatistics
+
+__all__ = [
+    "BatchPlan",
+    "BatchPlanner",
+    "LRUCache",
+    "LoadedSnapshot",
+    "QueryService",
+    "ResidentWorkerPool",
+    "ServiceAnswer",
+    "ServiceStatistics",
+    "SnapshotError",
+    "SnapshotManifest",
+    "SnapshotStore",
+    "is_snapshot_directory",
+    "load_snapshot",
+    "result_from_payload",
+    "save_snapshot",
+    "semiring_from_name",
+]

@@ -1,0 +1,95 @@
+"""Bounded LRU cache for query results.
+
+The disconnection set approach pays its preparation cost once and answers
+queries cheaply afterwards; a result cache takes the next step and makes the
+*second* identical query free.  Keys carry the catalog version, so an update
+to the base relation (see :mod:`repro.disconnection.maintenance`) naturally
+invalidates every cached answer: the service bumps its version and stale
+entries can no longer be hit.  :meth:`LRUCache.evict_stale` reclaims their
+slots eagerly so a busy service does not waste capacity on dead versions.
+
+The implementation is a plain ``OrderedDict`` LRU — no external dependencies,
+O(1) get/put — with hit/miss/eviction counters the service statistics expose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator, Optional, Tuple
+
+Key = Tuple[Hashable, ...]
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with observability counters.
+
+    Args:
+        capacity: maximum number of entries kept; the least recently used
+            entry is evicted when a put exceeds it.  Must be positive.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Key, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------ operations
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of entries retained."""
+        return self._capacity
+
+    def get(self, key: Key) -> Optional[object]:
+        """Return the cached value for ``key`` (refreshing it) or ``None``."""
+        if key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: Key, value: object) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def evict_stale(self, is_stale: Callable[[Key], bool]) -> int:
+        """Drop every entry whose key satisfies ``is_stale``; returns the count.
+
+        Used to reclaim the slots of entries keyed on an outdated catalog
+        version (they could never be hit again, but would still occupy
+        capacity until LRU pressure pushed them out).
+        """
+        stale = [key for key in self._entries if is_stale(key)]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)

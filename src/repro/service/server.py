@@ -1,0 +1,384 @@
+"""The query service: prepare once, serve many.
+
+:class:`QueryService` is the long-lived serving façade over the one-shot
+:class:`~repro.disconnection.engine.DisconnectionSetEngine`.  It composes the
+pieces of this package:
+
+* a :class:`~repro.service.cache.LRUCache` of answers keyed on
+  ``(source, target, semiring, catalog_version)``,
+* an optional :class:`~repro.service.pool.ResidentWorkerPool` that keeps the
+  fragment sites pinned in persistent worker processes,
+* the :class:`~repro.service.batch.BatchPlanner` that evaluates a batch's
+  shared local subqueries once,
+* the update hooks of
+  :class:`~repro.disconnection.maintenance.FragmentedDatabase`, which bump
+  the catalog version and flush the cache whenever the base relation changes,
+* :class:`~repro.service.stats.ServiceStatistics` making hit rates, latency
+  and per-site load observable.
+
+``QueryService.from_snapshot`` restores a service from a directory written by
+:func:`~repro.service.snapshot.save_snapshot` without recomputing any closure
+or complementary-information work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from ..closure import Semiring, shortest_path_semiring
+from ..disconnection import (
+    ComplementaryInformation,
+    DisconnectionSetEngine,
+    FragmentedDatabase,
+    LocalQueryEvaluator,
+    LocalQueryResult,
+    QueryPlanner,
+    assemble_best_chain,
+    collect_task_keys,
+)
+from ..disconnection.maintenance import UpdateEvent
+from ..disconnection.planner import LocalQuerySpec
+from ..fragmentation import Fragmentation
+from .batch import BatchPlanner
+from .cache import LRUCache
+from .pool import PICKLABLE_SEMIRINGS, ResidentWorkerPool, TaskKey
+from .snapshot import SnapshotManifest, load_snapshot, save_snapshot
+from .stats import ServiceStatistics
+
+Node = Hashable
+Query = Tuple[Node, Node]
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ServiceAnswer:
+    """One answered service query.
+
+    Attributes:
+        source, target: the queried endpoints.
+        value: the best path value (``None`` when no path exists or the
+            query failed — see ``error``).
+        chain: the fragment chain that produced the value (``None`` for
+            trivial/cached-without-chain answers).
+        cached: whether the answer came from the result cache.
+        error: planning failure message (unknown endpoint / no connecting
+            chain) for batch queries; ``None`` on success.
+    """
+
+    source: Node
+    target: Node
+    value: Optional[object]
+    chain: Optional[Tuple[int, ...]]
+    cached: bool = False
+    error: Optional[str] = None
+
+    def exists(self) -> bool:
+        """Return ``True`` when a path was found."""
+        return self.value is not None
+
+
+class QueryService:
+    """A long-lived query server over a prepared fragmentation.
+
+    Args:
+        fragmentation: the prepared fragmentation to serve.
+        semiring: the path problem (defaults to shortest paths).
+        complementary: reuse already-precomputed complementary information
+            (e.g. from a snapshot) so construction costs no search work.
+        cache_size: capacity of the LRU result cache.
+        workers: when set (> 0), evaluate local subqueries on a resident
+            pool of that many worker processes; when ``None`` the service
+            evaluates them in-process (still sharing subqueries and caching
+            results — the right choice for small fragments, where process
+            messaging would dominate).
+        max_chains: cap on fragment chains examined per query.
+    """
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        *,
+        semiring: Optional[Semiring] = None,
+        complementary: Optional[ComplementaryInformation] = None,
+        cache_size: int = 1024,
+        workers: Optional[int] = None,
+        max_chains: Optional[int] = 32,
+    ) -> None:
+        self._semiring = semiring or shortest_path_semiring()
+        if workers and self._semiring.name not in PICKLABLE_SEMIRINGS:
+            raise ValueError(
+                "worker processes support the "
+                f"{' and '.join(PICKLABLE_SEMIRINGS)} semirings only"
+            )
+        self._database = FragmentedDatabase(
+            fragmentation, semiring=self._semiring, complementary=complementary
+        )
+        self._database.add_update_listener(self._on_update)
+        self._cache = LRUCache(cache_size)
+        self._stats = ServiceStatistics()
+        self._workers = workers
+        self._max_chains = max_chains
+        self._pool: Optional[ResidentWorkerPool] = None
+        self._evaluator = LocalQueryEvaluator(semiring=self._semiring)
+        self._base_version = "live"
+        self._version = 0
+        self._current_engine: Optional[DisconnectionSetEngine] = None
+        self._planner: Optional[QueryPlanner] = None
+        self._batch_planner: Optional[BatchPlanner] = None
+        self._refresh_engine()
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def from_snapshot(cls, directory: PathLike, **kwargs) -> "QueryService":
+        """Restore a service from a snapshot directory (no recomputation)."""
+        loaded = load_snapshot(directory)
+        service = cls(
+            loaded.fragmentation,
+            semiring=loaded.semiring,
+            complementary=loaded.complementary,
+            **kwargs,
+        )
+        service._base_version = loaded.manifest.version
+        service._stats.snapshots_loaded += 1
+        return service
+
+    @classmethod
+    def from_engine(cls, engine: DisconnectionSetEngine, **kwargs) -> "QueryService":
+        """Wrap an already-prepared engine (reusing its complementary information)."""
+        return cls(
+            engine.catalog.fragmentation,
+            semiring=engine.semiring,
+            complementary=engine.catalog.complementary,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def semiring(self) -> Semiring:
+        """The path problem being served."""
+        return self._semiring
+
+    @property
+    def stats(self) -> ServiceStatistics:
+        """The service's operational counters."""
+        return self._stats
+
+    @property
+    def cache(self) -> LRUCache:
+        """The bounded LRU result cache."""
+        return self._cache
+
+    @property
+    def database(self) -> FragmentedDatabase:
+        """The mutable fragmented database behind the service."""
+        return self._database
+
+    @property
+    def catalog_version(self) -> str:
+        """The version string cache keys carry (bumped on every update)."""
+        return f"{self._base_version}.{self._version}"
+
+    def engine(self) -> DisconnectionSetEngine:
+        """The current engine (rebuilt lazily after updates)."""
+        return self._refresh_engine()
+
+    # --------------------------------------------------------------- queries
+
+    def query(self, source: Node, target: Node) -> ServiceAnswer:
+        """Answer one best-path query, consulting the result cache first.
+
+        Raises:
+            NoChainError: if an endpoint is stored nowhere or no fragment
+                chain connects the endpoints (mirrors the engine contract).
+        """
+        started = time.perf_counter()
+        engine = self._refresh_engine()
+        key = self._cache_key(source, target)
+        hit = self._cache.get(key)
+        if hit is not None:
+            value, chain = hit
+            self._stats.record_query(time.perf_counter() - started, cached=True)
+            return ServiceAnswer(source=source, target=target, value=value, chain=chain, cached=True)
+        if source == target and engine.catalog.sites_storing_node(source):
+            value, chain = self._semiring.one, None
+        else:
+            assert self._planner is not None
+            plan = self._planner.plan(source, target)
+            tasks, references = collect_task_keys([plan])
+            results = self._evaluate_tasks(tasks)
+            self._stats.shared_subqueries_saved += references - len(tasks)
+            value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
+        self._cache.put(key, (value, chain))
+        self._stats.record_query(time.perf_counter() - started, cached=False)
+        return ServiceAnswer(source=source, target=target, value=value, chain=chain, cached=False)
+
+    def query_batch(self, queries: Sequence[Query]) -> List[ServiceAnswer]:
+        """Answer a batch of queries, sharing duplicated and overlapping work.
+
+        Unlike :meth:`query`, planning failures do not raise: the affected
+        answers carry an ``error`` message, so one unknown endpoint cannot
+        poison a batch.
+        """
+        started = time.perf_counter()
+        submitted = [tuple(query) for query in queries]
+        self._stats.batches += 1
+        self._stats.batched_queries += len(submitted)
+        engine = self._refresh_engine()
+
+        distinct: List[Query] = []
+        seen = set()
+        for query in submitted:
+            if query not in seen:
+                seen.add(query)
+                distinct.append(query)
+        self._stats.duplicate_queries_saved += len(submitted) - len(distinct)
+
+        resolved: Dict[Query, ServiceAnswer] = {}
+        pending: List[Query] = []
+        for source, target in distinct:
+            key = self._cache_key(source, target)
+            hit = self._cache.get(key)
+            if hit is not None:
+                value, chain = hit
+                resolved[(source, target)] = ServiceAnswer(
+                    source=source, target=target, value=value, chain=chain, cached=True
+                )
+            elif source == target and engine.catalog.sites_storing_node(source):
+                value, chain = self._semiring.one, None
+                self._cache.put(key, (value, chain))
+                resolved[(source, target)] = ServiceAnswer(
+                    source=source, target=target, value=value, chain=chain, cached=False
+                )
+            else:
+                pending.append((source, target))
+
+        if pending:
+            assert self._batch_planner is not None
+            batch = self._batch_planner.plan_batch(pending)
+            results = self._evaluate_tasks(batch.tasks)
+            self._stats.shared_subqueries_saved += batch.shared_subqueries_saved()
+            for index, query in enumerate(batch.unique_queries):
+                source, target = query
+                plan = batch.plans[index]
+                if plan is None:
+                    resolved[query] = ServiceAnswer(
+                        source=source, target=target, value=None, chain=None,
+                        cached=False, error=batch.errors[index],
+                    )
+                    continue
+                value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
+                self._cache.put(self._cache_key(source, target), (value, chain))
+                resolved[query] = ServiceAnswer(
+                    source=source, target=target, value=value, chain=chain, cached=False
+                )
+
+        elapsed = time.perf_counter() - started
+        per_query = elapsed / len(submitted) if submitted else 0.0
+        answers = []
+        first_occurrence_seen = set()
+        for query in submitted:
+            answer = resolved[query]
+            # A duplicate of an already-resolved query was served without any
+            # work of its own: count it as a hit, whatever its first
+            # occurrence cost.  The recorded latency is the batch's amortised
+            # per-query share.
+            duplicate = query in first_occurrence_seen
+            first_occurrence_seen.add(query)
+            self._stats.record_query(per_query, cached=answer.cached or duplicate)
+            answers.append(answer)
+        return answers
+
+    # --------------------------------------------------------------- updates
+
+    def update_edge(
+        self,
+        source: Node,
+        target: Node,
+        weight: float = 1.0,
+        *,
+        delete: bool = False,
+        symmetric: bool = False,
+    ) -> int:
+        """Apply one edge change and return the fragment that absorbed it.
+
+        Inserts the edge when it does not exist, reweights it when it does,
+        and deletes it with ``delete=True``.  The registered update hook
+        bumps the catalog version and flushes the result cache, so stale
+        answers can never be served.
+        """
+        if delete:
+            return self._database.delete_edge(source, target, symmetric=symmetric)
+        if self._database.graph.has_edge(source, target):
+            return self._database.update_edge_weight(source, target, weight)
+        return self._database.insert_edge(source, target, weight, symmetric=symmetric)
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self, directory: PathLike) -> SnapshotManifest:
+        """Serialise the service's current prepared state to ``directory``."""
+        manifest = save_snapshot(directory, self._refresh_engine())
+        self._stats.snapshots_saved += 1
+        return manifest
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release the resident worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+
+    def _cache_key(self, source: Node, target: Node) -> Tuple:
+        return (source, target, self._semiring.name, self.catalog_version)
+
+    def _on_update(self, event: UpdateEvent) -> None:
+        self._version += 1
+        current = self.catalog_version
+        # Version-based invalidation: drop every entry keyed on an older
+        # catalog version (i.e., today, everything) so dead entries never
+        # occupy cache capacity.
+        self._cache.evict_stale(lambda key: key[3] != current)
+        self._stats.invalidations += 1
+        self._stats.updates_applied += 1
+
+    def _refresh_engine(self) -> DisconnectionSetEngine:
+        engine = self._database.engine()
+        if engine is not self._current_engine:
+            self._current_engine = engine
+            self._planner = QueryPlanner(engine.catalog, max_chains=self._max_chains)
+            self._batch_planner = BatchPlanner(self._planner)
+            if self._pool is not None:
+                self._pool.restart(engine.catalog)
+        return engine
+
+    def _evaluate_tasks(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
+        engine = self._current_engine
+        assert engine is not None
+        if self._workers:
+            if self._pool is None:
+                self._pool = ResidentWorkerPool(engine.catalog, processes=self._workers)
+            results = self._pool.evaluate(tasks)
+        else:
+            results = {}
+            for key in tasks:
+                fragment_id, entry_nodes, exit_nodes = key
+                spec = LocalQuerySpec(
+                    fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes
+                )
+                results[key] = self._evaluator.evaluate(engine.catalog.site(fragment_id), spec)
+        for key in tasks:
+            self._stats.record_dispatch(key[0])
+        return results

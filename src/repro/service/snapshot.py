@@ -1,0 +1,292 @@
+"""Snapshot store: pay the preparation once, reload it per process.
+
+The expensive half of the disconnection set approach is preparation —
+fragmenting the base relation and precomputing the complementary information
+(one global search per border node).  A snapshot captures the prepared state
+— base graph, fragment edge lists, complementary values — in a directory with
+a JSON manifest and a binary payload, so a serving process reloads a ready
+:class:`~repro.disconnection.engine.DisconnectionSetEngine` without redoing
+any search work.
+
+The payload deliberately stores *plain data* (edge tuples, value mappings)
+rather than pickling live engine objects: the wire format stays inspectable,
+stable across refactors of the in-memory classes, and restricted to the two
+standard semirings whose values (floats / booleans) serialise losslessly.
+The manifest carries a content hash that doubles as the catalog version for
+the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, List, Tuple, Union
+
+from ..closure import Semiring
+from ..disconnection import ComplementaryInformation, DisconnectionSetEngine
+from ..exceptions import ReproError
+from ..fragmentation import Fragmentation
+from ..graph import DiGraph, Point
+from .pool import semiring_from_name
+
+Node = Hashable
+PathLike = Union[str, Path]
+
+MANIFEST_FILE = "manifest.json"
+PAYLOAD_FILE = "payload.pkl"
+SNAPSHOT_FORMAT = "repro-snapshot-v1"
+
+
+class SnapshotError(ReproError):
+    """A snapshot directory is missing, corrupt, or incompatible."""
+
+
+@dataclass
+class SnapshotPayload:
+    """The plain-data body of a snapshot (everything needed to rebuild an engine)."""
+
+    nodes: List[Node]
+    edges: List[Tuple[Node, Node, float]]
+    coordinates: Dict[Node, Tuple[float, float]]
+    fragment_edges: List[List[Tuple[Node, Node]]]
+    algorithm: str
+    semiring_name: str
+    complementary_values: Dict[Tuple[int, int], Dict[Tuple[Node, Node], object]]
+    complementary_paths: Dict[Tuple[int, int], Dict[Tuple[Node, Node], List[Node]]]
+    precompute_work: int = 0
+
+
+@dataclass
+class SnapshotManifest:
+    """The JSON-visible description of a snapshot.
+
+    Attributes:
+        version: content hash of the payload; the service uses it as the
+            catalog version in cache keys, so two snapshots of the same state
+            share cached results.
+        semiring_name / algorithm: what was prepared and how.
+        fragment_count / node_count / edge_count / complementary_facts:
+            size figures (the paper's storage-overhead accounting).
+        format: payload format tag, checked on load.
+    """
+
+    version: str
+    semiring_name: str
+    algorithm: str
+    fragment_count: int
+    node_count: int
+    edge_count: int
+    complementary_facts: int
+    format: str = SNAPSHOT_FORMAT
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the manifest as a JSON-serialisable dictionary."""
+        return {
+            "format": self.format,
+            "version": self.version,
+            "semiring": self.semiring_name,
+            "algorithm": self.algorithm,
+            "fragment_count": self.fragment_count,
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "complementary_facts": self.complementary_facts,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "SnapshotManifest":
+        """Rebuild a manifest from its JSON dictionary."""
+        return cls(
+            version=str(document["version"]),
+            semiring_name=str(document["semiring"]),
+            algorithm=str(document["algorithm"]),
+            fragment_count=int(document["fragment_count"]),  # type: ignore[arg-type]
+            node_count=int(document["node_count"]),  # type: ignore[arg-type]
+            edge_count=int(document["edge_count"]),  # type: ignore[arg-type]
+            complementary_facts=int(document["complementary_facts"]),  # type: ignore[arg-type]
+            format=str(document.get("format", SNAPSHOT_FORMAT)),
+        )
+
+
+@dataclass
+class LoadedSnapshot:
+    """A reloaded snapshot: the prepared state plus its manifest."""
+
+    manifest: SnapshotManifest
+    fragmentation: Fragmentation
+    complementary: ComplementaryInformation
+    semiring: Semiring
+
+    def build_engine(self, **kwargs) -> DisconnectionSetEngine:
+        """Return a query engine over the snapshot — no search work recomputed."""
+        return DisconnectionSetEngine(
+            self.fragmentation,
+            semiring=self.semiring,
+            complementary=self.complementary,
+            **kwargs,
+        )
+
+
+# ----------------------------------------------------------- payload building
+
+
+def _payload_from_engine(engine: DisconnectionSetEngine) -> SnapshotPayload:
+    catalog = engine.catalog
+    fragmentation = catalog.fragmentation
+    semiring_from_name(catalog.semiring.name)  # reject non-serialisable semirings early
+    graph = fragmentation.graph
+    complementary = catalog.complementary
+    return SnapshotPayload(
+        nodes=list(graph.nodes()),
+        edges=list(graph.weighted_edges()),
+        coordinates={node: (point.x, point.y) for node, point in graph.coordinates().items()},
+        fragment_edges=[sorted(fragment.edges, key=repr) for fragment in fragmentation.fragments],
+        algorithm=fragmentation.algorithm,
+        semiring_name=catalog.semiring.name,
+        complementary_values={pair: dict(values) for pair, values in complementary.values.items()},
+        complementary_paths={
+            pair: {key: list(path) for key, path in paths.items()}
+            for pair, paths in complementary.paths.items()
+        },
+        precompute_work=complementary.precompute_work,
+    )
+
+
+def compute_version(payload: SnapshotPayload) -> str:
+    """Return the content hash of a payload (the snapshot / catalog version)."""
+    digest = hashlib.sha256()
+    canonical = (
+        sorted(payload.nodes, key=repr),
+        sorted(payload.edges, key=repr),
+        sorted(payload.coordinates.items(), key=repr),
+        [sorted(edges, key=repr) for edges in payload.fragment_edges],
+        payload.algorithm,
+        payload.semiring_name,
+        sorted(
+            (pair, sorted(values.items(), key=repr))
+            for pair, values in payload.complementary_values.items()
+        ),
+    )
+    digest.update(repr(canonical).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------- save / load
+
+
+def save_snapshot(directory: PathLike, engine: DisconnectionSetEngine) -> SnapshotManifest:
+    """Serialise a prepared engine into ``directory`` and return its manifest."""
+    payload = _payload_from_engine(engine)
+    manifest = SnapshotManifest(
+        version=compute_version(payload),
+        semiring_name=payload.semiring_name,
+        algorithm=payload.algorithm,
+        fragment_count=len(payload.fragment_edges),
+        node_count=len(payload.nodes),
+        edge_count=len(payload.edges),
+        complementary_facts=sum(len(values) for values in payload.complementary_values.values()),
+    )
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / PAYLOAD_FILE).write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    (target / MANIFEST_FILE).write_text(json.dumps(manifest.as_dict(), indent=2, sort_keys=True))
+    return manifest
+
+
+def is_snapshot_directory(directory: PathLike) -> bool:
+    """Return ``True`` when ``directory`` looks like a saved snapshot."""
+    target = Path(directory)
+    return (target / MANIFEST_FILE).is_file() and (target / PAYLOAD_FILE).is_file()
+
+
+def load_snapshot(directory: PathLike) -> LoadedSnapshot:
+    """Reload a snapshot directory into a ready-to-query state.
+
+    Raises:
+        SnapshotError: when the directory is not a snapshot or its format tag
+            is not understood.
+    """
+    target = Path(directory)
+    if not is_snapshot_directory(target):
+        raise SnapshotError(f"{target} is not a snapshot directory (missing manifest or payload)")
+    manifest = SnapshotManifest.from_dict(json.loads((target / MANIFEST_FILE).read_text()))
+    if manifest.format != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"snapshot format {manifest.format!r} is not supported (expected {SNAPSHOT_FORMAT!r})"
+        )
+    payload: SnapshotPayload = pickle.loads((target / PAYLOAD_FILE).read_bytes())
+    actual_version = compute_version(payload)
+    if actual_version != manifest.version:
+        raise SnapshotError(
+            f"snapshot payload does not match its manifest (payload hashes to "
+            f"{actual_version}, manifest says {manifest.version}) — the directory "
+            "is corrupt or mixes files from different snapshots"
+        )
+    graph = DiGraph()
+    for node in payload.nodes:
+        graph.add_node(node)
+    for source, target_node, weight in payload.edges:
+        graph.add_edge(source, target_node, weight)
+    for node, (x, y) in payload.coordinates.items():
+        graph.set_coordinate(node, Point(x, y))
+    fragmentation = Fragmentation(graph, payload.fragment_edges, algorithm=payload.algorithm)
+    complementary = ComplementaryInformation(
+        semiring_name=payload.semiring_name,
+        values={pair: dict(values) for pair, values in payload.complementary_values.items()},
+        paths={
+            pair: {key: list(path) for key, path in paths.items()}
+            for pair, paths in payload.complementary_paths.items()
+        },
+        precompute_work=payload.precompute_work,
+    )
+    return LoadedSnapshot(
+        manifest=manifest,
+        fragmentation=fragmentation,
+        complementary=complementary,
+        semiring=semiring_from_name(payload.semiring_name),
+    )
+
+
+class SnapshotStore:
+    """A directory of named snapshots (one subdirectory per snapshot).
+
+    Args:
+        root: the directory holding the snapshots (created lazily).
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    def path(self, name: str) -> Path:
+        """Return the directory a snapshot of this name lives in."""
+        return self._root / name
+
+    def save(self, name: str, engine: DisconnectionSetEngine) -> SnapshotManifest:
+        """Save a prepared engine under ``name`` and return the manifest."""
+        return save_snapshot(self.path(name), engine)
+
+    def load(self, name: str) -> LoadedSnapshot:
+        """Reload the snapshot saved under ``name``."""
+        return load_snapshot(self.path(name))
+
+    def manifest(self, name: str) -> SnapshotManifest:
+        """Read only the manifest of a snapshot (no payload deserialisation)."""
+        manifest_path = self.path(name) / MANIFEST_FILE
+        if not manifest_path.is_file():
+            raise SnapshotError(f"no snapshot named {name!r} under {self._root}")
+        return SnapshotManifest.from_dict(json.loads(manifest_path.read_text()))
+
+    def list_snapshots(self) -> List[str]:
+        """Return the names of every snapshot in the store, sorted."""
+        if not self._root.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self._root.iterdir() if is_snapshot_directory(entry)
+        )

@@ -1,0 +1,104 @@
+"""Operational statistics of the query service.
+
+The paper's economics only work when the preparation cost (fragmentation +
+complementary information) is amortised over many queries; these counters make
+the amortisation observable: cache hit rate, per-site dispatch load, the
+subqueries a batch shared instead of recomputing, and the invalidations that
+updates caused.  :meth:`ServiceStatistics.as_dict` is the flat form the CLI's
+``stats`` command and the throughput benchmark print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ServiceStatistics:
+    """Counters accumulated by a :class:`~repro.service.server.QueryService`.
+
+    Attributes:
+        queries: queries answered, single and batched (including cache hits).
+        batches: ``query_batch`` calls served.
+        batched_queries: queries submitted through batches.
+        cache_hits / cache_misses: result-cache outcomes; duplicates within
+            one batch count as hits (they are served without work of their
+            own).
+        local_evaluations: per-fragment subqueries actually evaluated.
+        shared_subqueries_saved: subquery evaluations avoided because another
+            chain (or another query of the same batch) already needed the same
+            ``(fragment, entry, exit)`` work.
+        duplicate_queries_saved: batch queries answered by deduplication.
+        invalidations: cache flushes triggered by updates.
+        updates_applied: edge insertions/deletions/reweights applied.
+        snapshots_saved / snapshots_loaded: snapshot-store round trips.
+        per_site_load: subqueries dispatched to each fragment site.
+        total_latency / max_latency: wall-clock seconds spent answering
+            queries (cache hits included — they are what the cache buys).
+    """
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    local_evaluations: int = 0
+    shared_subqueries_saved: int = 0
+    duplicate_queries_saved: int = 0
+    invalidations: int = 0
+    updates_applied: int = 0
+    snapshots_saved: int = 0
+    snapshots_loaded: int = 0
+    per_site_load: Dict[int, int] = field(default_factory=dict)
+    total_latency: float = 0.0
+    max_latency: float = 0.0
+
+    # ------------------------------------------------------------- recording
+
+    def record_query(self, latency: float, *, cached: bool) -> None:
+        """Record one answered query and its wall-clock latency."""
+        self.queries += 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.total_latency += latency
+        self.max_latency = max(self.max_latency, latency)
+
+    def record_dispatch(self, fragment_id: int, count: int = 1) -> None:
+        """Record ``count`` subqueries dispatched to one fragment site."""
+        self.local_evaluations += count
+        self.per_site_load[fragment_id] = self.per_site_load.get(fragment_id, 0) + count
+
+    # ------------------------------------------------------------- reporting
+
+    def hit_rate(self) -> float:
+        """Return the cache hit rate over all answered queries (0.0 when idle)."""
+        answered = self.cache_hits + self.cache_misses
+        return self.cache_hits / answered if answered else 0.0
+
+    def average_latency(self) -> float:
+        """Return the mean per-query latency in seconds (0.0 when idle)."""
+        return self.total_latency / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the counters as a flat dictionary (for reporting)."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate(), 4),
+            "local_evaluations": self.local_evaluations,
+            "shared_subqueries_saved": self.shared_subqueries_saved,
+            "duplicate_queries_saved": self.duplicate_queries_saved,
+            "invalidations": self.invalidations,
+            "updates_applied": self.updates_applied,
+            "snapshots_saved": self.snapshots_saved,
+            "snapshots_loaded": self.snapshots_loaded,
+            "per_site_load": dict(sorted(self.per_site_load.items())),
+            "average_latency": self.average_latency(),
+            "max_latency": self.max_latency,
+        }

@@ -31,8 +31,41 @@ class TestMultiprocessExecutor:
 
     def test_reachability_semiring(self, dumbbell_setup):
         _, fragmentation = dumbbell_setup
-        executor = MultiprocessQueryExecutor(
+        with MultiprocessQueryExecutor(
             fragmentation, semiring=reachability_semiring(), processes=2
-        )
-        answer = executor.query(0, 7)
+        ) as executor:
+            answer = executor.query(0, 7)
         assert answer.value is True
+
+    def test_pool_is_resident_across_queries(self, dumbbell_setup):
+        _, fragmentation = dumbbell_setup
+        with MultiprocessQueryExecutor(fragmentation, processes=2) as executor:
+            executor.query(1, 7)
+            pool = executor._pool
+            assert pool is not None and pool.is_running()
+            executor.query(0, 6)
+            # The same resident workers served both queries.
+            assert executor._pool is pool
+            assert sum(pool.dispatch_counts.values()) >= 4
+        assert not pool.is_running()
+
+
+class TestExecutorMatchesSequentialEngine:
+    def test_round_trip_on_seeded_random_graph(self):
+        """The parallel executor and the sequential engine agree on a random graph."""
+        from repro.disconnection import DisconnectionSetEngine
+        from repro.fragmentation import CenterBasedFragmenter
+        from repro.generators import RandomGraphConfig, generate_random_graph
+
+        graph = generate_random_graph(RandomGraphConfig(node_count=40, c1=90.0, c2=0.5), seed=11)
+        fragmentation = CenterBasedFragmenter(3, center_selection="random", seed=7).fragment(graph)
+        engine = DisconnectionSetEngine(fragmentation)
+        rng_pairs = [(0, 39), (5, 30), (12, 27), (3, 18), (20, 8)]
+        with MultiprocessQueryExecutor(fragmentation, processes=3) as executor:
+            for source, target in rng_pairs:
+                sequential = engine.query(source, target)
+                parallel = executor.query(source, target)
+                if sequential.value is None:
+                    assert parallel.value is None
+                else:
+                    assert parallel.value == pytest.approx(sequential.value)

@@ -1,0 +1,53 @@
+"""Tests for the batch planner (dedup + shared local subqueries)."""
+
+import pytest
+
+from repro.disconnection import DisconnectionSetEngine, QueryPlanner
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+from repro.service import BatchPlanner
+
+
+@pytest.fixture(scope="module")
+def planner():
+    graph = two_cluster_dumbbell(4, bridge_nodes=2)
+    fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+    engine = DisconnectionSetEngine(fragmentation)
+    return BatchPlanner(QueryPlanner(engine.catalog))
+
+
+class TestBatchPlanning:
+    def test_duplicates_are_collapsed(self, planner):
+        batch = planner.plan_batch([(0, 7), (0, 7), (0, 7), (1, 6)])
+        assert batch.unique_queries == [(0, 7), (1, 6)]
+        assert batch.assignments == [0, 0, 0, 1]
+        assert batch.duplicate_queries_saved() == 2
+
+    def test_shared_subqueries_are_pooled(self, planner):
+        # Both queries cross the same fragment pair, so the border-to-border
+        # subqueries of the intermediate chains coincide; the pooled task
+        # list must contain each (fragment, entry, exit) spec exactly once.
+        batch = planner.plan_batch([(0, 7), (1, 7)])
+        assert batch.spec_references > len(batch.tasks)
+        assert batch.shared_subqueries_saved() > 0
+        assert len(set(batch.tasks)) == len(batch.tasks)
+
+    def test_chain_groups_expose_sharing(self, planner):
+        batch = planner.plan_batch([(0, 7), (1, 7)])
+        shared_chains = [
+            chain for chain, members in batch.chain_groups.items() if len(members) == 2
+        ]
+        assert shared_chains, "cross-cluster queries should share their fragment chain"
+
+    def test_planning_errors_do_not_abort_the_batch(self, planner):
+        batch = planner.plan_batch([(0, "missing"), (0, 7)])
+        assert batch.plans[0] is None
+        assert 0 in batch.errors
+        assert batch.plans[1] is not None
+        assert batch.tasks, "the healthy query must still be planned"
+
+    def test_single_fragment_query_has_no_sharing(self, planner):
+        # 2 and 3 are interior to the left clique: one chain, one spec.
+        batch = planner.plan_batch([(2, 3)])
+        assert batch.spec_references == len(batch.tasks)
+        assert batch.shared_subqueries_saved() == 0

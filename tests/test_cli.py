@@ -92,3 +92,112 @@ class TestExperimentCommand:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "bond-energy" in captured.out
+
+
+@pytest.fixture
+def snapshot_dir(graph_file, tmp_path, capsys):
+    """Prepare a snapshot of the generated graph via the CLI itself."""
+    path = tmp_path / "snapshot"
+    exit_code = main(
+        ["snapshot", str(graph_file), str(path), "--algorithm", "linear", "--fragments", "3"]
+    )
+    capsys.readouterr()
+    assert exit_code == 0
+    return path
+
+
+class TestSnapshotCommand:
+    def test_snapshot_writes_manifest_and_payload(self, snapshot_dir, capsys):
+        assert (snapshot_dir / "manifest.json").is_file()
+        assert (snapshot_dir / "payload.pkl").is_file()
+
+    def test_snapshot_prints_characteristics(self, graph_file, tmp_path, capsys):
+        exit_code = main(["snapshot", str(graph_file), str(tmp_path / "s"), "--algorithm", "linear"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "version:" in captured.out
+        assert "complementary_facts:" in captured.out
+
+
+class TestBatchQueryCommand:
+    def test_batch_query_from_snapshot(self, snapshot_dir, capsys):
+        exit_code = main(["batch-query", str(snapshot_dir), "0:20", "0:20", "1:15", "--stats"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "loaded snapshot" in captured.out
+        assert "0 -> 20" in captured.out
+        assert "duplicate_queries_saved: 1" in captured.out
+
+    def test_batch_query_from_graph_json(self, graph_file, capsys):
+        exit_code = main(
+            ["batch-query", str(graph_file), "0:20", "--algorithm", "linear", "--fragments", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 -> 20" in captured.out
+
+    def test_batch_query_from_queries_file(self, snapshot_dir, tmp_path, capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps([[0, 20], [1, 15]]))
+        exit_code = main(["batch-query", str(snapshot_dir), "--queries", str(queries)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "1 -> 15" in captured.out
+
+    def test_batch_query_requires_queries(self, snapshot_dir, capsys):
+        exit_code = main(["batch-query", str(snapshot_dir)])
+        assert exit_code == 2
+        assert "no queries" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, source, script):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        exit_code = main(["serve", str(source)])
+        return exit_code, capsys.readouterr()
+
+    def test_serve_query_loop(self, snapshot_dir, monkeypatch, capsys):
+        exit_code, captured = self._serve(
+            monkeypatch, capsys, snapshot_dir, "query 0 20\nquery 0 20\nstats\nquit\n"
+        )
+        assert exit_code == 0
+        assert captured.out.count("0 -> 20") == 2
+        assert "(cached)" in captured.out
+        assert "hit_rate: 0.5" in captured.out
+
+    def test_serve_update_invalidates(self, snapshot_dir, monkeypatch, capsys):
+        script = "query 0 20\nupdate 0 20 2.5\nquery 0 20\nquit\n"
+        exit_code, captured = self._serve(monkeypatch, capsys, snapshot_dir, script)
+        assert exit_code == 0
+        assert "updated; fragment" in captured.out
+        assert "value 2.5" in captured.out
+
+    def test_serve_snapshot_command(self, snapshot_dir, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "resnap"
+        exit_code, captured = self._serve(
+            monkeypatch, capsys, snapshot_dir, f"snapshot {target}\nquit\n"
+        )
+        assert exit_code == 0
+        assert (target / "manifest.json").is_file()
+
+    def test_serve_reports_bad_commands(self, snapshot_dir, monkeypatch, capsys):
+        # Bad lines (unknown commands, bad weights, unknown nodes) must not
+        # take the long-lived server down.
+        script = "bogus\nupdate 0 20 notanumber\nquery 0 no-such-node\nquery 0 20\nquit\n"
+        exit_code, captured = self._serve(monkeypatch, capsys, snapshot_dir, script)
+        assert exit_code == 0
+        assert "unrecognised command" in captured.out
+        assert "could not convert" in captured.out
+        assert "0 -> 20: value" in captured.out
+
+    def test_batch_query_rejects_non_snapshot_directory(self, tmp_path, capsys):
+        exit_code = main(["batch-query", str(tmp_path), "0:20"])
+        assert exit_code == 2
+        assert "not a snapshot" in capsys.readouterr().err
+
+    def test_batch_query_rejects_missing_source(self, tmp_path, capsys):
+        exit_code = main(["batch-query", str(tmp_path / "nowhere.json"), "0:20"])
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
