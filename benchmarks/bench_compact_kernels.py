@@ -1,0 +1,240 @@
+"""Dict-based vs compact-kernel evaluation: the hot-path refactor's receipts.
+
+Every hot path of the reproduction — whole-graph closures, per-fragment local
+queries, end-to-end service queries — can run either on the mutable
+dict-of-dicts :class:`~repro.graph.digraph.DiGraph` or on the immutable CSR
+:class:`~repro.graph.compact.CompactGraph` with the bitset/array kernels of
+:mod:`repro.closure.kernels`.  This benchmark times both paths on the sample
+transportation workload, asserts they return identical answers, and writes
+the figures to ``BENCH_kernels.json`` so the performance trajectory of the
+repository is recorded machine-readably, run over run.
+
+Run ``python benchmarks/bench_compact_kernels.py`` directly (``--tiny`` for
+the CI smoke configuration), or through pytest
+(``pytest benchmarks/bench_compact_kernels.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.closure import (
+    bfs_closure,
+    compact_reachability_closure,
+    compact_shortest_path_closure,
+    dijkstra_closure,
+    reachability_semiring,
+)
+from repro.disconnection import DistributedCatalog, LocalQueryEvaluator, QueryPlanner
+from repro.fragmentation import CenterBasedFragmenter
+from repro.generators import (
+    TransportationGraphConfig,
+    cross_cluster_queries,
+    generate_transportation_graph,
+)
+from repro.graph import CompactGraph
+from repro.service import QueryService
+
+try:  # pytest provides print_report when collected as part of the harness
+    from .conftest import print_report
+except ImportError:  # direct `python benchmarks/bench_compact_kernels.py` run
+    def print_report(title: str, body: str) -> None:
+        separator = "=" * max(len(title), 20)
+        print(f"\n{separator}\n{title}\n{separator}\n{body}\n")
+
+
+OUTPUT_FILE = os.environ.get("BENCH_KERNELS_OUT", "BENCH_kernels.json")
+
+
+def build_workload(*, tiny: bool = False):
+    """Return (graph, fragmentation, queries) for the sample transportation net."""
+    config = TransportationGraphConfig(
+        cluster_count=3 if tiny else 4,
+        nodes_per_cluster=8 if tiny else 16,
+        cluster_c1=520.0,
+        cluster_c2=0.04,
+        inter_cluster_edges=2,
+    )
+    network = generate_transportation_graph(config, seed=23)
+    fragmentation = CenterBasedFragmenter(
+        config.cluster_count, center_selection="distributed"
+    ).fragment(network.graph)
+    queries = cross_cluster_queries(
+        network.clusters, 4 if tiny else 12, seed=5, minimum_cluster_distance=1
+    )
+    return network.graph, fragmentation, [(q.source, q.target) for q in queries]
+
+
+def _time(fn, repetitions: int):
+    """Return (last_result, total_seconds) over ``repetitions`` calls."""
+    started = time.perf_counter()
+    result = None
+    for _ in range(repetitions):
+        result = fn()
+    return result, time.perf_counter() - started
+
+
+def bench_closures(graph, repetitions: int):
+    """Whole-graph closures: per-source dict searches vs compact kernels."""
+    compact = CompactGraph.from_digraph(graph)
+    reach_dict, reach_dict_s = _time(lambda: bfs_closure(graph), repetitions)
+    reach_kern, reach_kern_s = _time(
+        lambda: compact_reachability_closure(compact), repetitions
+    )
+    sp_dict, sp_dict_s = _time(lambda: dijkstra_closure(graph), repetitions)
+    sp_kern, sp_kern_s = _time(lambda: compact_shortest_path_closure(compact), repetitions)
+    assert reach_dict.values == reach_kern.values, "reachability closures must agree"
+    assert sp_dict.values == sp_kern.values, "shortest-path closures must agree"
+    return {
+        "reachability": {
+            "dict_s": reach_dict_s,
+            "compact_s": reach_kern_s,
+            "speedup": reach_dict_s / reach_kern_s,
+        },
+        "shortest_path": {
+            "dict_s": sp_dict_s,
+            "compact_s": sp_kern_s,
+            "speedup": sp_dict_s / sp_kern_s,
+        },
+        "pairs": len(reach_dict.values),
+    }
+
+
+def bench_local_queries(fragmentation, queries, repetitions: int):
+    """Per-fragment local-query evaluation (the acceptance-criterion figure).
+
+    Plans the workload's queries once, then evaluates every distinct local
+    query spec with the dict-based evaluator and with the compact kernels,
+    reachability semiring.  One warm-up pass per path keeps one-time costs
+    (compact build, adjacency copies) out of the steady-state figures both
+    ways.
+    """
+    semiring = reachability_semiring()
+    catalog = DistributedCatalog(fragmentation, semiring=semiring)
+    planner = QueryPlanner(catalog)
+    specs = []
+    seen = set()
+    for source, target in queries:
+        for chain_plan in planner.plan(source, target).chains:
+            for spec in chain_plan.local_queries:
+                if spec.key() not in seen:
+                    seen.add(spec.key())
+                    specs.append(spec)
+    dict_eval = LocalQueryEvaluator(semiring=semiring, use_compact=False)
+    kernel_eval = LocalQueryEvaluator(semiring=semiring, use_compact=True)
+
+    def run(evaluator):
+        return [
+            evaluator.evaluate(catalog.site(spec.fragment_id), spec).values for spec in specs
+        ]
+
+    dict_warm = run(dict_eval)
+    kernel_warm = run(kernel_eval)
+    assert dict_warm == kernel_warm, "both local-query paths must produce identical values"
+    _, dict_s = _time(lambda: run(dict_eval), repetitions)
+    _, kernel_s = _time(lambda: run(kernel_eval), repetitions)
+    return {
+        "specs": len(specs),
+        "evaluations": len(specs) * repetitions,
+        "dict_s": dict_s,
+        "compact_s": kernel_s,
+        "speedup": dict_s / kernel_s,
+    }
+
+
+def bench_service(fragmentation, queries, rounds: int):
+    """End-to-end service queries with the result cache out of the picture."""
+    semiring = reachability_semiring()
+    figures = {}
+    answers = {}
+    for label, use_compact in (("dict", False), ("compact", True)):
+        service = QueryService(
+            fragmentation, semiring=semiring, cache_size=1, use_compact=use_compact
+        )
+        for source, target in queries:  # warm-up: compact builds, engine prep
+            service.query(source, target)
+        started = time.perf_counter()
+        values = []
+        for _ in range(rounds):
+            values = [service.query(s, t).value for s, t in queries]
+        elapsed = time.perf_counter() - started
+        count = rounds * len(queries)
+        figures[label] = {"seconds": elapsed, "qps": count / elapsed}
+        answers[label] = values
+    assert answers["dict"] == answers["compact"], "service answers must agree on both paths"
+    figures["speedup"] = figures["dict"]["seconds"] / figures["compact"]["seconds"]
+    return figures
+
+
+def run_kernel_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
+    graph, fragmentation, queries = build_workload(tiny=tiny)
+    closure_reps = 2 if tiny else 5
+    local_reps = 3 if tiny else 20
+    service_rounds = 1 if tiny else 5
+
+    closures = bench_closures(graph, closure_reps)
+    local = bench_local_queries(fragmentation, queries, local_reps)
+    service = bench_service(fragmentation, queries, service_rounds)
+
+    report = {
+        "benchmark": "compact_kernels",
+        "tiny": tiny,
+        "workload": {
+            "nodes": graph.node_count(),
+            "edges": graph.edge_count(),
+            "fragments": fragmentation.fragment_count(),
+            "queries": len(queries),
+        },
+        "closure": closures,
+        "local_query": local,
+        "service": service,
+    }
+    Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    lines = [
+        f"{graph.node_count()} nodes / {graph.edge_count()} edges, "
+        f"{fragmentation.fragment_count()} fragments, {len(queries)} queries",
+        "",
+        f"{'stage':<38} {'dict s':>9} {'compact s':>10} {'speedup':>8}",
+    ]
+    for label, figures in (
+        ("closure / reachability", closures["reachability"]),
+        ("closure / shortest path", closures["shortest_path"]),
+        ("local query / reachability", local),
+    ):
+        lines.append(
+            f"{label:<38} {figures['dict_s']:>9.4f} {figures['compact_s']:>10.4f} "
+            f"{figures['speedup']:>7.1f}x"
+        )
+    lines.append(
+        f"{'service query / reachability':<38} {service['dict']['seconds']:>9.4f} "
+        f"{service['compact']['seconds']:>10.4f} {service['speedup']:>7.1f}x"
+    )
+    lines.append("")
+    lines.append(f"figures written to {output}")
+    print_report("Compact kernels vs dict-based evaluation", "\n".join(lines))
+    return report
+
+
+def test_compact_kernel_report():
+    """Compact kernels must beat the dict paths and agree with them exactly."""
+    report = run_kernel_comparison(tiny=True)
+    assert report["closure"]["reachability"]["speedup"] > 1.0
+    assert report["local_query"]["speedup"] > 1.0
+    assert report["service"]["speedup"] > 0.5  # end-to-end includes shared planning cost
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="CI smoke configuration: small graph, few repetitions (sanity, not timing)",
+    )
+    parser.add_argument("--output", default=OUTPUT_FILE, help="JSON results path")
+    arguments = parser.parse_args()
+    run_kernel_comparison(tiny=arguments.tiny, output=arguments.output)

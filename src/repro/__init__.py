@@ -81,7 +81,7 @@ from .generators import (
     paper_table1_config,
     paper_table2_config,
 )
-from .graph import DiGraph, Point
+from .graph import CompactGraph, DiGraph, Point
 from .parallel import (
     CostModel,
     MultiprocessQueryExecutor,
@@ -111,6 +111,7 @@ __all__ = [
     "CenterBasedFragmenter",
     "ClosureResult",
     "ClosureStatistics",
+    "CompactGraph",
     "ComplementaryInformation",
     "CostModel",
     "DiGraph",

@@ -6,6 +6,18 @@ against.
 """
 
 from .base import ClosureResult, ClosureStatistics
+from .kernels import (
+    array_dijkstra,
+    bitset_levels,
+    bitset_reachable,
+    compact_closure,
+    compact_reachability_closure,
+    compact_shortest_path_closure,
+    ids_to_mask,
+    mask_to_ids,
+    reconstruct_id_path,
+    seminaive_closure_ids,
+)
 from .iterative import (
     naive_transitive_closure,
     seminaive_transitive_closure,
@@ -34,13 +46,23 @@ __all__ = [
     "ClosureResult",
     "ClosureStatistics",
     "Semiring",
+    "array_dijkstra",
     "bfs_closure",
     "bill_of_materials",
+    "bitset_levels",
+    "bitset_reachable",
+    "compact_closure",
+    "compact_reachability_closure",
+    "compact_shortest_path_closure",
     "connection_matrix",
     "diameter_in_iterations",
     "dijkstra_closure",
+    "ids_to_mask",
     "is_connected",
+    "mask_to_ids",
     "naive_transitive_closure",
+    "reconstruct_id_path",
+    "seminaive_closure_ids",
     "path_count_semiring",
     "reachability_closure",
     "reachability_semiring",

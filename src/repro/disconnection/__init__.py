@@ -15,7 +15,7 @@ from .assembly import (
     best_over_chains,
     collect_task_keys,
 )
-from .catalog import DistributedCatalog, FragmentSite
+from .catalog import CompactFragmentSite, DistributedCatalog, FragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
 from .engine import (
     DisconnectionSetEngine,
@@ -35,6 +35,7 @@ __all__ = [
     "AssemblyResult",
     "BackboneStatistics",
     "ChainPlan",
+    "CompactFragmentSite",
     "ComplementaryInformation",
     "DisconnectionSetEngine",
     "DistributedCatalog",

@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from ..closure import Semiring, shortest_path_semiring
 from ..fragmentation import Fragmentation, FragmentationGraph
-from ..graph import DiGraph
+from ..graph import CompactGraph, DiGraph, hop_diameter
 from ..relational import Relation, edge_relation
 from .complementary import ComplementaryInformation, precompute_complementary_information
 
@@ -27,8 +27,75 @@ Node = Hashable
 
 
 @dataclass
+class CompactFragmentSite:
+    """The plain-data, kernel-ready form of one fragment site.
+
+    This is what crosses process and snapshot boundaries: the fragment's
+    *augmented* graph (subgraph + complementary shortcuts) as a
+    :class:`~repro.graph.compact.CompactGraph` state dictionary of lists and
+    arrays, plus the cached iteration estimate.  Resident workers and snapshot
+    reloads rebuild kernels directly from it — no dict-of-dicts adjacency is
+    ever reconstructed on the hot path.
+
+    Attributes:
+        fragment_id: the fragment / site identifier.
+        state: the augmented compact graph's plain-data state.
+        estimated_iterations: the site's cached ``hop_diameter + 1`` figure.
+    """
+
+    fragment_id: int
+    state: Dict[str, object]
+    estimated_iterations: int
+    _graph: Optional[CompactGraph] = field(default=None, init=False, repr=False, compare=False)
+
+    def compact(self, *, use_shortcuts: bool = True) -> CompactGraph:
+        """Return (and cache) the compact graph.
+
+        Shortcuts are baked into the shipped state, so the no-shortcut
+        (ablation) form does not exist here.
+
+        Raises:
+            ValueError: when ``use_shortcuts=False`` is requested — silently
+                returning the augmented graph would fake the ablation.
+        """
+        if not use_shortcuts:
+            raise ValueError(
+                "a CompactFragmentSite only carries the shortcut-augmented graph; "
+                "run ablations against the full FragmentSite"
+            )
+        if self._graph is None:
+            self._graph = CompactGraph.from_state(self.state)
+        return self._graph
+
+    def local_iterations(self) -> int:
+        """Return the precomputed semi-naive iteration estimate."""
+        return self.estimated_iterations
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Ship only the plain state; the worker rebuilds the graph lazily.
+        return {
+            "fragment_id": self.fragment_id,
+            "state": self.state,
+            "estimated_iterations": self.estimated_iterations,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.fragment_id = state["fragment_id"]  # type: ignore[assignment]
+        self.state = state["state"]  # type: ignore[assignment]
+        self.estimated_iterations = state["estimated_iterations"]  # type: ignore[assignment]
+        self._graph = None
+
+
+@dataclass
 class FragmentSite:
     """Everything one site (processor) stores.
+
+    The mutable ``DiGraph`` subgraph stays the front-end representation; the
+    first kernel evaluation builds (and caches) the fragment's immutable
+    :class:`~repro.graph.compact.CompactGraph` form via :meth:`compact`.  A
+    site is rebuilt from scratch whenever the catalog is (the lazy
+    ``FragmentedDatabase`` rebuild after an update), so the caches can never
+    serve a stale fragment.
 
     Attributes:
         fragment_id: the fragment / site identifier.
@@ -46,6 +113,15 @@ class FragmentSite:
     shortcuts: List[Tuple[Node, Node, object]] = field(default_factory=list)
     neighbours: List[int] = field(default_factory=list)
     disconnection_sets: Dict[int, FrozenSet[Node]] = field(default_factory=dict)
+    _compact_augmented: Optional[CompactGraph] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _compact_plain: Optional[CompactGraph] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _local_iterations: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def local_relation(self) -> Relation:
         """Return the site's fragment as the relation ``R_i(source, target, cost)``."""
@@ -68,6 +144,41 @@ class FragmentSite:
                 augmented.add_edge(source, target, weight)
         return augmented
 
+    def compact(self, *, use_shortcuts: bool = True) -> CompactGraph:
+        """Return (and cache) the fragment's immutable compact form.
+
+        With ``use_shortcuts`` the compact graph is built from
+        :meth:`augmented_subgraph`, so the kernels see exactly the adjacency
+        the dict-based evaluator would.  Both forms are built at most once
+        per site lifetime.
+        """
+        if use_shortcuts:
+            if self._compact_augmented is None:
+                self._compact_augmented = CompactGraph.from_digraph(self.augmented_subgraph())
+            return self._compact_augmented
+        if self._compact_plain is None:
+            self._compact_plain = CompactGraph.from_digraph(self.subgraph)
+        return self._compact_plain
+
+    def local_iterations(self) -> int:
+        """Return (and cache) the semi-naive iteration estimate (diameter + 1)."""
+        if self._local_iterations is None:
+            self._local_iterations = hop_diameter(self.subgraph) + 1
+        return self._local_iterations
+
+    def to_compact_site(self) -> CompactFragmentSite:
+        """Return the plain-data form shipped to workers and snapshots."""
+        return CompactFragmentSite(
+            fragment_id=self.fragment_id,
+            state=self.compact().state(),
+            estimated_iterations=self.local_iterations(),
+        )
+
+    def seed_compact(self, compact_site: CompactFragmentSite) -> None:
+        """Adopt a previously built compact form (snapshot reload fast path)."""
+        self._compact_augmented = compact_site.compact()
+        self._local_iterations = compact_site.estimated_iterations
+
     def stores_node(self, node: Node) -> bool:
         """Return ``True`` if the node appears in this site's fragment."""
         return self.subgraph.has_node(node)
@@ -87,6 +198,9 @@ class DistributedCatalog:
         complementary: reuse previously computed complementary information
             instead of recomputing it (e.g. when benchmarking the
             precomputation separately).
+        compact_sites: previously built compact fragment forms (e.g. from a
+            snapshot) to seed the sites' kernel caches, so a warm service
+            never rebuilds adjacency.
     """
 
     def __init__(
@@ -95,6 +209,7 @@ class DistributedCatalog:
         *,
         semiring: Optional[Semiring] = None,
         complementary: Optional[ComplementaryInformation] = None,
+        compact_sites: Optional[Dict[int, CompactFragmentSite]] = None,
     ) -> None:
         self._fragmentation = fragmentation
         self._semiring = semiring or shortest_path_semiring()
@@ -102,14 +217,16 @@ class DistributedCatalog:
         self._complementary = complementary or precompute_complementary_information(
             fragmentation, semiring=self._semiring
         )
-        self._sites = self._build_sites()
+        self._sites = self._build_sites(compact_sites or {})
 
-    def _build_sites(self) -> Dict[int, FragmentSite]:
+    def _build_sites(
+        self, compact_sites: Dict[int, CompactFragmentSite]
+    ) -> Dict[int, FragmentSite]:
         sites: Dict[int, FragmentSite] = {}
         for fragment in self._fragmentation.fragments:
             fragment_id = fragment.fragment_id
             neighbours = self._fragmentation.adjacent_fragments(fragment_id)
-            sites[fragment_id] = FragmentSite(
+            site = FragmentSite(
                 fragment_id=fragment_id,
                 subgraph=self._fragmentation.fragment_subgraph(fragment_id),
                 border_nodes=self._fragmentation.border_nodes(fragment_id),
@@ -120,7 +237,17 @@ class DistributedCatalog:
                     for neighbour in neighbours
                 },
             )
+            if fragment_id in compact_sites:
+                site.seed_compact(compact_sites[fragment_id])
+            sites[fragment_id] = site
         return sites
+
+    def compact_sites(self) -> Dict[int, CompactFragmentSite]:
+        """Return every site's plain-data compact form (building as needed)."""
+        return {
+            fragment_id: site.to_compact_site()
+            for fragment_id, site in sorted(self._sites.items())
+        }
 
     # ------------------------------------------------------------ accessors
 

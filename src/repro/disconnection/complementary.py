@@ -16,11 +16,19 @@ shortest paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from math import inf
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from ..closure import Semiring, shortest_path_semiring
+from ..closure import (
+    Semiring,
+    array_dijkstra,
+    bitset_reachable,
+    reconstruct_id_path,
+    seminaive_closure_ids,
+    shortest_path_semiring,
+)
 from ..fragmentation import Fragmentation
-from ..graph import DiGraph, bfs_levels, dijkstra
+from ..graph import CompactGraph
 
 Node = Hashable
 FragmentPair = Tuple[int, int]
@@ -94,10 +102,11 @@ def precompute_complementary_information(
 ) -> ComplementaryInformation:
     """Precompute the complementary information for every disconnection set.
 
-    For the shortest-path semiring the values are global shortest distances
-    between border nodes (one Dijkstra per border node, stopped once all
-    border targets are settled); for the reachability semiring they are global
-    reachability facts computed with BFS.
+    The whole graph is compiled once into a
+    :class:`~repro.graph.compact.CompactGraph` and every border-node search
+    runs as a compact kernel: array-heap Dijkstra for the shortest-path
+    semiring (stopped once all border targets are settled), bitset BFS for
+    reachability, and the id-level semi-naive fixpoint for custom semirings.
 
     Args:
         fragmentation: the fragmentation whose disconnection sets are annotated.
@@ -107,7 +116,7 @@ def precompute_complementary_information(
             will be reconstructed, at the cost of larger complementary data.
     """
     semiring = semiring or shortest_path_semiring()
-    graph = fragmentation.graph
+    graph = CompactGraph.from_digraph(fragmentation.graph)
     info = ComplementaryInformation(semiring_name=semiring.name)
     for (i, j), border in fragmentation.disconnection_sets().items():
         pair_values: Dict[BorderPair, object] = {}
@@ -121,9 +130,10 @@ def precompute_complementary_information(
                     continue
                 pair_values[(source, target)] = value
                 if store_paths and predecessors is not None:
-                    from ..graph import reconstruct_path
-
-                    pair_paths[(source, target)] = reconstruct_path(predecessors, source, target)
+                    path_ids = reconstruct_id_path(
+                        predecessors, graph.node_id(source), graph.node_id(target)
+                    )
+                    pair_paths[(source, target)] = [graph.node_of(p) for p in path_ids]
         info.values[(i, j)] = pair_values
         if store_paths:
             info.paths[(i, j)] = pair_paths
@@ -131,27 +141,37 @@ def precompute_complementary_information(
 
 
 def _best_values_from(
-    graph: DiGraph,
+    graph: CompactGraph,
     source: Node,
     targets: Set[Node],
     semiring: Semiring,
-) -> Tuple[Dict[Node, object], int, Optional[Dict[Node, Node]]]:
-    """Return best path values from ``source`` to each target, the work done, and predecessors."""
-    if semiring.name == "shortest_path":
-        distances, predecessors = dijkstra(graph, source, targets=set(targets))
-        work = len(distances)
-        return {t: d for t, d in distances.items() if t in targets}, work, predecessors
-    if semiring.name == "reachability":
-        levels = bfs_levels(graph, source)
-        work = len(levels)
-        return {t: True for t in levels if t in targets}, work, None
-    # Generic fallback: restricted semi-naive closure from the single source.
-    from ..closure import seminaive_transitive_closure
+) -> Tuple[Dict[Node, object], int, Optional[List[int]]]:
+    """Return best path values from ``source`` to each target, the work done, and predecessors.
 
-    result = seminaive_transitive_closure(graph, semiring=semiring, sources=[source])
+    The predecessor component (shortest-path semiring only) is the kernel's
+    dense id array, translated back by the caller when paths are stored.
+    """
+    source_id = graph.node_id(source)
+    target_ids = {graph.try_node_id(t): t for t in targets if graph.has_node(t)}
+    if semiring.name == "shortest_path":
+        distances, predecessors, settled = array_dijkstra(
+            graph, source_id, target_ids=set(target_ids)
+        )
+        values = {
+            node: distances[node_id]
+            for node_id, node in target_ids.items()
+            if distances[node_id] != inf
+        }
+        return values, settled, predecessors
+    if semiring.name == "reachability":
+        visited = bitset_reachable(graph, source_id)
+        values = {node: True for node_id, node in target_ids.items() if (visited >> node_id) & 1}
+        return values, visited.bit_count(), None
+    # Generic fallback: restricted semi-naive closure from the single source.
+    id_values, statistics = seminaive_closure_ids(graph, semiring, source_ids=[source_id])
     values = {
-        target: result.values[(source, target)]
-        for target in targets
-        if (source, target) in result.values
+        node: id_values[(source_id, node_id)]
+        for node_id, node in target_ids.items()
+        if (source_id, node_id) in id_values
     }
-    return values, result.statistics.tuples_produced, None
+    return values, statistics.tuples_produced, None

@@ -25,7 +25,7 @@ from ..closure import Semiring, reachability_semiring, shortest_path_semiring
 from ..exceptions import DisconnectedError, NoChainError
 from ..fragmentation import Fragmentation
 from .assembly import AssemblyResult, assemble_chain, best_over_chains
-from .catalog import DistributedCatalog
+from .catalog import CompactFragmentSite, DistributedCatalog
 from .complementary import ComplementaryInformation
 from .local_query import LocalQueryEvaluator, LocalQueryResult
 from .planner import ChainPlan, LocalQuerySpec, QueryPlan, QueryPlanner
@@ -112,9 +112,13 @@ class DisconnectionSetEngine:
         fragmentation: the data fragmentation to deploy.
         semiring: the path problem (defaults to shortest paths).
         complementary: optionally reuse precomputed complementary information.
+        compact_sites: optionally seed the per-fragment compact kernel graphs
+            (e.g. from a snapshot), so the engine never rebuilds adjacency.
         use_shortcuts: disable to measure the effect of dropping the
             complementary information (the ablation benchmarks use this; the
             engine then only sees paths that stay inside the fragment chain).
+        use_compact: evaluate local subqueries with the compact kernels
+            (default); disable to run the original dict-based searches.
         max_chains: cap on the number of fragment chains examined per query.
     """
 
@@ -124,15 +128,22 @@ class DisconnectionSetEngine:
         *,
         semiring: Optional[Semiring] = None,
         complementary: Optional[ComplementaryInformation] = None,
+        compact_sites: Optional[Dict[int, "CompactFragmentSite"]] = None,
         use_shortcuts: bool = True,
+        use_compact: bool = True,
         max_chains: Optional[int] = 32,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         self._catalog = DistributedCatalog(
-            fragmentation, semiring=self._semiring, complementary=complementary
+            fragmentation,
+            semiring=self._semiring,
+            complementary=complementary,
+            compact_sites=compact_sites,
         )
         self._planner = QueryPlanner(self._catalog, max_chains=max_chains)
-        self._evaluator = LocalQueryEvaluator(semiring=self._semiring, use_shortcuts=use_shortcuts)
+        self._evaluator = LocalQueryEvaluator(
+            semiring=self._semiring, use_shortcuts=use_shortcuts, use_compact=use_compact
+        )
 
     # ------------------------------------------------------------ accessors
 

@@ -32,6 +32,7 @@ from ..closure import Semiring, shortest_path_semiring
 from ..exceptions import FragmentationError
 from ..fragmentation import Fragmentation, Fragmenter
 from ..graph import DiGraph
+from .catalog import CompactFragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
 from .engine import DisconnectionSetEngine
 
@@ -93,6 +94,10 @@ class FragmentedDatabase:
             information for the *initial* state (e.g. from a snapshot); the
             first :meth:`engine` call then costs no search work.  Updates
             still trigger the usual lazy recomputation.
+        compact_sites: optionally seed the initial engine's per-fragment
+            compact kernel graphs (snapshot reload); after an update the
+            rebuilt engine re-derives only the affected fragments' compact
+            forms lazily.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class FragmentedDatabase:
         *,
         semiring: Optional[Semiring] = None,
         complementary: Optional[ComplementaryInformation] = None,
+        compact_sites: Optional[Dict[int, "CompactFragmentSite"]] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         self._graph = fragmentation.graph.copy()
@@ -114,7 +120,10 @@ class FragmentedDatabase:
         self.statistics = UpdateStatistics()
         if complementary is not None:
             self._engine = DisconnectionSetEngine(
-                fragmentation, semiring=self._semiring, complementary=complementary
+                fragmentation,
+                semiring=self._semiring,
+                complementary=complementary,
+                compact_sites=compact_sites,
             )
             self._stale = False
 

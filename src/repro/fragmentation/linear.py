@@ -141,7 +141,11 @@ class LinearFragmenter(Fragmenter):
             current_edges: Set[Edge] = set()
             current_undirected: Set[Tuple[Node, Node]] = set()
             current_nodes: Set[Node] = set(frontier)
-            while len(current_undirected) < threshold and unassigned:
+            # The last of the f requested fragments absorbs the whole
+            # remainder: integer rounding of the |E|/f threshold must not
+            # spill leftover edges into fragments beyond the requested count.
+            unbounded = len(fragment_edges) >= self.fragment_count - 1
+            while (unbounded or len(current_undirected) < threshold) and unassigned:
                 new_edges = {
                     edge
                     for edge in unassigned

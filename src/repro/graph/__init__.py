@@ -1,10 +1,12 @@
 """Graph substrate: directed weighted graphs, metrics, traversals, paths.
 
 This package provides everything the fragmentation algorithms and the
-disconnection set engine need from graph theory: the
-:class:`~repro.graph.digraph.DiGraph` container, traversals and components,
-shortest paths, diameters, the Hoede-style status score used for center
-selection, and k-connectivity analysis.
+disconnection set engine need from graph theory: the mutable
+:class:`~repro.graph.digraph.DiGraph` container, its immutable array-backed
+counterpart :class:`~repro.graph.compact.CompactGraph` (the substrate of the
+closure kernels), traversals and components, shortest paths, diameters, the
+Hoede-style status score used for center selection, and k-connectivity
+analysis.
 """
 
 from .coordinates import (
@@ -16,6 +18,7 @@ from .coordinates import (
     pairwise_distances,
     spread_out_selection,
 )
+from .compact import CompactGraph
 from .connectivity import (
     articulation_points,
     k_connectivity,
@@ -65,6 +68,7 @@ from .traversal import (
 )
 
 __all__ = [
+    "CompactGraph",
     "DiGraph",
     "Point",
     "GraphSummary",

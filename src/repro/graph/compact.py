@@ -1,0 +1,320 @@
+"""Compact, immutable graph representation: interned nodes + CSR adjacency.
+
+The mutable :class:`~repro.graph.digraph.DiGraph` is the right front-end for
+building and updating graphs, but its dict-of-dicts adjacency makes every hot
+loop pay hashing and pointer chasing per edge.  The paper's strategy evaluates
+many restricted closures inside *immutable* fragments, exactly the setting
+where an indexed, array-backed representation pays off: a fragment is built
+once (or rebuilt once per update) and then traversed thousands of times.
+
+:class:`CompactGraph` interns the fragment's hashable nodes into dense int
+ids and stores forward and backward adjacency in CSR (compressed sparse row)
+form — one offsets array, one targets array, one weights array per direction.
+The closure kernels in :mod:`repro.closure.kernels` are specialised to this
+layout (bitset BFS over precomputed successor masks, array-heap Dijkstra,
+semi-naive fixpoints over int pairs) and translate their results back through
+the interner, so every public API keeps speaking original node keys.
+
+The representation is deliberately *plain data*: :meth:`CompactGraph.state`
+returns only lists and ``array`` objects, which pickle compactly (cheap to
+ship to resident worker processes) and persist losslessly inside snapshots.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import NodeNotFoundError
+
+Node = Hashable
+
+_OFFSET_TYPECODE = "l"
+_TARGET_TYPECODE = "l"
+_WEIGHT_TYPECODE = "d"
+
+COMPACT_STATE_FORMAT = "compact-graph-v1"
+
+
+class CompactGraph:
+    """An immutable directed graph over dense int ids with CSR adjacency.
+
+    Build one with :meth:`from_digraph` or :meth:`from_edges`; the instance
+    interns every node to an id in ``[0, node_count)`` and freezes adjacency
+    into offset/target/weight arrays in both directions.  Parallel edges are
+    preserved as distinct CSR entries (the kernels fold them with the
+    semiring, which for min-style semirings matches the ``DiGraph`` behaviour
+    of keeping the best weight).
+
+    The class is intentionally small: it is a *kernel substrate*, not a
+    general graph API — mutation goes through ``DiGraph`` and rebuilds the
+    affected fragment's compact form.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_ids",
+        "_fwd_offsets",
+        "_fwd_targets",
+        "_fwd_weights",
+        "_bwd_offsets",
+        "_bwd_sources",
+        "_bwd_weights",
+        "_succ_masks",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        fwd_offsets: array,
+        fwd_targets: array,
+        fwd_weights: array,
+        bwd_offsets: array,
+        bwd_sources: array,
+        bwd_weights: array,
+    ) -> None:
+        self._nodes: List[Node] = list(nodes)
+        self._ids: Dict[Node, int] = {node: index for index, node in enumerate(self._nodes)}
+        self._fwd_offsets = fwd_offsets
+        self._fwd_targets = fwd_targets
+        self._fwd_weights = fwd_weights
+        self._bwd_offsets = bwd_offsets
+        self._bwd_sources = bwd_sources
+        self._bwd_weights = bwd_weights
+        self._succ_masks: Optional[List[int]] = None
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Node, Node, float]],
+        *,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> "CompactGraph":
+        """Build a compact graph from weighted edge triples.
+
+        Args:
+            edges: ``(source, target, weight)`` triples; endpoints are
+                interned in first-seen order after the explicit ``nodes``.
+            nodes: optional nodes to intern first (isolated nodes and a
+                deterministic id order for a known node universe).
+        """
+        ordered: List[Node] = []
+        ids: Dict[Node, int] = {}
+        if nodes is not None:
+            for node in nodes:
+                if node not in ids:
+                    ids[node] = len(ordered)
+                    ordered.append(node)
+        edge_list: List[Tuple[int, int, float]] = []
+        for source, target, weight in edges:
+            if source not in ids:
+                ids[source] = len(ordered)
+                ordered.append(source)
+            if target not in ids:
+                ids[target] = len(ordered)
+                ordered.append(target)
+            edge_list.append((ids[source], ids[target], float(weight)))
+        n = len(ordered)
+        fwd_offsets, fwd_targets, fwd_weights = _build_csr(edge_list, n, forward=True)
+        bwd_offsets, bwd_sources, bwd_weights = _build_csr(edge_list, n, forward=False)
+        return cls(
+            ordered, fwd_offsets, fwd_targets, fwd_weights, bwd_offsets, bwd_sources, bwd_weights
+        )
+
+    @classmethod
+    def from_digraph(cls, graph: "DiGraph") -> "CompactGraph":  # noqa: F821
+        """Build a compact graph from a :class:`~repro.graph.digraph.DiGraph`.
+
+        Node ids follow the graph's insertion order, so two compact builds of
+        the same graph produce identical arrays.
+        """
+        return cls.from_edges(graph.weighted_edges(), nodes=graph.nodes())
+
+    # ----------------------------------------------------------- basic shape
+
+    def node_count(self) -> int:
+        """Return the number of interned nodes."""
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        """Return the number of directed edges (parallel entries included)."""
+        return len(self._fwd_targets)
+
+    def __len__(self) -> int:
+        return self.node_count()
+
+    def nodes(self) -> List[Node]:
+        """Return the original node keys in id order."""
+        return list(self._nodes)
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` when ``node`` was interned."""
+        return node in self._ids
+
+    def node_id(self, node: Node) -> int:
+        """Return the dense id of ``node``.
+
+        Raises:
+            NodeNotFoundError: if the node was not interned.
+        """
+        try:
+            return self._ids[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def try_node_id(self, node: Node) -> int:
+        """Return the dense id of ``node`` or ``-1`` when absent."""
+        return self._ids.get(node, -1)
+
+    def node_of(self, node_id: int) -> Node:
+        """Return the original node key for a dense id."""
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------- adjacency
+
+    def successor_ids(self, node_id: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(target_id, weight)`` for the outgoing edges of ``node_id``."""
+        start = self._fwd_offsets[node_id]
+        stop = self._fwd_offsets[node_id + 1]
+        targets = self._fwd_targets
+        weights = self._fwd_weights
+        for index in range(start, stop):
+            yield targets[index], weights[index]
+
+    def predecessor_ids(self, node_id: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(source_id, weight)`` for the incoming edges of ``node_id``."""
+        start = self._bwd_offsets[node_id]
+        stop = self._bwd_offsets[node_id + 1]
+        sources = self._bwd_sources
+        weights = self._bwd_weights
+        for index in range(start, stop):
+            yield sources[index], weights[index]
+
+    def out_degree_of_id(self, node_id: int) -> int:
+        """Return the number of outgoing CSR entries of ``node_id``."""
+        return self._fwd_offsets[node_id + 1] - self._fwd_offsets[node_id]
+
+    @property
+    def forward_csr(self) -> Tuple[array, array, array]:
+        """The forward adjacency as ``(offsets, targets, weights)`` arrays."""
+        return self._fwd_offsets, self._fwd_targets, self._fwd_weights
+
+    @property
+    def backward_csr(self) -> Tuple[array, array, array]:
+        """The backward adjacency as ``(offsets, sources, weights)`` arrays."""
+        return self._bwd_offsets, self._bwd_sources, self._bwd_weights
+
+    def successor_masks(self) -> List[int]:
+        """Return (and cache) one int-as-bitset of successors per node.
+
+        ``masks[i]`` has bit ``j`` set iff the edge ``i -> j`` exists; the
+        bitset BFS kernel ORs these masks word-parallel, which is how a pure
+        Python loop gets within sight of the hardware's memory bandwidth.
+        """
+        if self._succ_masks is None:
+            masks = [0] * len(self._nodes)
+            offsets = self._fwd_offsets
+            targets = self._fwd_targets
+            for node_id in range(len(self._nodes)):
+                mask = 0
+                for index in range(offsets[node_id], offsets[node_id + 1]):
+                    mask |= 1 << targets[index]
+                masks[node_id] = mask
+            self._succ_masks = masks
+        return self._succ_masks
+
+    def weighted_edges(self) -> List[Tuple[Node, Node, float]]:
+        """Return every edge as original-node triples (for round-trips/tests)."""
+        edges: List[Tuple[Node, Node, float]] = []
+        for source_id in range(len(self._nodes)):
+            source = self._nodes[source_id]
+            for target_id, weight in self.successor_ids(source_id):
+                edges.append((source, self._nodes[target_id], weight))
+        return edges
+
+    def to_digraph(self) -> "DiGraph":  # noqa: F821
+        """Materialise back into a mutable :class:`DiGraph` (tests, debugging)."""
+        from .digraph import DiGraph
+
+        graph = DiGraph(nodes=self._nodes)
+        for source, target, weight in self.weighted_edges():
+            graph.add_edge(source, target, weight)
+        return graph
+
+    # ---------------------------------------------------------- plain state
+
+    def state(self) -> Dict[str, object]:
+        """Return the graph as a plain-data dictionary (snapshot wire format)."""
+        return {
+            "format": COMPACT_STATE_FORMAT,
+            "nodes": list(self._nodes),
+            "fwd_offsets": self._fwd_offsets,
+            "fwd_targets": self._fwd_targets,
+            "fwd_weights": self._fwd_weights,
+            "bwd_offsets": self._bwd_offsets,
+            "bwd_sources": self._bwd_sources,
+            "bwd_weights": self._bwd_weights,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CompactGraph":
+        """Rebuild a compact graph from :meth:`state` output.
+
+        Raises:
+            ValueError: when the state's format tag is not understood.
+        """
+        if state.get("format") != COMPACT_STATE_FORMAT:
+            raise ValueError(
+                f"compact graph state format {state.get('format')!r} is not supported"
+            )
+        return cls(
+            state["nodes"],  # type: ignore[arg-type]
+            state["fwd_offsets"],  # type: ignore[arg-type]
+            state["fwd_targets"],  # type: ignore[arg-type]
+            state["fwd_weights"],  # type: ignore[arg-type]
+            state["bwd_offsets"],  # type: ignore[arg-type]
+            state["bwd_sources"],  # type: ignore[arg-type]
+            state["bwd_weights"],  # type: ignore[arg-type]
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self.state()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        rebuilt = CompactGraph.from_state(state)
+        for slot in CompactGraph.__slots__:
+            setattr(self, slot, getattr(rebuilt, slot))
+
+    def __repr__(self) -> str:
+        return f"CompactGraph(nodes={self.node_count()}, edges={self.edge_count()})"
+
+
+def _build_csr(
+    edge_list: List[Tuple[int, int, float]],
+    node_count: int,
+    *,
+    forward: bool,
+) -> Tuple[array, array, array]:
+    """Build one direction's CSR arrays with a counting sort over the edges."""
+    counts = [0] * (node_count + 1)
+    key = 0 if forward else 1
+    for edge in edge_list:
+        counts[edge[key] + 1] += 1
+    offsets = array(_OFFSET_TYPECODE, [0] * (node_count + 1))
+    running = 0
+    for index in range(node_count + 1):
+        running += counts[index]
+        offsets[index] = running
+    cursor = list(offsets[:node_count]) if node_count else []
+    neighbours = array(_TARGET_TYPECODE, [0] * len(edge_list))
+    weights = array(_WEIGHT_TYPECODE, [0.0] * len(edge_list))
+    other = 1 if forward else 0
+    for edge in edge_list:
+        row = edge[key]
+        slot = cursor[row]
+        cursor[row] = slot + 1
+        neighbours[slot] = edge[other]
+        weights[slot] = edge[2]
+    return offsets, neighbours, weights

@@ -8,11 +8,14 @@ instead of threads because CPython's GIL would serialise pure-Python closure
 computations in a thread pool.
 
 The workers come from the :class:`~repro.service.pool.ResidentWorkerPool`:
-they are started once, receive the fragment sites (subgraph + shortcuts)
-once, and stay resident across queries, so repeated queries pay only for
-the query specs going out and the per-fragment path relations coming back,
-which is what the paper's final joins consume.  Call :meth:`close` (or use a
-``with`` block) to release the workers.
+they are started once, receive the fragment sites once — as compact
+(CSR-array) fragments whose plain-data buffers pickle far cheaper than
+dict-of-dicts subgraphs — and stay resident across queries, so repeated
+queries pay only for the query specs going out and the per-fragment path
+relations coming back, which is what the paper's final joins consume.  Local
+evaluation inside a worker runs the bitset/array kernels of
+:mod:`repro.closure.kernels` over those compact fragments.  Call
+:meth:`close` (or use a ``with`` block) to release the workers.
 """
 
 from __future__ import annotations

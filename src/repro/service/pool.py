@@ -5,10 +5,14 @@ fresh ``multiprocessing.Pool`` for every query, re-shipping every fragment
 site each time; for a serving workload that start-up cost dwarfs the local
 evaluation the paper parallelises.  :class:`ResidentWorkerPool` keeps the
 workers alive for the lifetime of the service: each worker receives the
-fragment sites (subgraph + complementary shortcuts) exactly once at start-up,
-and per-query messages carry only the ``(fragment, entry, exit)`` specs and
-the per-fragment path relations coming back, which is what the paper's final
-joins consume.
+fragment sites exactly once at start-up — in their *compact* form
+(:class:`~repro.disconnection.catalog.CompactFragmentSite`: augmented CSR
+arrays plus the interned node list, which pickle as flat buffers instead of
+dict-of-dicts adjacency) — and per-query messages carry only the
+``(fragment, entry, exit)`` specs and the per-fragment path relations coming
+back, which is what the paper's final joins consume.  Workers evaluate
+directly with the compact kernels; no ``DiGraph`` is ever rebuilt inside a
+worker.
 
 Note on placement fidelity: every worker currently pins a *replica* of all
 sites, so any worker can evaluate any fragment's spec (simple scheduling, at
@@ -28,7 +32,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from ..closure import ClosureStatistics, Semiring, reachability_semiring, shortest_path_semiring
 from ..disconnection import LocalQueryEvaluator, LocalQueryResult
-from ..disconnection.catalog import DistributedCatalog, FragmentSite
+from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
 
 Node = Hashable
@@ -37,7 +41,7 @@ TaskKey = Tuple[int, FrozenSet[Node], FrozenSet[Node]]
 PICKLABLE_SEMIRINGS = ("shortest_path", "reachability")
 
 # Module-level worker state, initialised once per worker process.
-_WORKER_SITES: Dict[int, FragmentSite] = {}
+_WORKER_SITES: Dict[int, CompactFragmentSite] = {}
 _WORKER_EVALUATOR: Optional[LocalQueryEvaluator] = None
 
 
@@ -57,8 +61,8 @@ def semiring_from_name(name: str) -> Semiring:
     )
 
 
-def _worker_init(sites: List[FragmentSite], semiring_name: str) -> None:
-    """Initialise a worker process with its pinned sites and evaluator."""
+def _worker_init(sites: List[CompactFragmentSite], semiring_name: str) -> None:
+    """Initialise a worker process with its pinned compact sites and evaluator."""
     global _WORKER_SITES, _WORKER_EVALUATOR
     _WORKER_SITES = {site.fragment_id: site for site in sites}
     _WORKER_EVALUATOR = LocalQueryEvaluator(semiring=semiring_from_name(semiring_name))
@@ -79,8 +83,14 @@ def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
     }
 
 
-def result_from_payload(key: TaskKey, payload: Dict) -> LocalQueryResult:
-    """Rebuild a :class:`LocalQueryResult` from a worker's wire payload."""
+def result_from_payload(
+    key: TaskKey, payload: Dict, *, semiring: Optional[Semiring] = None
+) -> LocalQueryResult:
+    """Rebuild a :class:`LocalQueryResult` from a worker's wire payload.
+
+    The semiring is re-attached on the coordinator side (callables never
+    cross the process boundary) so ``exit_values`` picks "best" correctly.
+    """
     statistics = ClosureStatistics()
     statistics.tuples_produced = payload["tuples"]
     return LocalQueryResult(
@@ -88,6 +98,7 @@ def result_from_payload(key: TaskKey, payload: Dict) -> LocalQueryResult:
         values=dict(payload["values"]),
         statistics=statistics,
         estimated_iterations=payload["iterations"],
+        semiring=semiring,
     )
 
 
@@ -114,15 +125,17 @@ class ResidentWorkerPool:
         default_processes = min(catalog.site_count(), multiprocessing.cpu_count())
         self._processes = max(1, processes if processes is not None else default_processes)
         self._semiring_name = catalog.semiring.name
+        self._semiring = semiring_from_name(self._semiring_name)
         self.dispatch_counts: Dict[int, int] = {}
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._start(catalog)
 
     def _start(self, catalog: DistributedCatalog) -> None:
+        compact_sites = list(catalog.compact_sites().values())
         self._pool = multiprocessing.Pool(
             processes=self._processes,
             initializer=_worker_init,
-            initargs=(catalog.sites(), self._semiring_name),
+            initargs=(compact_sites, self._semiring_name),
         )
 
     # ------------------------------------------------------------ accessors
@@ -152,7 +165,7 @@ class ResidentWorkerPool:
         if not tasks:
             return results
         for key, payload in self._pool.map(_worker_evaluate, tasks):
-            results[key] = result_from_payload(key, payload)
+            results[key] = result_from_payload(key, payload, semiring=self._semiring)
             self.dispatch_counts[key[0]] = self.dispatch_counts.get(key[0], 0) + 1
         return results
 

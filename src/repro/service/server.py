@@ -30,6 +30,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..closure import Semiring, shortest_path_semiring
 from ..disconnection import (
+    CompactFragmentSite,
     ComplementaryInformation,
     DisconnectionSetEngine,
     FragmentedDatabase,
@@ -94,6 +95,11 @@ class QueryService:
             evaluates them in-process (still sharing subqueries and caching
             results — the right choice for small fragments, where process
             messaging would dominate).
+        compact_sites: seed the per-fragment compact kernel graphs (snapshot
+            reload fast path; ``from_snapshot`` wires this automatically).
+        use_compact: evaluate local subqueries with the compact kernels
+            (default); ``False`` restores the dict-based evaluation — kept
+            for the kernel benchmarks.
         max_chains: cap on fragment chains examined per query.
     """
 
@@ -105,6 +111,8 @@ class QueryService:
         complementary: Optional[ComplementaryInformation] = None,
         cache_size: int = 1024,
         workers: Optional[int] = None,
+        compact_sites: Optional[Dict[int, CompactFragmentSite]] = None,
+        use_compact: bool = True,
         max_chains: Optional[int] = 32,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
@@ -114,7 +122,10 @@ class QueryService:
                 f"{' and '.join(PICKLABLE_SEMIRINGS)} semirings only"
             )
         self._database = FragmentedDatabase(
-            fragmentation, semiring=self._semiring, complementary=complementary
+            fragmentation,
+            semiring=self._semiring,
+            complementary=complementary,
+            compact_sites=compact_sites,
         )
         self._database.add_update_listener(self._on_update)
         self._cache = LRUCache(cache_size)
@@ -122,7 +133,7 @@ class QueryService:
         self._workers = workers
         self._max_chains = max_chains
         self._pool: Optional[ResidentWorkerPool] = None
-        self._evaluator = LocalQueryEvaluator(semiring=self._semiring)
+        self._evaluator = LocalQueryEvaluator(semiring=self._semiring, use_compact=use_compact)
         self._base_version = "live"
         self._version = 0
         self._current_engine: Optional[DisconnectionSetEngine] = None
@@ -134,8 +145,14 @@ class QueryService:
 
     @classmethod
     def from_snapshot(cls, directory: PathLike, **kwargs) -> "QueryService":
-        """Restore a service from a snapshot directory (no recomputation)."""
+        """Restore a service from a snapshot directory (no recomputation).
+
+        The snapshot's persisted compact fragments seed the kernel caches, so
+        the restored service serves its first query without ever rebuilding
+        adjacency.
+        """
         loaded = load_snapshot(directory)
+        kwargs.setdefault("compact_sites", loaded.compact_sites)
         service = cls(
             loaded.fragmentation,
             semiring=loaded.semiring,

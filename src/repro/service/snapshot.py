@@ -21,12 +21,12 @@ from __future__ import annotations
 import hashlib
 import json
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Hashable, List, Tuple, Union
 
 from ..closure import Semiring
-from ..disconnection import ComplementaryInformation, DisconnectionSetEngine
+from ..disconnection import CompactFragmentSite, ComplementaryInformation, DisconnectionSetEngine
 from ..exceptions import ReproError
 from ..fragmentation import Fragmentation
 from ..graph import DiGraph, Point
@@ -46,7 +46,15 @@ class SnapshotError(ReproError):
 
 @dataclass
 class SnapshotPayload:
-    """The plain-data body of a snapshot (everything needed to rebuild an engine)."""
+    """The plain-data body of a snapshot (everything needed to rebuild an engine).
+
+    ``compact_fragments`` carries each site's prepared kernel form — the
+    augmented :class:`~repro.graph.compact.CompactGraph` state (interned node
+    list + CSR arrays) and the cached iteration estimate — so a reloaded
+    service starts with warm kernels and never rebuilds adjacency.  It is
+    derived data: the content hash deliberately excludes it, and snapshots
+    written before it existed reload fine without it.
+    """
 
     nodes: List[Node]
     edges: List[Tuple[Node, Node, float]]
@@ -57,6 +65,7 @@ class SnapshotPayload:
     complementary_values: Dict[Tuple[int, int], Dict[Tuple[Node, Node], object]]
     complementary_paths: Dict[Tuple[int, int], Dict[Tuple[Node, Node], List[Node]]]
     precompute_work: int = 0
+    compact_fragments: Dict[int, Dict[str, object]] = field(default_factory=dict)
 
 
 @dataclass
@@ -118,9 +127,15 @@ class LoadedSnapshot:
     fragmentation: Fragmentation
     complementary: ComplementaryInformation
     semiring: Semiring
+    compact_sites: Dict[int, CompactFragmentSite] = field(default_factory=dict)
 
     def build_engine(self, **kwargs) -> DisconnectionSetEngine:
-        """Return a query engine over the snapshot — no search work recomputed."""
+        """Return a query engine over the snapshot — no search work recomputed.
+
+        The persisted compact fragments seed the engine's kernel caches, so
+        not even adjacency indexing is redone.
+        """
+        kwargs.setdefault("compact_sites", self.compact_sites)
         return DisconnectionSetEngine(
             self.fragmentation,
             semiring=self.semiring,
@@ -138,6 +153,13 @@ def _payload_from_engine(engine: DisconnectionSetEngine) -> SnapshotPayload:
     semiring_from_name(catalog.semiring.name)  # reject non-serialisable semirings early
     graph = fragmentation.graph
     complementary = catalog.complementary
+    compact_fragments = {
+        fragment_id: {
+            "state": compact_site.state,
+            "iterations": compact_site.estimated_iterations,
+        }
+        for fragment_id, compact_site in catalog.compact_sites().items()
+    }
     return SnapshotPayload(
         nodes=list(graph.nodes()),
         edges=list(graph.weighted_edges()),
@@ -151,6 +173,7 @@ def _payload_from_engine(engine: DisconnectionSetEngine) -> SnapshotPayload:
             for pair, paths in complementary.paths.items()
         },
         precompute_work=complementary.precompute_work,
+        compact_fragments=compact_fragments,
     )
 
 
@@ -241,11 +264,20 @@ def load_snapshot(directory: PathLike) -> LoadedSnapshot:
         },
         precompute_work=payload.precompute_work,
     )
+    compact_sites = {
+        fragment_id: CompactFragmentSite(
+            fragment_id=fragment_id,
+            state=entry["state"],  # type: ignore[arg-type]
+            estimated_iterations=int(entry["iterations"]),  # type: ignore[arg-type]
+        )
+        for fragment_id, entry in getattr(payload, "compact_fragments", {}).items()
+    }
     return LoadedSnapshot(
         manifest=manifest,
         fragmentation=fragmentation,
         complementary=complementary,
         semiring=semiring_from_name(payload.semiring_name),
+        compact_sites=compact_sites,
     )
 
 

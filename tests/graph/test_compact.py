@@ -1,0 +1,118 @@
+"""Unit tests for the compact (CSR + interner) graph representation."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph import CompactGraph, DiGraph
+
+
+@pytest.fixture
+def sample_graph():
+    graph = DiGraph([("a", "b", 2.0), ("b", "c", 1.5), ("c", "a", 3.0), ("b", "d", 0.5)])
+    graph.add_node("isolated")
+    return graph
+
+
+class TestConstruction:
+    def test_from_digraph_preserves_nodes_and_edges(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.node_count() == sample_graph.node_count()
+        assert compact.edge_count() == sample_graph.edge_count()
+        assert sorted(compact.weighted_edges()) == sorted(sample_graph.weighted_edges())
+
+    def test_node_ids_follow_insertion_order(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.nodes() == sample_graph.nodes()
+        for index, node in enumerate(sample_graph.nodes()):
+            assert compact.node_id(node) == index
+            assert compact.node_of(index) == node
+
+    def test_from_edges_interns_in_first_seen_order(self):
+        compact = CompactGraph.from_edges([(5, 7, 1.0), (7, 5, 1.0), (5, 9, 2.0)])
+        assert compact.nodes() == [5, 7, 9]
+
+    def test_from_edges_keeps_parallel_edges(self):
+        compact = CompactGraph.from_edges([(0, 1, 3.0), (0, 1, 1.0)])
+        assert compact.edge_count() == 2
+        weights = sorted(weight for _, weight in compact.successor_ids(0))
+        assert weights == [1.0, 3.0]
+
+    def test_explicit_node_universe_covers_isolated_nodes(self):
+        compact = CompactGraph.from_edges([(0, 1, 1.0)], nodes=[2, 0, 1])
+        assert compact.nodes() == [2, 0, 1]
+        assert compact.out_degree_of_id(compact.node_id(2)) == 0
+
+    def test_round_trip_to_digraph(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.to_digraph() == sample_graph
+
+
+class TestLookups:
+    def test_unknown_node_raises(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        with pytest.raises(NodeNotFoundError):
+            compact.node_id("ghost")
+
+    def test_try_node_id_returns_minus_one(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.try_node_id("ghost") == -1
+        assert compact.try_node_id("a") == compact.node_id("a")
+
+    def test_has_node(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.has_node("isolated")
+        assert not compact.has_node("ghost")
+
+
+class TestAdjacency:
+    def test_successors_match_digraph(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        for node in sample_graph.nodes():
+            expected = sorted(sample_graph.successor_items(node), key=repr)
+            actual = sorted(
+                ((compact.node_of(target_id), weight)
+                 for target_id, weight in compact.successor_ids(compact.node_id(node))),
+                key=repr,
+            )
+            assert actual == expected
+
+    def test_predecessors_match_digraph(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        for node in sample_graph.nodes():
+            expected = sorted(sample_graph.predecessor_items(node), key=repr)
+            actual = sorted(
+                ((compact.node_of(source_id), weight)
+                 for source_id, weight in compact.predecessor_ids(compact.node_id(node))),
+                key=repr,
+            )
+            assert actual == expected
+
+    def test_successor_masks_encode_adjacency(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        masks = compact.successor_masks()
+        for node in sample_graph.nodes():
+            node_id = compact.node_id(node)
+            for successor in sample_graph.successors(node):
+                assert (masks[node_id] >> compact.node_id(successor)) & 1
+            assert masks[node_id].bit_count() == sample_graph.out_degree(node)
+
+
+class TestPlainState:
+    def test_state_round_trip(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        rebuilt = CompactGraph.from_state(compact.state())
+        assert rebuilt.nodes() == compact.nodes()
+        assert rebuilt.weighted_edges() == compact.weighted_edges()
+
+    def test_pickle_round_trip(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.successor_masks()  # populate the lazy cache; it must not leak
+        rebuilt = pickle.loads(pickle.dumps(compact))
+        assert rebuilt.weighted_edges() == compact.weighted_edges()
+        assert rebuilt.successor_masks() == compact.successor_masks()
+
+    def test_unknown_state_format_rejected(self):
+        with pytest.raises(ValueError):
+            CompactGraph.from_state({"format": "something-else"})
