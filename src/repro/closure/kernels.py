@@ -43,6 +43,7 @@ def bitset_reachable(
     source_id: int,
     *,
     stop_mask: int = 0,
+    backward: bool = False,
 ) -> int:
     """Return the bitset of ids reachable from ``source_id`` (itself included).
 
@@ -52,8 +53,11 @@ def bitset_reachable(
         stop_mask: optional bitset of target ids; the expansion stops early
             once every target bit is covered (the keyhole optimisation of the
             per-fragment searches, where only the exit border matters).
+        backward: expand against the edges instead — the result is the set of
+            ids that *reach* ``source_id`` (the delta-repair question "whose
+            stored values might flow through this edge?").
     """
-    masks = graph.successor_masks()
+    masks = graph.predecessor_masks() if backward else graph.successor_masks()
     visited = 1 << source_id
     frontier = visited
     while frontier:
@@ -120,6 +124,7 @@ def array_dijkstra(
     source_id: int,
     *,
     target_ids: Optional[Iterable[int]] = None,
+    backward: bool = False,
 ) -> Tuple[List[float], List[int], int]:
     """Run Dijkstra over dense ids with flat distance/predecessor arrays.
 
@@ -129,6 +134,10 @@ def array_dijkstra(
         source_id: the start id.
         target_ids: optional ids to settle; the search stops once all of
             them are settled.
+        backward: relax against the edges — ``distances[i]`` becomes the
+            shortest distance *from* id ``i`` *to* ``source_id`` (the
+            delta-repair question "how far is every border node from the
+            changed edge?").
 
     Returns:
         ``(distances, predecessors, settled)`` where ``distances[i]`` is the
@@ -138,7 +147,7 @@ def array_dijkstra(
         settled nodes (the work figure the cost model consumes).
     """
     n = graph.node_count()
-    offsets, targets, weights = graph.forward_csr
+    offsets, targets, weights = graph.backward_csr if backward else graph.forward_csr
     dist = [inf] * n
     pred = [-1] * n
     done = bytearray(n)

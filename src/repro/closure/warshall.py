@@ -8,27 +8,63 @@ single-processor algorithms the paper's reference [16] surveys:
   paths), which are the algorithms of choice when the query is restricted to
   a small set of start nodes — exactly the situation inside a fragment where
   the search starts from a disconnection set.
+
+Above :data:`COMPACT_NODE_THRESHOLD` nodes these functions transparently
+compile the graph to its compact (CSR) form and run the kernels of
+:mod:`repro.closure.kernels` — identical values, dramatically cheaper hot
+loops.  Tiny inputs keep the original dict-based algorithms (their statistics
+are part of the paper-facing contract and the compile cost would dominate);
+``use_compact`` overrides the choice either way.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Optional, Set
 
-from ..graph import DiGraph, bfs_levels, dijkstra
+from ..graph import CompactGraph, DiGraph, bfs_levels, dijkstra
 from .base import ClosureResult, ClosureStatistics, Pair
+from .kernels import compact_reachability_closure, compact_shortest_path_closure
 from .semiring import Semiring, reachability_semiring, shortest_path_semiring
 
 Node = Hashable
 
+COMPACT_NODE_THRESHOLD = 64
 
-def warshall_closure(graph: DiGraph, *, semiring: Optional[Semiring] = None) -> ClosureResult:
+COMPACT_SEMIRINGS = ("shortest_path", "reachability")
+
+
+def _auto_compact(graph: DiGraph, use_compact: Optional[bool]) -> bool:
+    """Decide whether to dispatch to the compact kernels."""
+    if use_compact is not None:
+        return use_compact
+    return graph.node_count() >= COMPACT_NODE_THRESHOLD
+
+
+def warshall_closure(
+    graph: DiGraph,
+    *,
+    semiring: Optional[Semiring] = None,
+    use_compact: Optional[bool] = None,
+) -> ClosureResult:
     """Compute the closure with the Warshall/Floyd triple loop.
 
     Works for any semiring whose ``plus`` is idempotent (reachability,
     shortest path, widest path).  The statistics report one "iteration" per
     pivot node, with tuples_produced counting the relaxations applied.
+
+    For the two standard semirings, graphs at or above
+    :data:`COMPACT_NODE_THRESHOLD` nodes are answered by the compact
+    per-source kernels instead of the cubic pivot loop — identical values,
+    including the cyclic ``(a, a)`` facts the pivot loop derives (the
+    statistics then count per-source search work, not pivots).
     """
     semiring = semiring or shortest_path_semiring()
+    if semiring.name in COMPACT_SEMIRINGS and _auto_compact(graph, use_compact):
+        from .iterative import seminaive_transitive_closure  # late: it imports us back
+
+        # The seminaive compact evaluation yields exactly the idempotent
+        # closure the pivot loop computes, cycle facts included.
+        return seminaive_transitive_closure(graph, semiring=semiring, use_compact=True)
     values: Dict[Pair, object] = {}
     for u, v, weight in graph.weighted_edges():
         candidate = semiring.edge_value(weight)
@@ -58,14 +94,23 @@ def warshall_closure(graph: DiGraph, *, semiring: Optional[Semiring] = None) -> 
     return ClosureResult(values=values, semiring_name=semiring.name, statistics=stats)
 
 
-def bfs_closure(graph: DiGraph, *, sources: Optional[Iterable[Node]] = None) -> ClosureResult:
+def bfs_closure(
+    graph: DiGraph,
+    *,
+    sources: Optional[Iterable[Node]] = None,
+    use_compact: Optional[bool] = None,
+) -> ClosureResult:
     """Compute the reachability closure by one BFS per source node.
 
     When ``sources`` is given, only those rows of the closure are produced —
     the per-fragment searches of the disconnection set approach restrict their
-    sources to the incoming disconnection set exactly like this.
+    sources to the incoming disconnection set exactly like this.  At or above
+    :data:`COMPACT_NODE_THRESHOLD` nodes the per-source search runs as the
+    bitset BFS kernel over the compact graph.
     """
     semiring = reachability_semiring()
+    if _auto_compact(graph, use_compact):
+        return compact_reachability_closure(CompactGraph.from_digraph(graph), sources=sources)
     source_list = list(sources) if sources is not None else graph.nodes()
     values: Dict[Pair, object] = {}
     stats = ClosureStatistics()
@@ -88,6 +133,7 @@ def dijkstra_closure(
     *,
     sources: Optional[Iterable[Node]] = None,
     targets: Optional[Set[Node]] = None,
+    use_compact: Optional[bool] = None,
 ) -> ClosureResult:
     """Compute the shortest-path closure by one Dijkstra run per source.
 
@@ -99,8 +145,15 @@ def dijkstra_closure(
             settled, and only target columns are retained — this is the
             "border-to-border" computation used for complementary
             information.
+        use_compact: force the array-heap kernel over the compact graph on
+            or off; by default graphs at or above
+            :data:`COMPACT_NODE_THRESHOLD` nodes use it.
     """
     semiring = shortest_path_semiring()
+    if _auto_compact(graph, use_compact):
+        return compact_shortest_path_closure(
+            CompactGraph.from_digraph(graph), sources=sources, targets=targets
+        )
     source_list = list(sources) if sources is not None else graph.nodes()
     values: Dict[Pair, object] = {}
     stats = ClosureStatistics()

@@ -19,7 +19,7 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from ..closure import Semiring, shortest_path_semiring
 from ..fragmentation import Fragmentation, FragmentationGraph
-from ..graph import CompactGraph, DiGraph, hop_diameter
+from ..graph import CompactDelta, CompactGraph, DiGraph, hop_diameter
 from ..relational import Relation, edge_relation
 from .complementary import ComplementaryInformation, precompute_complementary_information
 
@@ -70,6 +70,21 @@ class CompactFragmentSite:
     def local_iterations(self) -> int:
         """Return the precomputed semi-naive iteration estimate."""
         return self.estimated_iterations
+
+    def apply_delta(self, delta: CompactDelta, estimated_iterations: int) -> None:
+        """Apply an edge delta to the pinned compact graph in place.
+
+        This is how a resident worker (or a snapshot-seeded site) absorbs an
+        incremental update: the delta rebuilds only this fragment's CSR
+        arrays, the plain-data ``state`` is refreshed from the mutated graph,
+        and the iteration estimate is replaced by the coordinator's new
+        figure.  Shipping a delta is the scoped alternative to re-shipping
+        the whole fragment payload.
+        """
+        graph = self.compact()
+        graph.apply_delta(delta)
+        self.state = graph.state()
+        self.estimated_iterations = estimated_iterations
 
     def __getstate__(self) -> Dict[str, object]:
         # Ship only the plain state; the worker rebuilds the graph lazily.
@@ -179,6 +194,66 @@ class FragmentSite:
         self._compact_augmented = compact_site.compact()
         self._local_iterations = compact_site.estimated_iterations
 
+    def apply_update(
+        self,
+        *,
+        subgraph: DiGraph,
+        border_nodes: FrozenSet[Node],
+        shortcuts: List[Tuple[Node, Node, object]],
+        neighbours: List[int],
+        disconnection_sets: Dict[int, FrozenSet[Node]],
+    ) -> Optional[CompactDelta]:
+        """Absorb an incremental update in place; returns the compact delta.
+
+        Replaces the site's mutable state (fragment subgraph, borders,
+        shortcuts, neighbourhood) and patches the cached augmented compact
+        graph with exactly the edge delta between the old and new augmented
+        adjacency — only this fragment's CSR arrays are rebuilt.  The
+        returned delta is what the resident worker pool ships to its workers
+        so they can patch their pinned replica the same way; ``None`` means
+        no compact form existed yet (nothing to patch, the next evaluation
+        builds it lazily).
+
+        The iteration estimate and the plain compact form are invalidated
+        and recomputed on demand.
+        """
+        old_augmented: Optional[Dict[Tuple[Node, Node], float]] = None
+        if self._compact_augmented is not None:
+            old_augmented = {
+                (source, target): weight
+                for source, target, weight in self._compact_augmented.weighted_edges()
+            }
+        self.subgraph = subgraph
+        self.border_nodes = border_nodes
+        self.shortcuts = list(shortcuts)
+        self.neighbours = list(neighbours)
+        self.disconnection_sets = dict(disconnection_sets)
+        self._compact_plain = None
+        self._local_iterations = None
+        if old_augmented is None:
+            return None
+        new_augmented = {
+            (source, target): weight
+            for source, target, weight in self.augmented_subgraph().weighted_edges()
+        }
+        inserts: List[Tuple[Node, Node, float]] = []
+        reweights: List[Tuple[Node, Node, float]] = []
+        deletes: List[Tuple[Node, Node]] = []
+        for (source, target), weight in new_augmented.items():
+            old_weight = old_augmented.get((source, target))
+            if old_weight is None:
+                inserts.append((source, target, weight))
+            elif old_weight != weight:
+                reweights.append((source, target, weight))
+        for source, target in old_augmented:
+            if (source, target) not in new_augmented:
+                deletes.append((source, target))
+        delta = CompactDelta(
+            inserts=tuple(inserts), deletes=tuple(deletes), reweights=tuple(reweights)
+        )
+        self._compact_augmented.apply_delta(delta)
+        return delta
+
     def stores_node(self, node: Node) -> bool:
         """Return ``True`` if the node appears in this site's fragment."""
         return self.subgraph.has_node(node)
@@ -248,6 +323,39 @@ class DistributedCatalog:
             fragment_id: site.to_compact_site()
             for fragment_id, site in sorted(self._sites.items())
         }
+
+    def apply_incremental_update(
+        self, fragmentation: Fragmentation, *, dirty_fragments: List[int]
+    ) -> Dict[int, Optional[CompactDelta]]:
+        """Refresh the dirty sites in place after an incremental update.
+
+        The caller (the incremental maintainer) has already repaired the
+        complementary information and knows exactly which fragments' state
+        moved; this method swaps in the new fragmentation metadata, rebuilds
+        only the dirty sites' subgraph/shortcut/compact state, and leaves
+        every other :class:`FragmentSite` object — including its cached
+        compact form — untouched and object-identical.
+
+        Returns each dirty fragment's compact delta (``None`` when the site
+        had no compact form yet), which the worker pool re-pins with.
+        """
+        self._fragmentation = fragmentation
+        self._fragmentation_graph = FragmentationGraph(fragmentation)
+        site_deltas: Dict[int, Optional[CompactDelta]] = {}
+        for fragment_id in dirty_fragments:
+            site = self._sites[fragment_id]
+            neighbours = fragmentation.adjacent_fragments(fragment_id)
+            site_deltas[fragment_id] = site.apply_update(
+                subgraph=fragmentation.fragment_subgraph(fragment_id),
+                border_nodes=fragmentation.border_nodes(fragment_id),
+                shortcuts=self._complementary.shortcut_edges(fragment_id, fragmentation),
+                neighbours=neighbours,
+                disconnection_sets={
+                    neighbour: fragmentation.disconnection_set(fragment_id, neighbour)
+                    for neighbour in neighbours
+                },
+            )
+        return site_deltas
 
     # ------------------------------------------------------------ accessors
 

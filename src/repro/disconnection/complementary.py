@@ -123,7 +123,7 @@ def precompute_complementary_information(
         pair_paths: Dict[BorderPair, List[Node]] = {}
         border_set: Set[Node] = set(border)
         for source in sorted(border_set, key=repr):
-            values, work, predecessors = _best_values_from(graph, source, border_set, semiring)
+            values, work, predecessors = border_values_from(graph, source, border_set, semiring)
             info.precompute_work += work
             for target, value in values.items():
                 if target == source:
@@ -140,13 +140,20 @@ def precompute_complementary_information(
     return info
 
 
-def _best_values_from(
+def border_values_from(
     graph: CompactGraph,
     source: Node,
     targets: Set[Node],
     semiring: Semiring,
 ) -> Tuple[Dict[Node, object], int, Optional[List[int]]]:
     """Return best path values from ``source`` to each target, the work done, and predecessors.
+
+    One "row" of the complementary information: the best whole-graph path
+    value from one border node to every node of a target set.  The full
+    precomputation calls this per border source, and the incremental repair
+    of :mod:`repro.incremental` calls it for exactly the sources an edge
+    change may have affected — both paths therefore produce identical values
+    for identical graphs.
 
     The predecessor component (shortest-path semiring only) is the kernel's
     dense id array, translated back by the caller when paths are stored.

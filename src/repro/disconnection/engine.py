@@ -157,6 +157,26 @@ class DisconnectionSetEngine:
         """The path problem being answered."""
         return self._semiring
 
+    # ------------------------------------------------------------- updates
+
+    def apply_incremental_update(
+        self, fragmentation: "Fragmentation", *, dirty_fragments: List[int]
+    ) -> Dict[int, object]:
+        """Absorb an already-repaired update without rebuilding the engine.
+
+        The incremental maintainer calls this after patching the catalog's
+        complementary information in place: the engine keeps its identity (so
+        a serving layer neither re-plans from scratch nor restarts its worker
+        pool), the catalog refreshes only the dirty fragments' sites, and the
+        planner picks up the new fragmentation on its next ``plan`` call
+        because it reads the catalog live.
+
+        Returns the per-fragment compact deltas the catalog produced.
+        """
+        return self._catalog.apply_incremental_update(
+            fragmentation, dirty_fragments=dirty_fragments
+        )
+
     # ------------------------------------------------------------- queries
 
     def query(self, source: Node, target: Node) -> QueryAnswer:

@@ -11,11 +11,15 @@ updates are not too frequent, this cost is amortised over many queries.
 * edge insertions are routed to the fragment owning (or adjacent to) the
   endpoints; brand-new nodes extend the fragment chosen by locality,
 * edge deletions are routed to the owning fragment,
-* the complementary information is recomputed *lazily* and only for the
-  fragment pairs whose answers may have changed — for an intra-fragment
-  update these are the disconnection sets of one fragment, never all of them,
-* an update log records how much recomputation each change triggered, which
-  the update-cost benchmark reports.
+* with ``incremental=True`` (the serving default) a live engine is maintained
+  **in place** by the :mod:`repro.incremental` subsystem: only the dirty
+  fragment's compact state is rebuilt, only the border rows an edge change
+  can provably affect are re-searched, and the per-fragment
+  :class:`~repro.incremental.versions.VersionVector` plus
+  :class:`~repro.incremental.delta.DeltaLog` record exactly what moved,
+* otherwise (or when an update falls outside the incremental envelope) the
+  engine is rebuilt lazily and the complementary information recomputed —
+  the classic full-invalidation path, still the correctness baseline.
 
 The class deliberately does not re-run the fragmentation algorithm: the paper
 treats fragmentation design as an offline decision, and re-fragmenting on
@@ -25,13 +29,15 @@ provided for explicit, operator-triggered reorganisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..closure import Semiring, shortest_path_semiring
 from ..exceptions import FragmentationError
 from ..fragmentation import Fragmentation, Fragmenter
 from ..graph import DiGraph
+from ..incremental.delta import DeltaLog, EdgeChange
+from ..incremental.versions import VersionVector
 from .catalog import CompactFragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
 from .engine import DisconnectionSetEngine
@@ -54,12 +60,20 @@ class UpdateEvent:
             ``refragment``, which affects every fragment).
         fragment_id: the fragment that absorbed the change (``None`` for
             ``refragment``).
+        dirty_fragments: every fragment whose prepared state moved; with an
+            incremental apply this is the scoped set a listener should
+            invalidate, otherwise it mirrors the affected fragment.
+        incremental: ``True`` when the change was absorbed in place (the
+            engine object survived); ``False`` means the engine will be
+            rebuilt and listeners should invalidate globally.
     """
 
     kind: str
     source: Optional[Node] = None
     target: Optional[Node] = None
     fragment_id: Optional[int] = None
+    dirty_fragments: Tuple[int, ...] = ()
+    incremental: bool = False
 
 
 @dataclass
@@ -71,6 +85,9 @@ class UpdateStatistics:
     complementary_refreshes: int = 0
     affected_fragment_pairs: int = 0
     engine_rebuilds: int = 0
+    incremental_updates: int = 0
+    pairs_repaired: int = 0
+    rows_recomputed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary (for reporting)."""
@@ -80,6 +97,9 @@ class UpdateStatistics:
             "complementary_refreshes": self.complementary_refreshes,
             "affected_fragment_pairs": self.affected_fragment_pairs,
             "engine_rebuilds": self.engine_rebuilds,
+            "incremental_updates": self.incremental_updates,
+            "pairs_repaired": self.pairs_repaired,
+            "rows_recomputed": self.rows_recomputed,
         }
 
 
@@ -98,6 +118,12 @@ class FragmentedDatabase:
             compact kernel graphs (snapshot reload); after an update the
             rebuilt engine re-derives only the affected fragments' compact
             forms lazily.
+        incremental: maintain a live engine in place on update (scoped
+            complementary repair + per-fragment compact rebuilds) instead of
+            tearing it down.  Updates outside the incremental envelope fall
+            back to the classic rebuild automatically.
+        version_vector: seed the per-fragment version vector (snapshot
+            reload, so a restored service resumes mid-stream).
     """
 
     def __init__(
@@ -107,6 +133,8 @@ class FragmentedDatabase:
         semiring: Optional[Semiring] = None,
         complementary: Optional[ComplementaryInformation] = None,
         compact_sites: Optional[Dict[int, "CompactFragmentSite"]] = None,
+        incremental: bool = False,
+        version_vector: Optional[VersionVector] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         self._graph = fragmentation.graph.copy()
@@ -118,6 +146,11 @@ class FragmentedDatabase:
         self._engine: Optional[DisconnectionSetEngine] = None
         self._listeners: List[Callable[[UpdateEvent], None]] = []
         self.statistics = UpdateStatistics()
+        self._incremental = incremental
+        self._maintainer = None  # lazily bound to the live engine generation
+        self.version_vector = version_vector.copy() if version_vector else VersionVector()
+        self.delta_log = DeltaLog()
+        self.last_delta = None  # the AppliedDelta of the newest incremental update
         if complementary is not None:
             self._engine = DisconnectionSetEngine(
                 fragmentation,
@@ -148,10 +181,19 @@ class FragmentedDatabase:
         """The current base graph (a live object; mutate only through this class)."""
         return self._graph
 
+    @property
+    def incremental(self) -> bool:
+        """Whether updates maintain a live engine in place when possible."""
+        return self._incremental
+
     def fragmentation(self) -> Fragmentation:
         """Return the current fragmentation as an immutable snapshot."""
         populated = [edges for edges in self._fragment_edges if edges]
         return Fragmentation(self._graph, populated, algorithm=self._algorithm)
+
+    def current_engine(self) -> Optional[DisconnectionSetEngine]:
+        """Return the live engine if one exists and is fresh (no rebuild)."""
+        return self._engine if not self._stale else None
 
     def engine(self) -> DisconnectionSetEngine:
         """Return a query engine for the current state (rebuilt lazily after updates)."""
@@ -186,18 +228,25 @@ class FragmentedDatabase:
 
         The edge goes to a fragment already containing one of its endpoints
         (preferring a fragment containing both); edges between two previously
-        unknown nodes go to the currently smallest fragment.
+        unknown nodes go to the currently smallest fragment.  Inserting an
+        edge that already exists reweights it in its owning fragment.
         """
-        owner = self._choose_owner(source, target)
-        self._graph.add_edge(source, target, weight)
-        self._fragment_edges[owner].add((source, target))
-        self.statistics.edges_inserted += 1
+        changes = [self._insert_change(source, target, weight)]
         if symmetric:
-            self._graph.add_edge(target, source, weight)
-            self._fragment_edges[owner].add((target, source))
-            self.statistics.edges_inserted += 1
-        self._mark_affected(owner)
-        self._notify(UpdateEvent(kind="insert", source=source, target=target, fragment_id=owner))
+            changes.append(self._insert_change(target, source, weight))
+        owner = changes[0].fragment_id
+        self.statistics.edges_inserted += len(changes)
+        dirty, incremental = self._apply_changes("insert", changes)
+        self._notify(
+            UpdateEvent(
+                kind="insert",
+                source=source,
+                target=target,
+                fragment_id=owner,
+                dirty_fragments=dirty,
+                incremental=incremental,
+            )
+        )
         return owner
 
     def delete_edge(self, source: Node, target: Node, *, symmetric: bool = False) -> int:
@@ -209,17 +258,39 @@ class FragmentedDatabase:
         owner = self._owner_of_edge(source, target)
         if owner is None:
             raise FragmentationError(f"edge ({source!r}, {target!r}) is not stored")
-        self._fragment_edges[owner].discard((source, target))
-        self._graph.remove_edge(source, target)
-        self.statistics.edges_deleted += 1
+        changes = [
+            EdgeChange(
+                op="delete",
+                source=source,
+                target=target,
+                old_weight=self._graph.edge_weight(source, target),
+                fragment_id=owner,
+            )
+        ]
         if symmetric and self._graph.has_edge(target, source):
             reverse_owner = self._owner_of_edge(target, source)
             if reverse_owner is not None:
-                self._fragment_edges[reverse_owner].discard((target, source))
-            self._graph.remove_edge(target, source)
-            self.statistics.edges_deleted += 1
-        self._mark_affected(owner)
-        self._notify(UpdateEvent(kind="delete", source=source, target=target, fragment_id=owner))
+                changes.append(
+                    EdgeChange(
+                        op="delete",
+                        source=target,
+                        target=source,
+                        old_weight=self._graph.edge_weight(target, source),
+                        fragment_id=reverse_owner,
+                    )
+                )
+        self.statistics.edges_deleted += len(changes)
+        dirty, incremental = self._apply_changes("delete", changes)
+        self._notify(
+            UpdateEvent(
+                kind="delete",
+                source=source,
+                target=target,
+                fragment_id=owner,
+                dirty_fragments=dirty,
+                incremental=incremental,
+            )
+        )
         return owner
 
     def update_edge_weight(self, source: Node, target: Node, weight: float) -> int:
@@ -227,9 +298,27 @@ class FragmentedDatabase:
         owner = self._owner_of_edge(source, target)
         if owner is None:
             raise FragmentationError(f"edge ({source!r}, {target!r}) is not stored")
-        self._graph.add_edge(source, target, weight)
-        self._mark_affected(owner)
-        self._notify(UpdateEvent(kind="reweight", source=source, target=target, fragment_id=owner))
+        changes = [
+            EdgeChange(
+                op="reweight",
+                source=source,
+                target=target,
+                weight=float(weight),
+                old_weight=self._graph.edge_weight(source, target),
+                fragment_id=owner,
+            )
+        ]
+        dirty, incremental = self._apply_changes("reweight", changes)
+        self._notify(
+            UpdateEvent(
+                kind="reweight",
+                source=source,
+                target=target,
+                fragment_id=owner,
+                dirty_fragments=dirty,
+                incremental=incremental,
+            )
+        )
         return owner
 
     def refragment(self, fragmenter: Fragmenter) -> Fragmentation:
@@ -238,10 +327,125 @@ class FragmentedDatabase:
         self._fragment_edges = [set(fragment.edges) for fragment in fragmentation.fragments]
         self._algorithm = fragmentation.algorithm
         self._stale = True
+        self._maintainer = None
+        self.last_delta = None
+        self.version_vector.advance_epoch()
+        self.delta_log.append(
+            "refragment", incremental=False, epoch=self.version_vector.epoch
+        )
         self._notify(UpdateEvent(kind="refragment"))
         return self.fragmentation()
 
     # ------------------------------------------------------------- internals
+
+    def _insert_change(self, source: Node, target: Node, weight: float) -> EdgeChange:
+        """Describe one edge insertion (an existing edge becomes a reweight)."""
+        existing_owner = self._owner_of_edge(source, target)
+        if existing_owner is not None:
+            return EdgeChange(
+                op="reweight",
+                source=source,
+                target=target,
+                weight=float(weight),
+                old_weight=self._graph.edge_weight(source, target),
+                fragment_id=existing_owner,
+            )
+        owner = self._choose_owner(source, target)
+        return EdgeChange(
+            op="insert", source=source, target=target, weight=float(weight), fragment_id=owner
+        )
+
+    def _apply_changes(
+        self, kind: str, changes: List[EdgeChange]
+    ) -> Tuple[Tuple[int, ...], bool]:
+        """Mutate the base state for ``changes``, incrementally when possible.
+
+        Returns the dirty fragment ids and whether the live engine absorbed
+        the update in place.
+        """
+        maintainer = self._ensure_maintainer()
+        began = False
+        if maintainer is not None:
+            try:
+                maintainer.begin(changes)
+                began = True
+            except Exception:
+                # Any pre-mutation failure (expected fallback or not) simply
+                # routes this update through the classic rebuild.
+                maintainer = None
+                self._maintainer = None
+        for change in changes:
+            self._mutate(change)
+        applied = None
+        if maintainer is not None and began:
+            try:
+                applied = maintainer.complete(kind, changes)
+            except Exception:
+                # The graph is already mutated; a failed in-place apply —
+                # the expected IncrementalFallback or anything unexpected
+                # mid-repair — must never leave the old engine live.  The
+                # classic path below marks it stale, and the rebuild discards
+                # any half-patched complementary state.
+                self._maintainer = None
+        if applied is not None:
+            dirty = applied.dirty_fragments
+            self.version_vector.bump_all(dirty)
+            self.last_delta = applied
+            self.statistics.incremental_updates += 1
+            self.statistics.pairs_repaired += len(applied.pairs_changed)
+            self.statistics.rows_recomputed += applied.report.rows_recomputed
+            self.statistics.affected_fragment_pairs += len(applied.pairs_changed)
+            self.delta_log.append(
+                kind,
+                changes=tuple(changes),
+                dirty_fragments=dirty,
+                incremental=True,
+                versions={fid: self.version_vector.version_of(fid) for fid in dirty},
+                epoch=self.version_vector.epoch,
+            )
+            return dirty, True
+        # Classic path: mark everything stale and let engine() rebuild.
+        dirty = tuple(sorted({change.fragment_id for change in changes}))
+        if any(not edges for edges in self._fragment_edges):
+            # A fragment emptied out.  fragmentation() renumbers the
+            # surviving fragments densely, so the raw edge-set list must be
+            # compacted the same way — otherwise every later owner lookup
+            # would hand out indices the rebuilt catalog does not have.
+            self._fragment_edges = [edges for edges in self._fragment_edges if edges]
+        for fragment_id in dirty:
+            self._mark_affected(fragment_id)
+        self.last_delta = None
+        self.version_vector.advance_epoch()
+        self.delta_log.append(
+            kind,
+            changes=tuple(changes),
+            dirty_fragments=dirty,
+            incremental=False,
+            epoch=self.version_vector.epoch,
+        )
+        return dirty, False
+
+    def _mutate(self, change: EdgeChange) -> None:
+        """Apply one elementary change to the graph and fragment edge sets."""
+        if change.op == "delete":
+            self._fragment_edges[change.fragment_id].discard((change.source, change.target))
+            self._graph.remove_edge(change.source, change.target)
+        else:  # insert or reweight: DiGraph.add_edge upserts the weight
+            self._graph.add_edge(change.source, change.target, change.weight)
+            self._fragment_edges[change.fragment_id].add((change.source, change.target))
+
+    def _ensure_maintainer(self):
+        """Return a maintainer bound to the live engine, or ``None``."""
+        if not self._incremental:
+            return None
+        from ..incremental.maintainer import IncrementalMaintainer, supports_incremental
+
+        if not supports_incremental(self):
+            return None
+        assert self._engine is not None  # supports_incremental checked it
+        if self._maintainer is None or self._maintainer.engine is not self._engine:
+            self._maintainer = IncrementalMaintainer(self, self._engine)
+        return self._maintainer
 
     def _choose_owner(self, source: Node, target: Node) -> int:
         both: List[int] = []

@@ -20,8 +20,10 @@ meaningful for plain reachability).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import inf
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..closure import array_dijkstra, reconstruct_id_path
 from ..exceptions import DisconnectedError, NoChainError
 from ..fragmentation import Fragmentation
 from ..graph import DiGraph, dijkstra, reconstruct_path
@@ -72,6 +74,10 @@ class RouteReconstructingEngine:
             have been precomputed with ``store_paths=True`` (the constructor
             recomputes it with paths otherwise).
         max_chains: cap on the number of fragment chains examined per query.
+        use_compact: run the per-fragment predecessor-tracking Dijkstra on
+            the site's cached compact (CSR) graph via the array kernel (the
+            default); ``False`` restores the dict-based walk over the
+            augmented subgraph — kept as the equivalence baseline.
     """
 
     def __init__(
@@ -80,12 +86,14 @@ class RouteReconstructingEngine:
         *,
         complementary: Optional[ComplementaryInformation] = None,
         max_chains: Optional[int] = 32,
+        use_compact: bool = True,
     ) -> None:
         if complementary is None or not complementary.paths:
             complementary = precompute_complementary_information(fragmentation, store_paths=True)
         self._complementary = complementary
         self._catalog = DistributedCatalog(fragmentation, complementary=complementary)
         self._planner = QueryPlanner(self._catalog, max_chains=max_chains)
+        self._use_compact = use_compact
 
     @property
     def catalog(self) -> DistributedCatalog:
@@ -157,7 +165,9 @@ class RouteReconstructingEngine:
         return self._catalog.site(spec.fragment_id)
 
     def _evaluate_local(self, site: FragmentSite, spec: LocalQuerySpec) -> _LocalRoutes:
-        """Per-fragment Dijkstra with predecessor tracking on the augmented subgraph."""
+        """Per-fragment Dijkstra with predecessor tracking (compact kernel by default)."""
+        if self._use_compact:
+            return self._evaluate_local_compact(site, spec)
         graph = site.augmented_subgraph()
         result = _LocalRoutes()
         exit_nodes = {node for node in spec.exit_nodes if graph.has_node(node)}
@@ -170,6 +180,37 @@ class RouteReconstructingEngine:
                     continue
                 result.values[(entry, exit_node)] = distances[exit_node]
                 result.paths[(entry, exit_node)] = reconstruct_path(predecessors, entry, exit_node)
+        return result
+
+    def _evaluate_local_compact(self, site: FragmentSite, spec: LocalQuerySpec) -> _LocalRoutes:
+        """The same search on the site's cached CSR graph via ``array_dijkstra``.
+
+        The kernel's flat predecessor array replaces the dict predecessor
+        map; ids are translated back through the interner when a path is
+        materialised, so downstream shortcut expansion sees original nodes.
+        """
+        graph = site.compact()
+        result = _LocalRoutes()
+        exits = [
+            (node, node_id)
+            for node in spec.exit_nodes
+            for node_id in (graph.try_node_id(node),)
+            if node_id >= 0
+        ]
+        if not exits:
+            return result
+        target_ids = [exit_id for _, exit_id in exits]
+        for entry in spec.entry_nodes:
+            entry_id = graph.try_node_id(entry)
+            if entry_id < 0:
+                continue
+            distances, predecessors, _ = array_dijkstra(graph, entry_id, target_ids=target_ids)
+            for exit_node, exit_id in exits:
+                if distances[exit_id] == inf:
+                    continue
+                result.values[(entry, exit_node)] = distances[exit_id]
+                path_ids = reconstruct_id_path(predecessors, entry_id, exit_id)
+                result.paths[(entry, exit_node)] = [graph.node_of(p) for p in path_ids]
         return result
 
     def _expand_shortcuts(self, route: List[Node]) -> List[Node]:

@@ -18,7 +18,7 @@ from .coordinates import (
     pairwise_distances,
     spread_out_selection,
 )
-from .compact import CompactGraph
+from .compact import CompactDelta, CompactGraph
 from .connectivity import (
     articulation_points,
     k_connectivity,
@@ -68,6 +68,7 @@ from .traversal import (
 )
 
 __all__ = [
+    "CompactDelta",
     "CompactGraph",
     "DiGraph",
     "Point",

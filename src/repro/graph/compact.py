@@ -23,11 +23,41 @@ ship to resident worker processes) and persist losslessly inside snapshots.
 from __future__ import annotations
 
 from array import array
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import NodeNotFoundError
 
 Node = Hashable
+
+
+@dataclass(frozen=True)
+class CompactDelta:
+    """A plain-data edge delta applicable to a :class:`CompactGraph`.
+
+    This is the wire format of incremental maintenance: small enough to ship
+    to a resident worker instead of the fragment's whole CSR state, and
+    deterministic — applying the same delta to two identical graphs yields
+    identical interners and arrays.
+
+    Attributes:
+        inserts: ``(source, target, weight)`` triples to add (new endpoints
+            are interned in order of appearance).
+        deletes: ``(source, target)`` pairs to remove (every parallel entry
+            for the pair is dropped; missing pairs are ignored so replays are
+            idempotent).
+        reweights: ``(source, target, weight)`` triples replacing the pair's
+            entries with a single entry at the new weight (upserting when the
+            pair is absent).
+    """
+
+    inserts: Tuple[Tuple[Node, Node, float], ...] = ()
+    deletes: Tuple[Tuple[Node, Node], ...] = ()
+    reweights: Tuple[Tuple[Node, Node, float], ...] = ()
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when the delta changes nothing."""
+        return not (self.inserts or self.deletes or self.reweights)
 
 _OFFSET_TYPECODE = "l"
 _TARGET_TYPECODE = "l"
@@ -61,6 +91,7 @@ class CompactGraph:
         "_bwd_sources",
         "_bwd_weights",
         "_succ_masks",
+        "_pred_masks",
     )
 
     def __init__(
@@ -82,6 +113,7 @@ class CompactGraph:
         self._bwd_sources = bwd_sources
         self._bwd_weights = bwd_weights
         self._succ_masks: Optional[List[int]] = None
+        self._pred_masks: Optional[List[int]] = None
 
     # ---------------------------------------------------------- construction
 
@@ -225,6 +257,25 @@ class CompactGraph:
             self._succ_masks = masks
         return self._succ_masks
 
+    def predecessor_masks(self) -> List[int]:
+        """Return (and cache) one int-as-bitset of predecessors per node.
+
+        The backward counterpart of :meth:`successor_masks`; the repair
+        machinery uses it to run the bitset BFS *against* the edges ("which
+        nodes reach u?") without materialising a reversed graph.
+        """
+        if self._pred_masks is None:
+            masks = [0] * len(self._nodes)
+            offsets = self._bwd_offsets
+            sources = self._bwd_sources
+            for node_id in range(len(self._nodes)):
+                mask = 0
+                for index in range(offsets[node_id], offsets[node_id + 1]):
+                    mask |= 1 << sources[index]
+                masks[node_id] = mask
+            self._pred_masks = masks
+        return self._pred_masks
+
     def weighted_edges(self) -> List[Tuple[Node, Node, float]]:
         """Return every edge as original-node triples (for round-trips/tests)."""
         edges: List[Tuple[Node, Node, float]] = []
@@ -278,6 +329,75 @@ class CompactGraph:
             state["bwd_sources"],  # type: ignore[arg-type]
             state["bwd_weights"],  # type: ignore[arg-type]
         )
+
+    # ------------------------------------------------------- in-place delta
+
+    def apply_delta(self, delta: CompactDelta) -> None:
+        """Rebuild this graph's CSR arrays in place from an edge delta.
+
+        This is the incremental-maintenance hot path: the interner is reused
+        (new endpoints are appended, so ids of existing nodes never move) and
+        only this graph's offset/target/weight arrays are reconstructed — in a
+        fragmented catalog, every other fragment's compact state is untouched.
+        Nodes whose last edge was deleted stay interned as isolated ids; the
+        kernels never reach them, and node membership questions are answered
+        by the mutable front-end, not by this substrate.
+
+        Lazy successor/predecessor masks are invalidated and rebuilt on next
+        use.
+        """
+        if delta.is_empty():
+            return
+        edges: List[Tuple[int, int, float]] = []
+        for source_id in range(len(self._nodes)):
+            for index in range(self._fwd_offsets[source_id], self._fwd_offsets[source_id + 1]):
+                edges.append((source_id, self._fwd_targets[index], self._fwd_weights[index]))
+        removed = set()
+        rewritten: Dict[Tuple[int, int], float] = {}
+        for source, target in delta.deletes:
+            removed.add((self._ids.get(source, -1), self._ids.get(target, -1)))
+        for source, target, weight in delta.reweights:
+            source_id = self._intern(source)
+            target_id = self._intern(target)
+            rewritten[(source_id, target_id)] = float(weight)
+        if removed or rewritten:
+            kept: List[Tuple[int, int, float]] = []
+            emitted = set()
+            for source_id, target_id, weight in edges:
+                pair = (source_id, target_id)
+                if pair in removed:
+                    continue
+                if pair in rewritten:
+                    if pair in emitted:
+                        continue  # collapse parallel entries to one reweighted edge
+                    emitted.add(pair)
+                    kept.append((source_id, target_id, rewritten[pair]))
+                else:
+                    kept.append((source_id, target_id, weight))
+            for pair, weight in rewritten.items():
+                if pair not in emitted:
+                    kept.append((pair[0], pair[1], weight))  # reweight of an absent pair upserts
+            edges = kept
+        for source, target, weight in delta.inserts:
+            edges.append((self._intern(source), self._intern(target), float(weight)))
+        n = len(self._nodes)
+        self._fwd_offsets, self._fwd_targets, self._fwd_weights = _build_csr(
+            edges, n, forward=True
+        )
+        self._bwd_offsets, self._bwd_sources, self._bwd_weights = _build_csr(
+            edges, n, forward=False
+        )
+        self._succ_masks = None
+        self._pred_masks = None
+
+    def _intern(self, node: Node) -> int:
+        """Return the dense id of ``node``, interning it when new."""
+        node_id = self._ids.get(node)
+        if node_id is None:
+            node_id = len(self._nodes)
+            self._nodes.append(node)
+            self._ids[node] = node_id
+        return node_id
 
     def __getstate__(self) -> Dict[str, object]:
         return self.state()

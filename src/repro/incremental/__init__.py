@@ -1,0 +1,40 @@
+"""Incremental maintenance: updates proportional to the paper's locality argument.
+
+The paper names "the careful treatment of updates" as the second cost of the
+disconnection-set approach (Sec. 2.1): a change touches one fragment and the
+disconnection sets it borders — never the whole database.  This package makes
+the serving stack honour that contract:
+
+* :mod:`~repro.incremental.versions` — per-fragment :class:`VersionVector`
+  replacing the single scalar catalog version,
+* :mod:`~repro.incremental.delta` — the :class:`DeltaLog` of applied changes,
+* :mod:`~repro.incremental.repair` — delta-scoped, exact repair of the
+  complementary information (suspect probes + row recomputation),
+* :mod:`~repro.incremental.maintainer` — the :class:`IncrementalMaintainer`
+  that patches a live engine's catalog in place and reports which fragments
+  actually moved.
+"""
+
+from .delta import DeltaLog, DeltaRecord, EdgeChange
+from .maintainer import (
+    AppliedDelta,
+    IncrementalFallback,
+    IncrementalMaintainer,
+    supports_incremental,
+)
+from .repair import REPAIRABLE_SEMIRINGS, ComplementaryRepairer, RepairReport
+from .versions import VersionVector
+
+__all__ = [
+    "AppliedDelta",
+    "ComplementaryRepairer",
+    "DeltaLog",
+    "DeltaRecord",
+    "EdgeChange",
+    "IncrementalFallback",
+    "IncrementalMaintainer",
+    "REPAIRABLE_SEMIRINGS",
+    "RepairReport",
+    "supports_incremental",
+    "VersionVector",
+]

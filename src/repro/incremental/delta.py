@@ -1,0 +1,160 @@
+"""The delta log: an ordered record of applied base-relation changes.
+
+Every mutation of a :class:`~repro.disconnection.maintenance.FragmentedDatabase`
+appends one :class:`DeltaRecord` here — which edge changed, which fragments'
+compact state had to be touched, whether the change was absorbed incrementally
+or forced a full rebuild, and the version vector after the change.  The log is
+the subsystem's observability surface (the update benchmark reads its
+counters) and the replay substrate: ``records_since`` returns exactly the
+tail a consumer that saw sequence ``n`` still has to apply.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class EdgeChange:
+    """One elementary edge mutation, as the repair machinery consumes it.
+
+    Attributes:
+        op: ``"insert"``, ``"delete"`` or ``"reweight"``.
+        source, target: the edge's endpoints.
+        weight: the new weight (``insert`` / ``reweight``; meaningless for
+            ``delete``).
+        old_weight: the pre-change weight (``delete`` / ``reweight``; ``None``
+            for ``insert``) — the delete/increase repair searches the old
+            graph with it.
+        fragment_id: the fragment that owns the change.
+    """
+
+    op: str
+    source: Node
+    target: Node
+    weight: float = 0.0
+    old_weight: Optional[float] = None
+    fragment_id: int = -1
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One applied update, as the delta log stores it.
+
+    Attributes:
+        sequence: position in the log (1-based, monotonically increasing
+            across evictions of old records).
+        kind: the high-level update kind (``insert`` / ``delete`` /
+            ``reweight`` / ``refragment``).
+        changes: the elementary edge changes the update decomposed into.
+        dirty_fragments: fragments whose compact state was rebuilt.
+        incremental: whether the change was absorbed in place (``False``
+            means the engine fell back to a full rebuild).
+        versions: the per-fragment version vector *after* the change.
+        epoch: the vector epoch after the change.
+    """
+
+    sequence: int
+    kind: str
+    changes: Tuple[EdgeChange, ...] = ()
+    dirty_fragments: Tuple[int, ...] = ()
+    incremental: bool = False
+    versions: Dict[int, int] = field(default_factory=dict)
+    epoch: int = 0
+
+
+class DeltaLog:
+    """A bounded, append-only log of :class:`DeltaRecord` entries.
+
+    Args:
+        capacity: how many records to retain (older records are dropped;
+            ``records_since`` reports when a consumer fell off the tail).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"delta log capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._records: Deque[DeltaRecord] = deque(maxlen=capacity)
+        self._next_sequence = 1
+        self.incremental_applied = 0
+        self.full_rebuilds = 0
+
+    # ------------------------------------------------------------- appending
+
+    def append(
+        self,
+        kind: str,
+        *,
+        changes: Tuple[EdgeChange, ...] = (),
+        dirty_fragments: Tuple[int, ...] = (),
+        incremental: bool = False,
+        versions: Optional[Dict[int, int]] = None,
+        epoch: int = 0,
+    ) -> DeltaRecord:
+        """Append one applied update and return its record."""
+        record = DeltaRecord(
+            sequence=self._next_sequence,
+            kind=kind,
+            changes=changes,
+            dirty_fragments=tuple(dirty_fragments),
+            incremental=incremental,
+            versions=dict(versions or {}),
+            epoch=epoch,
+        )
+        self._next_sequence += 1
+        self._records.append(record)
+        if incremental:
+            self.incremental_applied += 1
+        else:
+            self.full_rebuilds += 1
+        return record
+
+    # -------------------------------------------------------------- reading
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of retained records."""
+        return self._capacity
+
+    @property
+    def last_sequence(self) -> int:
+        """The sequence number of the newest record (0 when empty)."""
+        return self._next_sequence - 1
+
+    def records(self) -> List[DeltaRecord]:
+        """Return the retained records, oldest first."""
+        return list(self._records)
+
+    def last(self) -> Optional[DeltaRecord]:
+        """Return the newest record, or ``None`` when the log is empty."""
+        return self._records[-1] if self._records else None
+
+    def records_since(self, sequence: int) -> List[DeltaRecord]:
+        """Return every retained record with a sequence greater than ``sequence``.
+
+        Raises:
+            ValueError: when records after ``sequence`` have already been
+                evicted — the consumer fell off the log's tail and must
+                resynchronise from a snapshot instead of replaying.
+        """
+        if self._records and sequence < self._records[0].sequence - 1:
+            raise ValueError(
+                f"records after sequence {sequence} were evicted from the delta log "
+                f"(oldest retained is {self._records[0].sequence}); resynchronise "
+                "from a snapshot"
+            )
+        return [record for record in self._records if record.sequence > sequence]
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaLog(records={len(self._records)}, last={self.last_sequence}, "
+            f"incremental={self.incremental_applied}, full={self.full_rebuilds})"
+        )

@@ -172,8 +172,16 @@ class ParallelSimulator:
         return simulation
 
     def centralized_baseline_cost(self) -> float:
-        """Return the simulated cost of one full closure of the unfragmented graph."""
-        closure = seminaive_transitive_closure(self._fragmentation.graph, semiring=self._semiring)
+        """Return the simulated cost of one full closure of the unfragmented graph.
+
+        The cost model prices *iterative rounds*, so the dict-based
+        evaluation is forced: the compact dispatch would report one round per
+        source instead of the diameter-bounded fixpoint rounds being
+        modelled.
+        """
+        closure = seminaive_transitive_closure(
+            self._fragmentation.graph, semiring=self._semiring, use_compact=False
+        )
         return self._cost_model.closure_cost(
             closure.statistics.iterations, closure.statistics.tuples_produced
         )

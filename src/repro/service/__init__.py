@@ -14,8 +14,8 @@ This package provides the serving layer that makes that true in practice:
 """
 
 from .batch import BatchPlan, BatchPlanner
-from .cache import LRUCache
-from .pool import ResidentWorkerPool, result_from_payload, semiring_from_name
+from .cache import CachedAnswer, CacheKey, LRUCache
+from .pool import PinUpdate, ResidentWorkerPool, result_from_payload, semiring_from_name
 from .server import QueryService, ServiceAnswer
 from .snapshot import (
     LoadedSnapshot,
@@ -31,8 +31,11 @@ from .stats import ServiceStatistics
 __all__ = [
     "BatchPlan",
     "BatchPlanner",
+    "CacheKey",
+    "CachedAnswer",
     "LRUCache",
     "LoadedSnapshot",
+    "PinUpdate",
     "QueryService",
     "ResidentWorkerPool",
     "ServiceAnswer",

@@ -1,12 +1,16 @@
-"""Bounded LRU cache for query results.
+"""Bounded LRU cache for query results, with fragment-scoped invalidation.
 
 The disconnection set approach pays its preparation cost once and answers
 queries cheaply afterwards; a result cache takes the next step and makes the
-*second* identical query free.  Keys carry the catalog version, so an update
-to the base relation (see :mod:`repro.disconnection.maintenance`) naturally
-invalidates every cached answer: the service bumps its version and stale
-entries can no longer be hit.  :meth:`LRUCache.evict_stale` reclaims their
-slots eagerly so a busy service does not waste capacity on dead versions.
+*second* identical query free.  Entries are addressed by a typed
+:class:`CacheKey` and carry, in their :class:`CachedAnswer`, the exact
+``(epoch, fragment -> version)`` slice of the catalog's
+:class:`~repro.incremental.versions.VersionVector` they were computed under.
+An update therefore invalidates *scoped*: the service evicts only the entries
+whose recorded fragments moved (:meth:`LRUCache.evict_where`), and answers
+touching untouched fragments keep serving from cache.  Whole-catalog events
+(refragmentation, a full-rebuild fallback) advance the epoch, which ages
+every entry at once.
 
 The implementation is a plain ``OrderedDict`` LRU — no external dependencies,
 O(1) get/put — with hit/miss/eviction counters the service statistics expose.
@@ -15,9 +19,57 @@ O(1) get/put — with hit/miss/eviction counters the service statistics expose.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Hashable, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Optional, Tuple
 
 Key = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The typed identity of one cached query answer.
+
+    Replaces the old positional tuple (whose version lived at ``key[3]`` and
+    could only be poked by index): the key names *what* was asked, while the
+    staleness bookkeeping lives in the stored :class:`CachedAnswer`, where
+    scoped invalidation can address it by fragment.
+
+    Attributes:
+        source, target: the queried endpoints.
+        semiring: the path problem's name.
+        base_version: the snapshot lineage the serving catalog descends from
+            (two services restored from the same snapshot share entries; a
+            different lineage can never collide).
+    """
+
+    source: Hashable
+    target: Hashable
+    semiring: str
+    base_version: str
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """One cached answer plus the catalog slice it depends on.
+
+    Attributes:
+        value: the answer's path value (``None`` when no path exists).
+        chain: the fragment chain that produced it.
+        epoch: the version-vector epoch the answer was computed under.
+        fragment_versions: sorted ``(fragment, version)`` pairs for every
+            fragment the answer's plan involved; the answer is valid exactly
+            while all of them (and the epoch) are current.
+    """
+
+    value: Optional[object]
+    chain: Optional[Tuple[int, ...]]
+    epoch: int = 0
+    fragment_versions: Tuple[Tuple[int, int], ...] = ()
+
+    def depends_on(self, fragment_ids: Iterable[int]) -> bool:
+        """Return ``True`` when any of the given fragments backs this answer."""
+        dirty = set(fragment_ids)
+        return any(fragment_id in dirty for fragment_id, _ in self.fragment_versions)
 
 
 class LRUCache:
@@ -81,6 +133,18 @@ class LRUCache:
         self.invalidations += dropped
         return dropped
 
+    def discard(self, key: Key) -> bool:
+        """Drop one entry if present; returns whether it existed.
+
+        Used when a get-side validation discovers a stale answer (its
+        recorded fragment versions no longer match the catalog's vector).
+        """
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
     def evict_stale(self, is_stale: Callable[[Key], bool]) -> int:
         """Drop every entry whose key satisfies ``is_stale``; returns the count.
 
@@ -89,6 +153,19 @@ class LRUCache:
         capacity until LRU pressure pushed them out).
         """
         stale = [key for key in self._entries if is_stale(key)]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def evict_where(self, is_stale: Callable[[Key, object], bool]) -> int:
+        """Drop every entry whose ``(key, value)`` satisfies ``is_stale``.
+
+        The scoped-invalidation hook: the service passes a predicate testing
+        whether a :class:`CachedAnswer` depends on any dirty fragment, so an
+        update evicts only the answers it could actually have changed.
+        """
+        stale = [key for key, value in self._entries.items() if is_stale(key, value)]
         for key in stale:
             del self._entries[key]
         self.invalidations += len(stale)

@@ -28,21 +28,53 @@ semirings in-process.
 from __future__ import annotations
 
 import multiprocessing
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from ..closure import ClosureStatistics, Semiring, reachability_semiring, shortest_path_semiring
 from ..disconnection import LocalQueryEvaluator, LocalQueryResult
 from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
+from ..graph.compact import CompactDelta
 
 Node = Hashable
 TaskKey = Tuple[int, FrozenSet[Node], FrozenSet[Node]]
 
 PICKLABLE_SEMIRINGS = ("shortest_path", "reachability")
 
+REPIN_TIMEOUT_SECONDS = 30.0
+
 # Module-level worker state, initialised once per worker process.
 _WORKER_SITES: Dict[int, CompactFragmentSite] = {}
 _WORKER_EVALUATOR: Optional[LocalQueryEvaluator] = None
+_WORKER_BARRIER: Optional[multiprocessing.synchronize.Barrier] = None
+
+
+@dataclass(frozen=True)
+class PinUpdate:
+    """One fragment's re-pin message after an incremental update.
+
+    The scoped alternative to restarting the pool: only the dirty fragment
+    crosses the process boundary, and when the coordinator knows the exact
+    compact delta, only the delta does.
+
+    Attributes:
+        fragment_id: the fragment to refresh.
+        estimated_iterations: the fragment's new iteration estimate.
+        delta: the augmented graph's edge delta (applied in place to the
+            worker's pinned replica); when present, only the delta crosses
+            the process boundary.
+        payload: the fragment's full refreshed compact site.  Live workers
+            receive it only when no delta is available, but the pool always
+            folds it into its parent-side pinned list so a worker process
+            respawned later (after a crash) re-initialises from current
+            state, not from the sites captured at pool start.
+    """
+
+    fragment_id: int
+    estimated_iterations: int
+    delta: Optional[CompactDelta] = None
+    payload: Optional[CompactFragmentSite] = None
 
 
 def semiring_from_name(name: str) -> Semiring:
@@ -61,11 +93,39 @@ def semiring_from_name(name: str) -> Semiring:
     )
 
 
-def _worker_init(sites: List[CompactFragmentSite], semiring_name: str) -> None:
+def _worker_init(
+    sites: List[CompactFragmentSite],
+    semiring_name: str,
+    barrier: Optional["multiprocessing.synchronize.Barrier"] = None,
+) -> None:
     """Initialise a worker process with its pinned compact sites and evaluator."""
-    global _WORKER_SITES, _WORKER_EVALUATOR
+    global _WORKER_SITES, _WORKER_EVALUATOR, _WORKER_BARRIER
     _WORKER_SITES = {site.fragment_id: site for site in sites}
     _WORKER_EVALUATOR = LocalQueryEvaluator(semiring=semiring_from_name(semiring_name))
+    _WORKER_BARRIER = barrier
+
+
+def _worker_repin(updates: Sequence[PinUpdate]) -> int:
+    """Apply pin updates inside one worker; returns the fragments refreshed.
+
+    The coordinator submits exactly one copy of this task per worker
+    (chunksize 1) and every copy blocks on the shared barrier before
+    returning, which guarantees each worker takes exactly one copy — a
+    broadcast over a work-stealing pool.
+    """
+    assert _WORKER_BARRIER is not None
+    _WORKER_BARRIER.wait(timeout=REPIN_TIMEOUT_SECONDS)
+    refreshed = 0
+    for update in updates:
+        if update.delta is not None and update.fragment_id in _WORKER_SITES:
+            _WORKER_SITES[update.fragment_id].apply_delta(
+                update.delta, update.estimated_iterations
+            )
+            refreshed += 1
+        elif update.payload is not None:
+            _WORKER_SITES[update.fragment_id] = update.payload
+            refreshed += 1
+    return refreshed
 
 
 def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
@@ -127,15 +187,23 @@ class ResidentWorkerPool:
         self._semiring_name = catalog.semiring.name
         self._semiring = semiring_from_name(self._semiring_name)
         self.dispatch_counts: Dict[int, int] = {}
+        self.repins = 0
+        self.repinned_fragments = 0
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._barrier: Optional[multiprocessing.synchronize.Barrier] = None
         self._start(catalog)
 
     def _start(self, catalog: DistributedCatalog) -> None:
-        compact_sites = list(catalog.compact_sites().values())
+        # The pinned list is shared with the Pool's respawn machinery: a
+        # worker that dies is re-initialised from these initargs, so repin()
+        # must keep the list current or a respawned worker would silently
+        # serve the state captured at pool start.
+        self._pinned_sites = list(catalog.compact_sites().values())
+        self._barrier = multiprocessing.Barrier(self._processes)
         self._pool = multiprocessing.Pool(
             processes=self._processes,
             initializer=_worker_init,
-            initargs=(compact_sites, self._semiring_name),
+            initargs=(self._pinned_sites, self._semiring_name, self._barrier),
         )
 
     # ------------------------------------------------------------ accessors
@@ -168,6 +236,48 @@ class ResidentWorkerPool:
             results[key] = result_from_payload(key, payload, semiring=self._semiring)
             self.dispatch_counts[key[0]] = self.dispatch_counts.get(key[0], 0) + 1
         return results
+
+    def repin(self, updates: Sequence[PinUpdate]) -> None:
+        """Refresh only the given fragments in every worker, without a restart.
+
+        The broadcast submits one repin task per worker; a shared barrier
+        makes each worker take exactly one, so after this call returns every
+        worker's replica of the dirty fragments matches the coordinator —
+        all other pinned fragments (and the processes themselves, with their
+        warm state) are untouched.  This is the scoped counterpart of
+        :meth:`restart`, whose full re-ship is only needed when the whole
+        catalog changed.
+
+        Raises:
+            RuntimeError: if the pool was closed.
+        """
+        if self._pool is None:
+            raise RuntimeError("the resident worker pool has been closed")
+        if not updates:
+            return
+        # Live workers get the small delta when one exists; the full payload
+        # only crosses the boundary when a replica must be replaced wholesale.
+        wire_updates = [
+            PinUpdate(
+                fragment_id=update.fragment_id,
+                estimated_iterations=update.estimated_iterations,
+                delta=update.delta,
+                payload=None if update.delta is not None else update.payload,
+            )
+            for update in updates
+        ]
+        self._pool.map(_worker_repin, [wire_updates] * self._processes, 1)
+        for update in updates:
+            if update.payload is None:
+                continue
+            for index, pinned in enumerate(self._pinned_sites):
+                if pinned.fragment_id == update.fragment_id:
+                    self._pinned_sites[index] = update.payload
+                    break
+            else:
+                self._pinned_sites.append(update.payload)
+        self.repins += 1
+        self.repinned_fragments += len(updates)
 
     def restart(self, catalog: DistributedCatalog) -> None:
         """Replace the pinned sites with those of ``catalog`` (after an update)."""

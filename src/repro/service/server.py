@@ -4,15 +4,20 @@
 :class:`~repro.disconnection.engine.DisconnectionSetEngine`.  It composes the
 pieces of this package:
 
-* a :class:`~repro.service.cache.LRUCache` of answers keyed on
-  ``(source, target, semiring, catalog_version)``,
+* a :class:`~repro.service.cache.LRUCache` of answers addressed by a typed
+  :class:`~repro.service.cache.CacheKey`, each entry recording the
+  per-fragment versions it depends on,
 * an optional :class:`~repro.service.pool.ResidentWorkerPool` that keeps the
   fragment sites pinned in persistent worker processes,
 * the :class:`~repro.service.batch.BatchPlanner` that evaluates a batch's
   shared local subqueries once,
 * the update hooks of
-  :class:`~repro.disconnection.maintenance.FragmentedDatabase`, which bump
-  the catalog version and flush the cache whenever the base relation changes,
+  :class:`~repro.disconnection.maintenance.FragmentedDatabase`: with the
+  default ``incremental=True`` an update is absorbed in place by the
+  :mod:`repro.incremental` subsystem — only the dirty fragments' versions
+  move, only the answers depending on them are evicted, and only their
+  payloads are re-pinned into the workers; a fall-back full rebuild flushes
+  everything (the pre-incremental behaviour, kept as ``incremental=False``),
 * :class:`~repro.service.stats.ServiceStatistics` making hit rates, latency
   and per-site load observable.
 
@@ -43,9 +48,10 @@ from ..disconnection import (
 from ..disconnection.maintenance import UpdateEvent
 from ..disconnection.planner import LocalQuerySpec
 from ..fragmentation import Fragmentation
+from ..incremental import VersionVector
 from .batch import BatchPlanner
-from .cache import LRUCache
-from .pool import PICKLABLE_SEMIRINGS, ResidentWorkerPool, TaskKey
+from .cache import CachedAnswer, CacheKey, LRUCache
+from .pool import PICKLABLE_SEMIRINGS, PinUpdate, ResidentWorkerPool, TaskKey
 from .snapshot import SnapshotManifest, load_snapshot, save_snapshot
 from .stats import ServiceStatistics
 
@@ -101,6 +107,13 @@ class QueryService:
             (default); ``False`` restores the dict-based evaluation — kept
             for the kernel benchmarks.
         max_chains: cap on fragment chains examined per query.
+        incremental: absorb updates in place (scoped complementary repair,
+            per-fragment cache eviction, worker re-pinning) — the default.
+            ``False`` restores the full-invalidation behaviour: every update
+            tears the engine down and flushes the whole cache (kept as the
+            update benchmark's baseline).
+        version_vector: seed the per-fragment version vector (wired by
+            ``from_snapshot`` so a restored service resumes mid-stream).
     """
 
     def __init__(
@@ -114,6 +127,8 @@ class QueryService:
         compact_sites: Optional[Dict[int, CompactFragmentSite]] = None,
         use_compact: bool = True,
         max_chains: Optional[int] = 32,
+        incremental: bool = True,
+        version_vector: Optional[VersionVector] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         if workers and self._semiring.name not in PICKLABLE_SEMIRINGS:
@@ -126,6 +141,8 @@ class QueryService:
             semiring=self._semiring,
             complementary=complementary,
             compact_sites=compact_sites,
+            incremental=incremental,
+            version_vector=version_vector,
         )
         self._database.add_update_listener(self._on_update)
         self._cache = LRUCache(cache_size)
@@ -135,7 +152,6 @@ class QueryService:
         self._pool: Optional[ResidentWorkerPool] = None
         self._evaluator = LocalQueryEvaluator(semiring=self._semiring, use_compact=use_compact)
         self._base_version = "live"
-        self._version = 0
         self._current_engine: Optional[DisconnectionSetEngine] = None
         self._planner: Optional[QueryPlanner] = None
         self._batch_planner: Optional[BatchPlanner] = None
@@ -153,6 +169,7 @@ class QueryService:
         """
         loaded = load_snapshot(directory)
         kwargs.setdefault("compact_sites", loaded.compact_sites)
+        kwargs.setdefault("version_vector", loaded.version_vector)
         service = cls(
             loaded.fragmentation,
             semiring=loaded.semiring,
@@ -197,8 +214,18 @@ class QueryService:
 
     @property
     def catalog_version(self) -> str:
-        """The version string cache keys carry (bumped on every update)."""
-        return f"{self._base_version}.{self._version}"
+        """The catalog's version identity (moves on every update).
+
+        Folds the snapshot lineage with the per-fragment version vector's
+        tag, so a local update moves only the dirty fragments' components
+        while whole-catalog events advance the epoch.
+        """
+        return f"{self._base_version}.{self._database.version_vector.tag()}"
+
+    @property
+    def version_vector(self) -> VersionVector:
+        """The per-fragment version vector scoped invalidation runs on."""
+        return self._database.version_vector
 
     def engine(self) -> DisconnectionSetEngine:
         """The current engine (rebuilt lazily after updates)."""
@@ -216,12 +243,14 @@ class QueryService:
         started = time.perf_counter()
         engine = self._refresh_engine()
         key = self._cache_key(source, target)
-        hit = self._cache.get(key)
+        hit = self._lookup(key)
         if hit is not None:
-            value, chain = hit
             self._stats.record_query(time.perf_counter() - started, cached=True)
-            return ServiceAnswer(source=source, target=target, value=value, chain=chain, cached=True)
-        if source == target and engine.catalog.sites_storing_node(source):
+            return ServiceAnswer(
+                source=source, target=target, value=hit.value, chain=hit.chain, cached=True
+            )
+        involved = engine.catalog.sites_storing_node(source) if source == target else []
+        if involved:
             value, chain = self._semiring.one, None
         else:
             assert self._planner is not None
@@ -230,7 +259,8 @@ class QueryService:
             results = self._evaluate_tasks(tasks)
             self._stats.shared_subqueries_saved += references - len(tasks)
             value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
-        self._cache.put(key, (value, chain))
+            involved = plan.fragments_involved()
+        self._cache.put(key, self._entry(value, chain, involved))
         self._stats.record_query(time.perf_counter() - started, cached=False)
         return ServiceAnswer(source=source, target=target, value=value, chain=chain, cached=False)
 
@@ -259,20 +289,23 @@ class QueryService:
         pending: List[Query] = []
         for source, target in distinct:
             key = self._cache_key(source, target)
-            hit = self._cache.get(key)
+            hit = self._lookup(key)
             if hit is not None:
-                value, chain = hit
                 resolved[(source, target)] = ServiceAnswer(
-                    source=source, target=target, value=value, chain=chain, cached=True
-                )
-            elif source == target and engine.catalog.sites_storing_node(source):
-                value, chain = self._semiring.one, None
-                self._cache.put(key, (value, chain))
-                resolved[(source, target)] = ServiceAnswer(
-                    source=source, target=target, value=value, chain=chain, cached=False
+                    source=source, target=target, value=hit.value, chain=hit.chain, cached=True
                 )
             else:
-                pending.append((source, target))
+                storing = (
+                    engine.catalog.sites_storing_node(source) if source == target else []
+                )
+                if storing:
+                    value, chain = self._semiring.one, None
+                    self._cache.put(key, self._entry(value, chain, storing))
+                    resolved[(source, target)] = ServiceAnswer(
+                        source=source, target=target, value=value, chain=chain, cached=False
+                    )
+                else:
+                    pending.append((source, target))
 
         if pending:
             assert self._batch_planner is not None
@@ -289,7 +322,10 @@ class QueryService:
                     )
                     continue
                 value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
-                self._cache.put(self._cache_key(source, target), (value, chain))
+                self._cache.put(
+                    self._cache_key(source, target),
+                    self._entry(value, chain, plan.fragments_involved()),
+                )
                 resolved[query] = ServiceAnswer(
                     source=source, target=target, value=value, chain=chain, cached=False
                 )
@@ -337,8 +373,15 @@ class QueryService:
     # -------------------------------------------------------------- snapshot
 
     def snapshot(self, directory: PathLike) -> SnapshotManifest:
-        """Serialise the service's current prepared state to ``directory``."""
-        manifest = save_snapshot(directory, self._refresh_engine())
+        """Serialise the service's current prepared state to ``directory``.
+
+        The per-fragment version vector is persisted alongside the catalog,
+        so a service restored from this snapshot resumes mid-stream instead
+        of restarting its versions from zero.
+        """
+        manifest = save_snapshot(
+            directory, self._refresh_engine(), version_vector=self._database.version_vector
+        )
         self._stats.snapshots_saved += 1
         return manifest
 
@@ -358,18 +401,88 @@ class QueryService:
 
     # ------------------------------------------------------------- internals
 
-    def _cache_key(self, source: Node, target: Node) -> Tuple:
-        return (source, target, self._semiring.name, self.catalog_version)
+    def _cache_key(self, source: Node, target: Node) -> CacheKey:
+        return CacheKey(
+            source=source,
+            target=target,
+            semiring=self._semiring.name,
+            base_version=self._base_version,
+        )
+
+    def _entry(
+        self, value: Optional[object], chain: Optional[Tuple[int, ...]], fragments
+    ) -> CachedAnswer:
+        vector = self._database.version_vector
+        return CachedAnswer(
+            value=value,
+            chain=chain,
+            epoch=vector.epoch,
+            fragment_versions=vector.snapshot_of(fragments),
+        )
+
+    def _lookup(self, key: CacheKey) -> Optional[CachedAnswer]:
+        """Return a cached answer whose recorded fragment versions are current."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        assert isinstance(entry, CachedAnswer)
+        vector = self._database.version_vector
+        if not vector.matches(entry.epoch, entry.fragment_versions):
+            # Belt and braces: scoped eviction should already have dropped
+            # it, but a stale entry must never be served.
+            self._cache.discard(key)
+            return None
+        return entry
 
     def _on_update(self, event: UpdateEvent) -> None:
-        self._version += 1
-        current = self.catalog_version
-        # Version-based invalidation: drop every entry keyed on an older
-        # catalog version (i.e., today, everything) so dead entries never
-        # occupy cache capacity.
-        self._cache.evict_stale(lambda key: key[3] != current)
         self._stats.invalidations += 1
         self._stats.updates_applied += 1
+        if event.incremental and event.dirty_fragments:
+            # Scoped invalidation: the maintainer absorbed the change in
+            # place and named exactly the fragments whose state moved — only
+            # answers depending on them are dropped, and only their payloads
+            # are re-pinned into the resident workers.
+            dirty = set(event.dirty_fragments)
+            evicted = self._cache.evict_where(
+                lambda key, entry: entry.depends_on(dirty)  # type: ignore[union-attr]
+            )
+            self._stats.scoped_invalidations += 1
+            self._stats.cache_entries_evicted += evicted
+            self._repin_dirty(sorted(dirty))
+            return
+        # Full invalidation: the engine will be rebuilt; every cached answer
+        # and every pinned worker payload is stale (the pool restarts when
+        # _refresh_engine notices the new engine object).
+        self._stats.cache_entries_evicted += self._cache.clear()
+
+    def _repin_dirty(self, dirty_fragments: List[int]) -> None:
+        """Push the dirty fragments' new state into the resident workers."""
+        if self._pool is None:
+            return
+        engine = self._current_engine
+        assert engine is not None
+        applied = self._database.last_delta
+        updates: List[PinUpdate] = []
+        for fragment_id in dirty_fragments:
+            site = engine.catalog.site(fragment_id)
+            delta = applied.site_deltas.get(fragment_id) if applied is not None else None
+            # The payload is always supplied: live workers receive the small
+            # delta when one exists, but the pool needs the refreshed site to
+            # keep its respawn-initialisation list current.
+            updates.append(
+                PinUpdate(
+                    fragment_id=fragment_id,
+                    estimated_iterations=site.local_iterations(),
+                    delta=delta,
+                    payload=site.to_compact_site(),
+                )
+            )
+        try:
+            self._pool.repin(updates)
+        except Exception:
+            # A broken broadcast (dead worker, barrier timeout) must not
+            # leave stale replicas behind: fall back to a full restart.
+            self._pool.restart(engine.catalog)
 
     def _refresh_engine(self) -> DisconnectionSetEngine:
         engine = self._database.engine()

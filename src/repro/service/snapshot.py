@@ -23,13 +23,14 @@ import json
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Hashable, List, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from ..closure import Semiring
 from ..disconnection import CompactFragmentSite, ComplementaryInformation, DisconnectionSetEngine
 from ..exceptions import ReproError
 from ..fragmentation import Fragmentation
 from ..graph import DiGraph, Point
+from ..incremental import VersionVector
 from .pool import semiring_from_name
 
 Node = Hashable
@@ -51,9 +52,12 @@ class SnapshotPayload:
     ``compact_fragments`` carries each site's prepared kernel form — the
     augmented :class:`~repro.graph.compact.CompactGraph` state (interned node
     list + CSR arrays) and the cached iteration estimate — so a reloaded
-    service starts with warm kernels and never rebuilds adjacency.  It is
-    derived data: the content hash deliberately excludes it, and snapshots
-    written before it existed reload fine without it.
+    service starts with warm kernels and never rebuilds adjacency.
+    ``version_vector`` persists the per-fragment update versions, so a
+    restored service resumes its incremental-maintenance stream instead of
+    restarting from version zero.  Both are derived/operational data: the
+    content hash deliberately excludes them, and snapshots written before
+    they existed reload fine without them.
     """
 
     nodes: List[Node]
@@ -66,6 +70,7 @@ class SnapshotPayload:
     complementary_paths: Dict[Tuple[int, int], Dict[Tuple[Node, Node], List[Node]]]
     precompute_work: int = 0
     compact_fragments: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    version_vector: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -128,6 +133,7 @@ class LoadedSnapshot:
     complementary: ComplementaryInformation
     semiring: Semiring
     compact_sites: Dict[int, CompactFragmentSite] = field(default_factory=dict)
+    version_vector: VersionVector = field(default_factory=VersionVector)
 
     def build_engine(self, **kwargs) -> DisconnectionSetEngine:
         """Return a query engine over the snapshot — no search work recomputed.
@@ -147,7 +153,9 @@ class LoadedSnapshot:
 # ----------------------------------------------------------- payload building
 
 
-def _payload_from_engine(engine: DisconnectionSetEngine) -> SnapshotPayload:
+def _payload_from_engine(
+    engine: DisconnectionSetEngine, *, version_vector: Optional[VersionVector] = None
+) -> SnapshotPayload:
     catalog = engine.catalog
     fragmentation = catalog.fragmentation
     semiring_from_name(catalog.semiring.name)  # reject non-serialisable semirings early
@@ -174,6 +182,7 @@ def _payload_from_engine(engine: DisconnectionSetEngine) -> SnapshotPayload:
         },
         precompute_work=complementary.precompute_work,
         compact_fragments=compact_fragments,
+        version_vector=version_vector.as_dict() if version_vector is not None else {},
     )
 
 
@@ -199,9 +208,19 @@ def compute_version(payload: SnapshotPayload) -> str:
 # ----------------------------------------------------------------- save / load
 
 
-def save_snapshot(directory: PathLike, engine: DisconnectionSetEngine) -> SnapshotManifest:
-    """Serialise a prepared engine into ``directory`` and return its manifest."""
-    payload = _payload_from_engine(engine)
+def save_snapshot(
+    directory: PathLike,
+    engine: DisconnectionSetEngine,
+    *,
+    version_vector: Optional[VersionVector] = None,
+) -> SnapshotManifest:
+    """Serialise a prepared engine into ``directory`` and return its manifest.
+
+    ``version_vector`` (when given) persists the per-fragment update versions
+    alongside the catalog; like the compact fragments it is operational data
+    and excluded from the content hash.
+    """
+    payload = _payload_from_engine(engine, version_vector=version_vector)
     manifest = SnapshotManifest(
         version=compute_version(payload),
         semiring_name=payload.semiring_name,
@@ -278,6 +297,7 @@ def load_snapshot(directory: PathLike) -> LoadedSnapshot:
         complementary=complementary,
         semiring=semiring_from_name(payload.semiring_name),
         compact_sites=compact_sites,
+        version_vector=VersionVector.from_dict(getattr(payload, "version_vector", {}) or {}),
     )
 
 

@@ -30,7 +30,11 @@ class ServiceStatistics:
             chain (or another query of the same batch) already needed the same
             ``(fragment, entry, exit)`` work.
         duplicate_queries_saved: batch queries answered by deduplication.
-        invalidations: cache flushes triggered by updates.
+        invalidations: cache invalidation passes triggered by updates.
+        scoped_invalidations: invalidation passes that were fragment-scoped
+            (incremental updates) rather than whole-cache flushes.
+        cache_entries_evicted: answers dropped by update invalidation (scoped
+            and full).
         updates_applied: edge insertions/deletions/reweights applied.
         snapshots_saved / snapshots_loaded: snapshot-store round trips.
         per_site_load: subqueries dispatched to each fragment site.
@@ -47,6 +51,8 @@ class ServiceStatistics:
     shared_subqueries_saved: int = 0
     duplicate_queries_saved: int = 0
     invalidations: int = 0
+    scoped_invalidations: int = 0
+    cache_entries_evicted: int = 0
     updates_applied: int = 0
     snapshots_saved: int = 0
     snapshots_loaded: int = 0
@@ -95,6 +101,8 @@ class ServiceStatistics:
             "shared_subqueries_saved": self.shared_subqueries_saved,
             "duplicate_queries_saved": self.duplicate_queries_saved,
             "invalidations": self.invalidations,
+            "scoped_invalidations": self.scoped_invalidations,
+            "cache_entries_evicted": self.cache_entries_evicted,
             "updates_applied": self.updates_applied,
             "snapshots_saved": self.snapshots_saved,
             "snapshots_loaded": self.snapshots_loaded,

@@ -91,3 +91,46 @@ class TestIterationCounts:
         # Every ordered pair is derivable, including (i, i) via back-and-forth
         # over a symmetric edge.
         assert result.size() == 9 * 9
+
+
+class TestCompactThreshold:
+    def test_seminaive_delegates_above_threshold_with_identical_values(self):
+        import random
+
+        from repro.closure import reachability_semiring
+        from repro.closure.warshall import COMPACT_NODE_THRESHOLD
+
+        rng = random.Random(9)
+        graph = DiGraph()
+        n = COMPACT_NODE_THRESHOLD + 8
+        for node in range(n):
+            graph.add_node(node)
+        for _ in range(4 * n):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                graph.add_edge(a, b, float(rng.randint(1, 9)))
+        for semiring in (shortest_path_semiring(), reachability_semiring()):
+            auto = seminaive_transitive_closure(graph, semiring=semiring)
+            dict_based = seminaive_transitive_closure(
+                graph, semiring=semiring, use_compact=False
+            )
+            # Including the cyclic (a, a) facts the fixpoint derives.
+            assert auto.values == dict_based.values
+        restricted = seminaive_transitive_closure(graph, sources=[0, 5])
+        restricted_dict = seminaive_transitive_closure(
+            graph, sources=[0, 5], use_compact=False
+        )
+        assert restricted.values == restricted_dict.values
+
+
+class TestIterationStatisticsConsumers:
+    def test_diameter_in_iterations_counts_rounds_above_the_threshold(self):
+        from repro.closure import diameter_in_iterations
+        from repro.closure.warshall import COMPACT_NODE_THRESHOLD
+
+        n = COMPACT_NODE_THRESHOLD + 8
+        graph = DiGraph()
+        for a in range(n - 1):  # a long path: diameter n - 2 hops
+            graph.add_edge(a, a + 1, 1.0)
+        # Must report fixpoint rounds (diameter-ish), not one row per source.
+        assert diameter_in_iterations(graph) == n - 1

@@ -7,6 +7,7 @@ from repro.closure import (
     dijkstra_closure,
     reachability_semiring,
     seminaive_transitive_closure,
+    shortest_path_semiring,
     warshall_closure,
 )
 from repro.generators import chain_graph, grid_graph
@@ -71,3 +72,51 @@ class TestSearchClosures:
         result = dijkstra_closure(graph)
         for (source, target), value in result.values.items():
             assert result.values[(target, source)] == value
+
+
+class TestCompactThreshold:
+    """Above COMPACT_NODE_THRESHOLD the dict algorithms delegate to kernels."""
+
+    @pytest.fixture(scope="class")
+    def big_graph(self):
+        import random
+
+        from repro.closure.warshall import COMPACT_NODE_THRESHOLD
+
+        rng = random.Random(3)
+        graph = DiGraph()
+        n = COMPACT_NODE_THRESHOLD + 16
+        for node in range(n):
+            graph.add_node(node)
+        for _ in range(4 * n):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                graph.add_edge(a, b, float(rng.randint(1, 9)))
+        return graph
+
+    def test_bfs_closure_delegates_with_identical_values(self, big_graph):
+        assert bfs_closure(big_graph).values == bfs_closure(big_graph, use_compact=False).values
+
+    def test_dijkstra_closure_delegates_with_identical_values(self, big_graph):
+        auto = dijkstra_closure(big_graph, sources=[0, 1, 2], targets={3, 4})
+        dict_based = dijkstra_closure(
+            big_graph, sources=[0, 1, 2], targets={3, 4}, use_compact=False
+        )
+        assert auto.values == dict_based.values
+
+    def test_warshall_closure_delegates_with_identical_values(self, big_graph):
+        for semiring in (shortest_path_semiring(), reachability_semiring()):
+            auto = warshall_closure(big_graph, semiring=semiring)
+            dict_based = warshall_closure(big_graph, semiring=semiring, use_compact=False)
+            assert auto.values == dict_based.values
+
+    def test_tiny_graphs_keep_the_dict_path(self):
+        from repro.closure import ClosureResult
+        from repro.closure.warshall import COMPACT_NODE_THRESHOLD
+
+        graph = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        assert graph.node_count() < COMPACT_NODE_THRESHOLD
+        result = warshall_closure(graph)
+        assert isinstance(result, ClosureResult)
+        # The pivot loop records one round per node; the kernels would not.
+        assert result.statistics.iterations == graph.node_count()

@@ -108,3 +108,54 @@ class TestGeneratedNetworkRoutes:
             assert answer.route[0] == query.source
             assert answer.route[-1] == query.target
             assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)
+
+
+class TestCompactKernelEquivalence:
+    """The array-kernel local search must agree with the dict-based walk."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        info = precompute_complementary_information(fragmentation, store_paths=True)
+        return (
+            graph,
+            RouteReconstructingEngine(fragmentation, complementary=info, use_compact=False),
+            RouteReconstructingEngine(fragmentation, complementary=info, use_compact=True),
+        )
+
+    def test_costs_agree_on_every_pair(self, engines):
+        graph, dict_engine, kernel_engine = engines
+        for source in range(8):
+            for target in range(8):
+                if source == target:
+                    continue
+                dict_answer = dict_engine.shortest_path(source, target)
+                kernel_answer = kernel_engine.shortest_path(source, target)
+                assert kernel_answer.cost == pytest.approx(dict_answer.cost)
+
+    def test_kernel_routes_are_valid_walks_at_the_optimal_cost(self, engines):
+        graph, _, kernel_engine = engines
+        for source, target in [(0, 7), (2, 5), (6, 1), (3, 4)]:
+            answer = kernel_engine.shortest_path(source, target)
+            assert answer.route[0] == source and answer.route[-1] == target
+            for a, b in zip(answer.route, answer.route[1:]):
+                assert graph.has_edge(a, b)
+            assert _route_cost(graph, answer.route) == pytest.approx(answer.cost)
+            assert answer.cost == pytest.approx(shortest_path_cost(graph, source, target))
+
+    def test_kernel_equivalence_on_generated_network(self, small_transportation_network):
+        network = small_transportation_network
+        fragmentation = LinearFragmenter(4).fragment(network.graph)
+        info = precompute_complementary_information(fragmentation, store_paths=True)
+        dict_engine = RouteReconstructingEngine(
+            fragmentation, complementary=info, use_compact=False
+        )
+        kernel_engine = RouteReconstructingEngine(fragmentation, complementary=info)
+        for query in cross_cluster_queries(network.clusters, 6, seed=3):
+            dict_answer = dict_engine.shortest_path(query.source, query.target)
+            kernel_answer = kernel_engine.shortest_path(query.source, query.target)
+            assert kernel_answer.cost == pytest.approx(dict_answer.cost)
+            assert _route_cost(network.graph, kernel_answer.route) == pytest.approx(
+                kernel_answer.cost
+            )

@@ -116,3 +116,85 @@ class TestPlainState:
     def test_unknown_state_format_rejected(self):
         with pytest.raises(ValueError):
             CompactGraph.from_state({"format": "something-else"})
+
+
+class TestApplyDelta:
+    def test_insert_reaches_new_and_existing_nodes(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.successor_masks()
+        compact.apply_delta(CompactDelta(inserts=(("d", "e", 4.0), ("a", "d", 1.0))))
+        assert compact.has_node("e")
+        assert ("d", "e", 4.0) in compact.weighted_edges()
+        assert ("a", "d", 1.0) in compact.weighted_edges()
+        # Existing ids never move: the interner is reused, new nodes appended.
+        assert compact.node_id("a") == sample_graph.nodes().index("a")
+        assert compact.node_id("e") == compact.node_count() - 1
+
+    def test_delete_removes_the_pair_and_keeps_the_node_interned(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(CompactDelta(deletes=(("b", "d"),)))
+        assert ("b", "d", 0.5) not in compact.weighted_edges()
+        assert compact.has_node("d")  # isolated ids stay interned on purpose
+        assert compact.out_degree_of_id(compact.node_id("d")) == 0
+
+    def test_reweight_updates_both_directions(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(CompactDelta(reweights=(("a", "b", 9.0),)))
+        assert ("a", "b", 9.0) in compact.weighted_edges()
+        backwards = dict(
+            (source_id, weight)
+            for source_id, weight in compact.predecessor_ids(compact.node_id("b"))
+        )
+        assert backwards[compact.node_id("a")] == 9.0
+
+    def test_delta_matches_a_from_scratch_build(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(
+            CompactDelta(
+                inserts=(("d", "a", 2.0),),
+                deletes=(("c", "a"),),
+                reweights=(("b", "c", 7.0),),
+            )
+        )
+        mutated = sample_graph.copy()
+        mutated.add_edge("d", "a", 2.0)
+        mutated.remove_edge("c", "a")
+        mutated.add_edge("b", "c", 7.0)
+        assert sorted(compact.weighted_edges()) == sorted(mutated.weighted_edges())
+
+    def test_masks_are_invalidated(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        before_succ = compact.successor_masks()[compact.node_id("a")]
+        compact.predecessor_masks()
+        compact.apply_delta(CompactDelta(deletes=(("a", "b"),)))
+        after_succ = compact.successor_masks()[compact.node_id("a")]
+        assert after_succ != before_succ
+        assert not (compact.predecessor_masks()[compact.node_id("b")] >> compact.node_id("a")) & 1
+
+    def test_delete_missing_pair_is_ignored_and_reweight_upserts(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        edges_before = sorted(compact.weighted_edges())
+        compact.apply_delta(CompactDelta(deletes=(("a", "nope"),)))
+        assert sorted(compact.weighted_edges()) == edges_before
+        compact.apply_delta(CompactDelta(reweights=(("a", "c", 6.0),)))
+        assert ("a", "c", 6.0) in compact.weighted_edges()
+
+    def test_empty_delta_is_a_no_op(self, sample_graph):
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        offsets_before = compact.forward_csr[0]
+        compact.apply_delta(CompactDelta())
+        assert compact.forward_csr[0] is offsets_before

@@ -1,0 +1,53 @@
+"""Unit tests for the delta log."""
+
+import pytest
+
+from repro.incremental import DeltaLog, EdgeChange
+
+
+class TestDeltaLog:
+    def test_append_assigns_increasing_sequences(self):
+        log = DeltaLog()
+        first = log.append("insert", dirty_fragments=(0,), incremental=True)
+        second = log.append("delete", dirty_fragments=(1,), incremental=False)
+        assert (first.sequence, second.sequence) == (1, 2)
+        assert log.last_sequence == 2
+        assert log.last() is second
+        assert log.incremental_applied == 1
+        assert log.full_rebuilds == 1
+
+    def test_records_since(self):
+        log = DeltaLog()
+        for index in range(5):
+            log.append("reweight", dirty_fragments=(index,), incremental=True)
+        tail = log.records_since(3)
+        assert [record.sequence for record in tail] == [4, 5]
+        assert log.records_since(5) == []
+
+    def test_records_since_reports_evicted_tail(self):
+        log = DeltaLog(capacity=2)
+        for _ in range(5):
+            log.append("insert", incremental=True)
+        assert len(log) == 2
+        with pytest.raises(ValueError):
+            log.records_since(1)
+        assert [record.sequence for record in log.records_since(3)] == [4, 5]
+
+    def test_record_carries_changes_and_versions(self):
+        log = DeltaLog()
+        change = EdgeChange(op="insert", source="a", target="b", weight=2.0, fragment_id=1)
+        record = log.append(
+            "insert",
+            changes=(change,),
+            dirty_fragments=(1,),
+            incremental=True,
+            versions={1: 4},
+            epoch=2,
+        )
+        assert record.changes[0].source == "a"
+        assert record.versions == {1: 4}
+        assert record.epoch == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DeltaLog(capacity=0)

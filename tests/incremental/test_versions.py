@@ -1,0 +1,70 @@
+"""Unit tests for the per-fragment version vector."""
+
+from repro.incremental import VersionVector
+
+
+class TestVersions:
+    def test_unknown_fragments_start_at_zero(self):
+        vector = VersionVector()
+        assert vector.version_of(3) == 0
+        assert vector.epoch == 0
+
+    def test_bump_is_monotone_and_per_fragment(self):
+        vector = VersionVector()
+        assert vector.bump(1) == 1
+        assert vector.bump(1) == 2
+        assert vector.version_of(1) == 2
+        assert vector.version_of(2) == 0
+
+    def test_bump_all(self):
+        vector = VersionVector()
+        assert vector.bump_all([0, 2]) == {0: 1, 2: 1}
+        assert vector.version_of(0) == 1
+        assert vector.version_of(1) == 0
+
+    def test_tag_changes_on_every_bump_and_epoch(self):
+        vector = VersionVector()
+        tags = {vector.tag()}
+        vector.bump(0)
+        tags.add(vector.tag())
+        vector.bump(1)
+        tags.add(vector.tag())
+        vector.advance_epoch()
+        tags.add(vector.tag())
+        assert len(tags) == 4
+
+    def test_snapshot_of_is_sorted_and_hashable(self):
+        vector = VersionVector()
+        vector.bump(2)
+        snapshot = vector.snapshot_of([2, 0])
+        assert snapshot == ((0, 0), (2, 1))
+        hash(snapshot)
+
+    def test_matches_validates_epoch_and_versions(self):
+        vector = VersionVector()
+        vector.bump(0)
+        recorded = vector.snapshot_of([0, 1])
+        assert vector.matches(vector.epoch, recorded)
+        vector.bump(1)
+        assert not vector.matches(vector.epoch, recorded)
+        fresh = vector.snapshot_of([0, 1])
+        vector.advance_epoch()
+        assert not vector.matches(vector.epoch - 1, fresh)
+
+    def test_dict_round_trip(self):
+        vector = VersionVector()
+        vector.bump(0)
+        vector.bump(0)
+        vector.bump(3)
+        vector.advance_epoch()
+        rebuilt = VersionVector.from_dict(vector.as_dict())
+        assert rebuilt == vector
+        assert rebuilt.tag() == vector.tag()
+
+    def test_copy_is_independent(self):
+        vector = VersionVector()
+        vector.bump(0)
+        clone = vector.copy()
+        clone.bump(0)
+        assert vector.version_of(0) == 1
+        assert clone.version_of(0) == 2

@@ -1,0 +1,213 @@
+"""Scoped invalidation, typed cache keys, version-vector snapshots, re-pinning."""
+
+import pytest
+
+from repro.closure import shortest_path_cost
+from repro.fragmentation import GroundTruthFragmenter
+from repro.generators import two_cluster_dumbbell
+from repro.graph import DiGraph
+from repro.incremental import VersionVector
+from repro.service import CachedAnswer, CacheKey, LRUCache, QueryService
+
+
+def three_fragment_line():
+    """Three cliques in a line: 0-3 | 4-7 | 8-11, single bridges between them.
+
+    An update inside fragment 0 cannot affect an answer confined to fragment
+    2 — the setting scoped invalidation is about.
+    """
+    graph = DiGraph()
+    blocks = [list(range(0, 4)), list(range(4, 8)), list(range(8, 12))]
+    for block in blocks:
+        for i, a in enumerate(block):
+            for b in block[i + 1:]:
+                graph.add_edge(a, b, 1.0)
+                graph.add_edge(b, a, 1.0)
+    for left, right in ((3, 4), (7, 8)):
+        graph.add_edge(left, right, 1.0)
+        graph.add_edge(right, left, 1.0)
+    return GroundTruthFragmenter([set(block) for block in blocks]).fragment(graph)
+
+
+class TestScopedInvalidation:
+    def test_far_update_keeps_unrelated_answers_cached(self):
+        service = QueryService(three_fragment_line())
+        far = service.query(9, 11)      # confined to fragment 2
+        crossing = service.query(0, 11)  # crosses every fragment
+        assert not far.cached and not crossing.cached
+        service.update_edge(0, 2, 0.5)   # interior to fragment 0
+        assert service.query(9, 11).cached
+        again = service.query(0, 11)
+        assert not again.cached
+        assert again.value == shortest_path_cost(service.database.graph, 0, 11)
+
+    def test_scoped_eviction_counts_are_observable(self):
+        service = QueryService(three_fragment_line())
+        service.query(9, 11)
+        service.query(1, 3)
+        service.update_edge(0, 2, 0.5)
+        assert service.stats.scoped_invalidations == 1
+        assert service.stats.cache_entries_evicted == 1  # only the fragment-0 answer
+        assert len(service.cache) == 1
+
+    def test_full_invalidate_mode_flushes_everything(self):
+        service = QueryService(three_fragment_line(), incremental=False)
+        service.query(9, 11)
+        service.query(1, 3)
+        service.update_edge(0, 2, 0.5)
+        assert len(service.cache) == 0
+        assert service.stats.scoped_invalidations == 0
+        assert not service.query(9, 11).cached
+
+    def test_version_vector_moves_only_for_dirty_fragments(self):
+        service = QueryService(three_fragment_line())
+        service.query(0, 11)
+        before = service.catalog_version
+        service.update_edge(0, 2, 0.5)
+        assert service.catalog_version != before
+        assert service.version_vector.version_of(0) == 1
+        assert service.version_vector.version_of(2) == 0
+
+    def test_answers_stay_correct_across_mixed_updates(self):
+        service = QueryService(three_fragment_line())
+        probes = [(0, 11), (9, 11), (5, 1), (8, 3)]
+        for source, target, weight in [(0, 2, 0.5), (3, 4, 0.25), (9, 10, 4.0)]:
+            service.update_edge(source, target, weight)
+            for probe in probes:
+                assert service.query(*probe).value == shortest_path_cost(
+                    service.database.graph, *probe
+                )
+
+
+class TestTypedCacheKey:
+    def test_keys_are_typed_not_positional(self):
+        service = QueryService(three_fragment_line())
+        service.query(9, 11)
+        (key,) = list(service.cache)
+        assert isinstance(key, CacheKey)
+        assert (key.source, key.target) == (9, 11)
+        assert key.semiring == "shortest_path"
+
+    def test_entries_record_their_fragment_dependencies(self):
+        service = QueryService(three_fragment_line())
+        service.query(9, 11)
+        (key,) = list(service.cache)
+        entry = service.cache.get(key)
+        assert isinstance(entry, CachedAnswer)
+        assert entry.depends_on({2})
+        assert not entry.depends_on({0})
+
+    def test_evict_where_and_discard(self):
+        cache = LRUCache(8)
+        key_a = CacheKey("a", "b", "shortest_path", "v")
+        key_b = CacheKey("b", "c", "shortest_path", "v")
+        cache.put(key_a, CachedAnswer(1.0, (0,), fragment_versions=((0, 1),)))
+        cache.put(key_b, CachedAnswer(2.0, (1,), fragment_versions=((1, 1),)))
+        dropped = cache.evict_where(lambda key, entry: entry.depends_on({0}))
+        assert dropped == 1 and key_a not in cache and key_b in cache
+        assert cache.discard(key_b)
+        assert not cache.discard(key_b)
+        assert len(cache) == 0
+
+    def test_stale_entry_is_never_served_even_without_eviction(self):
+        service = QueryService(three_fragment_line())
+        service.query(9, 11)
+        (key,) = list(service.cache)
+        # Forge staleness: bump the fragment the entry depends on without
+        # running the listener's eviction pass.
+        service.database.version_vector.bump(2)
+        assert not service.query(9, 11).cached
+        assert key not in service.cache or service.cache.get(key) is not None
+
+
+class TestSnapshotVersionVector:
+    @pytest.fixture
+    def fragmentation(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        return GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+
+    def test_round_trip_resumes_mid_stream(self, fragmentation, tmp_path):
+        service = QueryService(fragmentation)
+        service.query(0, 7)
+        service.update_edge(0, 4, 0.5)
+        service.update_edge(1, 2, 0.75)
+        vector_before = service.version_vector.copy()
+        assert vector_before.total_updates() > 0
+        service.snapshot(tmp_path / "snap")
+        restored = QueryService.from_snapshot(tmp_path / "snap")
+        assert restored.version_vector == vector_before
+        # The stream continues from the restored versions, not from zero.
+        restored.update_edge(0, 4, 0.4)
+        assert restored.version_vector.total_updates() > vector_before.total_updates()
+        assert restored.query(0, 7).value == shortest_path_cost(restored.database.graph, 0, 7)
+
+    def test_snapshot_without_vector_loads_at_zero(self, fragmentation, tmp_path):
+        from repro.disconnection import DisconnectionSetEngine
+        from repro.service import load_snapshot, save_snapshot
+
+        engine = DisconnectionSetEngine(fragmentation)
+        save_snapshot(tmp_path / "snap", engine)  # no vector passed
+        loaded = load_snapshot(tmp_path / "snap")
+        assert loaded.version_vector == VersionVector()
+
+    def test_vector_is_not_part_of_the_content_hash(self, fragmentation, tmp_path):
+        service = QueryService(fragmentation)
+        manifest_a = service.snapshot(tmp_path / "a")
+        service.update_edge(0, 4, 1.0)  # reweight to the same value: same content
+        manifest_b = service.snapshot(tmp_path / "b")
+        assert manifest_a.version == manifest_b.version
+
+
+class TestPoolRepin:
+    def test_workers_absorb_incremental_updates(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        with QueryService(fragmentation, workers=2) as service:
+            assert service.query(0, 7).value == 2.0
+            service.update_edge(0, 4, 0.25)
+            assert service.query(0, 7).value == shortest_path_cost(
+                service.database.graph, 0, 7
+            )
+            service.update_edge(4, 5, 10.0)  # repairs the shared border pair
+            for probe in [(0, 7), (1, 6), (2, 5)]:
+                assert service.query(*probe).value == shortest_path_cost(
+                    service.database.graph, *probe
+                )
+            assert service._pool is not None
+            assert service._pool.repins >= 2
+
+
+class TestRespawnInitargs:
+    def test_repin_refreshes_the_pool_pinned_list(self):
+        """A worker respawned after a crash re-initialises from the pool's
+        pinned list; repin must keep that list current or the respawn would
+        silently serve pre-update state."""
+        import multiprocessing
+
+        from repro.disconnection.planner import LocalQuerySpec
+        from repro.service import pool as pool_module
+
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        with QueryService(fragmentation, workers=2) as service:
+            service.query(0, 7)
+            stale = {site.fragment_id: site for site in service._pool._pinned_sites}
+            service.update_edge(0, 4, 0.25)
+            refreshed = {site.fragment_id: site for site in service._pool._pinned_sites}
+            assert refreshed[0] is not stale[0]
+            # Simulate the respawn path: _worker_init from the current list.
+            pool_module._worker_init(
+                service._pool._pinned_sites, "shortest_path", multiprocessing.Barrier(1)
+            )
+            try:
+                spec = LocalQuerySpec(
+                    fragment_id=0, entry_nodes=frozenset([0]), exit_nodes=frozenset([4])
+                )
+                result = pool_module._WORKER_EVALUATOR.evaluate(
+                    pool_module._WORKER_SITES[0], spec
+                )
+                assert result.values[(0, 4)] == 0.25
+            finally:
+                pool_module._WORKER_SITES = {}
+                pool_module._WORKER_EVALUATOR = None
+                pool_module._WORKER_BARRIER = None

@@ -24,6 +24,8 @@ class TestPublicExports:
             "repro.closure",
             "repro.fragmentation",
             "repro.disconnection",
+            "repro.incremental",
+            "repro.service",
             "repro.parallel",
             "repro.experiments",
             "repro.cli",
