@@ -90,10 +90,17 @@ from .parallel import (
     compare_fragmenters,
     speedup_curve,
 )
+from .placement import (
+    Migration,
+    PlacementPlan,
+    RebalanceAdvisor,
+    plan_placement,
+)
 from .relational import Relation, edge_relation, seminaive_closure
 from .service import (
     BatchPlanner,
     LRUCache,
+    PlacedWorkerPool,
     QueryService,
     ResidentWorkerPool,
     ServiceAnswer,
@@ -132,16 +139,21 @@ __all__ = [
     "KConnectivityFragmenter",
     "LRUCache",
     "LinearFragmenter",
+    "Migration",
     "MultiprocessQueryExecutor",
     "NoChainError",
     "ParallelSimulator",
     "PathQuery",
+    "PlacedWorkerPool",
+    "PlacementPlan",
+    "plan_placement",
     "Point",
     "QueryAnswer",
     "QueryPlanner",
     "QueryService",
     "RandomGraphConfig",
     "RandomNodeFragmenter",
+    "RebalanceAdvisor",
     "Relation",
     "ReproError",
     "ResidentWorkerPool",

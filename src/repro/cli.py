@@ -50,7 +50,13 @@ from .generators import (
     generate_transportation_graph,
 )
 from .graph import DiGraph, load_json, save_json
-from .service import QueryService, is_snapshot_directory, save_snapshot, semiring_from_name
+from .service import (
+    QueryService,
+    WorkerPoolError,
+    is_snapshot_directory,
+    save_snapshot,
+    semiring_from_name,
+)
 
 ALGORITHMS = ("center", "center-distributed", "bond-energy", "linear", "k-connectivity", "hash", "auto")
 SEMIRINGS = ("shortest-path", "reachability")
@@ -162,6 +168,14 @@ def _build_service(args: argparse.Namespace) -> QueryService:
     """Build a :class:`QueryService` from a snapshot directory or a graph JSON file."""
     source = Path(args.source)
     options = {"cache_size": args.cache_size, "workers": args.workers}
+    placement = getattr(args, "placement", None)
+    if placement is not None:
+        # An explicit "none" forces the replicated pool even when a snapshot
+        # persisted a placement plan; leaving the flag off keeps whatever
+        # the snapshot (or the service default) says.
+        options["placement"] = (
+            None if placement == "none" else placement.replace("-", "_")
+        )
     if is_snapshot_directory(source):
         service = QueryService.from_snapshot(source, **options)
         print(f"# loaded snapshot {source} (version {service.catalog_version})")
@@ -241,10 +255,24 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_placement(service: QueryService) -> None:
+    plan = service.placement_plan
+    if plan is None:
+        print("placement: replicated (every worker pins every fragment)")
+        return
+    print(f"placement: policy {plan.policy}, {plan.worker_count} workers")
+    for worker in range(plan.worker_count):
+        owned = plan.owned_by(worker)
+        replicated = sorted(set(plan.fragments_on(worker)) - set(owned))
+        suffix = f" (+replicas {replicated})" if replicated else ""
+        print(f"worker {worker}: owns {owned}{suffix}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     with _build_service(args) as service:
         print("# ready; commands: query A B | batch A B [C D ...] | update A B [W] | "
-              "delete A B | stats | snapshot DIR | quit")
+              "delete A B | stats | placement | migrate F W | rebalance | "
+              "snapshot DIR | quit")
         for line in sys.stdin:
             words = line.split()
             if not words:
@@ -275,13 +303,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     print(f"deleted; fragment {owner}, catalog version {service.catalog_version}")
                 elif command == "stats":
                     _print_stats(service)
+                elif command == "placement":
+                    _print_placement(service)
+                elif command == "migrate" and len(rest) == 2:
+                    moved = service.migrate(int(rest[0]), int(rest[1]))
+                    print(
+                        f"migrated fragment {rest[0]} to worker {rest[1]}"
+                        if moved
+                        else f"fragment {rest[0]} already lives on worker {rest[1]}"
+                    )
+                elif command == "rebalance":
+                    migrations = service.rebalance()
+                    if not migrations:
+                        print("balanced; no migrations recommended")
+                    for migration in migrations:
+                        print(
+                            f"migrated fragment {migration.fragment_id}: worker "
+                            f"{migration.from_worker} -> {migration.to_worker} "
+                            f"({migration.reason})"
+                        )
                 elif command == "snapshot" and len(rest) == 1:
                     manifest = service.snapshot(rest[0])
                     print(f"wrote snapshot to {rest[0]} (version {manifest.version})")
                 else:
                     print(f"error: unrecognised command {line.strip()!r}")
-            except (ReproError, ValueError, OSError) as error:
-                # A bad line must not take the server down.
+            except (ReproError, ValueError, OSError, WorkerPoolError) as error:
+                # A bad line must not take the server down — nor must a
+                # routed-pool failure (worker error reply, reply timeout).
                 print(f"error: {error}")
         print("# bye")
     return 0
@@ -346,6 +394,15 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--cache-size", type=int, default=1024)
         subparser.add_argument("--workers", type=int, default=None,
                                help="resident worker processes (default: in-process evaluation)")
+        subparser.add_argument(
+            "--placement",
+            choices=("none", "round-robin", "cost-balanced", "workload-aware"),
+            default=None,
+            help="shared-nothing placement: route each fragment to a dedicated "
+                 "owner worker instead of replicating every fragment everywhere; "
+                 "'none' forces the replicated pool even over a snapshot's "
+                 "persisted plan (default: the snapshot's plan, if any)",
+        )
 
     snapshot = subparsers.add_parser(
         "snapshot", help="prepare a graph and persist the catalog for serving"

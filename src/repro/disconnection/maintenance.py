@@ -36,7 +36,7 @@ from ..closure import Semiring, shortest_path_semiring
 from ..exceptions import FragmentationError
 from ..fragmentation import Fragmentation, Fragmenter
 from ..graph import DiGraph
-from ..incremental.delta import DeltaLog, EdgeChange
+from ..incremental.delta import DeltaLog, DeltaRecord, EdgeChange
 from ..incremental.versions import VersionVector
 from .catalog import CompactFragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
@@ -320,6 +320,60 @@ class FragmentedDatabase:
             )
         )
         return owner
+
+    def replay_record(self, record: "DeltaRecord") -> Tuple[int, ...]:
+        """Re-apply one update recorded in another database's delta log.
+
+        This is the snapshot catch-up path: a database restored from a
+        snapshot taken at delta sequence ``n`` replays the live log's tail
+        (``records_since(n)``) instead of forcing a fresh snapshot.  Replay
+        reuses the recorded elementary :class:`EdgeChange` list — including
+        each change's original owning fragment — so the replayed state
+        matches the live database exactly, and it flows through the same
+        :meth:`_apply_changes` path as a first-hand update: the incremental
+        maintainer absorbs it in place when possible, listeners fire, the
+        version vector moves, and the local delta log records it under the
+        same sequence number (provided :meth:`DeltaLog.resume_at` aligned
+        the numbering).
+
+        ``refragment`` records (and records without elementary changes)
+        cannot be replayed: the record does not carry the new fragment
+        layout, and every later record's changes name fragment ids of a
+        fragmentation this database has never seen — applying them would
+        corrupt (or index past) the local fragment edge sets.
+
+        Returns the dirty fragment ids.
+
+        Raises:
+            ValueError: for a ``refragment`` (or change-free) record; the
+                caller must resynchronise from a snapshot taken after the
+                reorganisation instead of replaying across it.
+        """
+        if record.kind == "refragment" or not record.changes:
+            raise ValueError(
+                f"cannot replay record {record.sequence} ({record.kind!r}): it "
+                "reorganised the source's fragments and carries no edge "
+                "changes — resynchronise from a snapshot taken after it"
+            )
+        changes = list(record.changes)
+        for change in changes:
+            if change.op == "insert":
+                self.statistics.edges_inserted += 1
+            elif change.op == "delete":
+                self.statistics.edges_deleted += 1
+        dirty, incremental = self._apply_changes(record.kind, changes)
+        first = changes[0]
+        self._notify(
+            UpdateEvent(
+                kind=record.kind,
+                source=first.source,
+                target=first.target,
+                fragment_id=first.fragment_id,
+                dirty_fragments=dirty,
+                incremental=incremental,
+            )
+        )
+        return dirty
 
     def refragment(self, fragmenter: Fragmenter) -> Fragmentation:
         """Re-run a fragmentation algorithm over the current graph (explicit reorganisation)."""

@@ -114,6 +114,24 @@ class DeltaLog:
             self.full_rebuilds += 1
         return record
 
+    def resume_at(self, sequence: int) -> None:
+        """Continue numbering after ``sequence`` (snapshot-restore alignment).
+
+        A database restored from a snapshot taken at delta sequence ``n``
+        calls this so its own log continues at ``n + 1`` — replayed tail
+        records then land on exactly the sequence numbers they carry in the
+        live log, and a later ``records_since`` hand-off stays consistent.
+
+        Raises:
+            ValueError: when the log already holds records (renumbering an
+                active log would corrupt every consumer's position).
+        """
+        if self._records:
+            raise ValueError("cannot resume a delta log that already holds records")
+        if sequence < 0:
+            raise ValueError(f"delta sequence must be non-negative, got {sequence}")
+        self._next_sequence = sequence + 1
+
     # -------------------------------------------------------------- reading
 
     def __len__(self) -> int:
@@ -141,16 +159,25 @@ class DeltaLog:
         """Return every retained record with a sequence greater than ``sequence``.
 
         Raises:
-            ValueError: when records after ``sequence`` have already been
-                evicted — the consumer fell off the log's tail and must
-                resynchronise from a snapshot instead of replaying.
+            ValueError: when records after ``sequence`` are not retained —
+                either evicted from a full log, or never held at all by a
+                log that :meth:`resume_at` fast-forwarded past them (a
+                restored database's log knows *of* sequences up to its
+                resume point without holding them).  Either way the consumer
+                fell off the tail and must resynchronise from a snapshot
+                instead of replaying.
         """
-        if self._records and sequence < self._records[0].sequence - 1:
-            raise ValueError(
-                f"records after sequence {sequence} were evicted from the delta log "
-                f"(oldest retained is {self._records[0].sequence}); resynchronise "
-                "from a snapshot"
+        if sequence < self.last_sequence:
+            oldest_retained = (
+                self._records[0].sequence if self._records else self._next_sequence
             )
+            if sequence < oldest_retained - 1:
+                raise ValueError(
+                    f"records {sequence + 1}..{oldest_retained - 1} are not retained "
+                    f"in the delta log (oldest retained is "
+                    f"{oldest_retained if self._records else 'none'}); resynchronise "
+                    "from a snapshot"
+                )
         return [record for record in self._records if record.sequence > sequence]
 
     def __repr__(self) -> str:

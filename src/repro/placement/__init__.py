@@ -1,0 +1,47 @@
+"""Shared-nothing fragment placement: owner workers, policies, rebalancing.
+
+The paper assumes each fragment is "stored at a different computer or
+processor"; this package makes that placement a first-class, serialisable
+object for the serving layer:
+
+* :mod:`~repro.placement.plan` — :class:`PlacementPlan` (fragment -> owner
+  worker, optional hot-fragment replicas) and the pluggable policies that
+  compute one (round-robin, cost-balanced LPT, workload-aware),
+* :mod:`~repro.placement.advisor` — :class:`RebalanceAdvisor`, which watches
+  dispatch/queue skew and delta-log locality and recommends live
+  :class:`Migration` steps.
+
+The routed worker pool (:class:`repro.service.pool.PlacedWorkerPool`)
+executes a plan: each worker pins only the fragments it owns, so per-worker
+resident state is ``O(fragments / workers)`` instead of ``O(fragments)``.
+"""
+
+from .advisor import DEFAULT_SKEW_THRESHOLD, Migration, RebalanceAdvisor
+from .plan import (
+    PLACEMENT_POLICIES,
+    POLICY_COST_BALANCED,
+    POLICY_ROUND_ROBIN,
+    POLICY_WORKLOAD_AWARE,
+    PlacementError,
+    PlacementPlan,
+    cost_balanced_plan,
+    plan_placement,
+    round_robin_plan,
+    workload_aware_plan,
+)
+
+__all__ = [
+    "DEFAULT_SKEW_THRESHOLD",
+    "Migration",
+    "PLACEMENT_POLICIES",
+    "POLICY_COST_BALANCED",
+    "POLICY_ROUND_ROBIN",
+    "POLICY_WORKLOAD_AWARE",
+    "PlacementError",
+    "PlacementPlan",
+    "RebalanceAdvisor",
+    "cost_balanced_plan",
+    "plan_placement",
+    "round_robin_plan",
+    "workload_aware_plan",
+]

@@ -6,16 +6,27 @@ local work — only pay off when the prepared catalog outlives a single query.
 This package provides the serving layer that makes that true in practice:
 
 * :mod:`~repro.service.snapshot` — persist/reload prepared catalogs,
-* :mod:`~repro.service.pool` — resident worker processes pinning the sites,
+* :mod:`~repro.service.pool` — resident worker processes pinning the sites:
+  replicated (:class:`ResidentWorkerPool`) or routed shared-nothing
+  (:class:`PlacedWorkerPool`, executing a
+  :class:`~repro.placement.plan.PlacementPlan`),
 * :mod:`~repro.service.cache` — a bounded LRU cache of query answers,
 * :mod:`~repro.service.batch` — shared-subquery batch planning,
 * :mod:`~repro.service.server` — the :class:`QueryService` façade,
-* :mod:`~repro.service.stats` — hit-rate / latency / load observability.
+* :mod:`~repro.service.stats` — hit-rate / latency / load / owner-skew
+  observability.
 """
 
 from .batch import BatchPlan, BatchPlanner
 from .cache import CachedAnswer, CacheKey, LRUCache
-from .pool import PinUpdate, ResidentWorkerPool, result_from_payload, semiring_from_name
+from .pool import (
+    PinUpdate,
+    PlacedWorkerPool,
+    ResidentWorkerPool,
+    WorkerPoolError,
+    result_from_payload,
+    semiring_from_name,
+)
 from .server import QueryService, ServiceAnswer
 from .snapshot import (
     LoadedSnapshot,
@@ -36,8 +47,10 @@ __all__ = [
     "LRUCache",
     "LoadedSnapshot",
     "PinUpdate",
+    "PlacedWorkerPool",
     "QueryService",
     "ResidentWorkerPool",
+    "WorkerPoolError",
     "ServiceAnswer",
     "ServiceStatistics",
     "SnapshotError",

@@ -14,11 +14,20 @@ back, which is what the paper's final joins consume.  Workers evaluate
 directly with the compact kernels; no ``DiGraph`` is ever rebuilt inside a
 worker.
 
-Note on placement fidelity: every worker currently pins a *replica* of all
-sites, so any worker can evaluate any fragment's spec (simple scheduling, at
-the cost of catalog-size x workers resident memory).  Routing each fragment
-to a dedicated owner process — the paper's true shared-nothing placement —
-needs per-worker task queues and is left for a sharding PR.
+Two pools implement two placement disciplines:
+
+* :class:`ResidentWorkerPool` — every worker pins a *replica* of all sites,
+  so any worker can evaluate any fragment's spec (simple work-stealing
+  scheduling, at the cost of catalog-size x workers resident memory and
+  broadcast re-pins).
+* :class:`PlacedWorkerPool` — the paper's true shared-nothing placement: a
+  :class:`~repro.placement.plan.PlacementPlan` names one *owner* worker per
+  fragment (plus optional hot-fragment replicas), each worker pins **only**
+  the fragments placed on it, every worker has its own routed task queue,
+  re-pins go to the dirty fragment's owner(s) only, and
+  :meth:`PlacedWorkerPool.migrate` moves a fragment's compact state between
+  live workers without a restart.  Per-worker resident memory drops from
+  ``O(fragments)`` to ``O(fragments / workers)``.
 
 Only the two standard semirings are supported because semiring callables do
 not pickle; the sequential fallback of the service handles arbitrary
@@ -28,7 +37,10 @@ semirings in-process.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from ..closure import ClosureStatistics, Semiring, reachability_semiring, shortest_path_semiring
@@ -36,6 +48,7 @@ from ..disconnection import LocalQueryEvaluator, LocalQueryResult
 from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
 from ..graph.compact import CompactDelta
+from ..placement import PlacementError, PlacementPlan
 
 Node = Hashable
 TaskKey = Tuple[int, FrozenSet[Node], FrozenSet[Node]]
@@ -43,6 +56,8 @@ TaskKey = Tuple[int, FrozenSet[Node], FrozenSet[Node]]
 PICKLABLE_SEMIRINGS = ("shortest_path", "reachability")
 
 REPIN_TIMEOUT_SECONDS = 30.0
+ROUTED_REPLY_TIMEOUT_SECONDS = 60.0
+_POLL_SECONDS = 0.2
 
 # Module-level worker state, initialised once per worker process.
 _WORKER_SITES: Dict[int, CompactFragmentSite] = {}
@@ -75,6 +90,38 @@ class PinUpdate:
     estimated_iterations: int
     delta: Optional[CompactDelta] = None
     payload: Optional[CompactFragmentSite] = None
+
+    def wire(self) -> "PinUpdate":
+        """Return the copy that crosses the process boundary.
+
+        Live workers get the small delta when one exists; the full payload
+        only ships when a replica must be replaced wholesale.
+        """
+        return PinUpdate(
+            fragment_id=self.fragment_id,
+            estimated_iterations=self.estimated_iterations,
+            delta=self.delta,
+            payload=None if self.delta is not None else self.payload,
+        )
+
+
+def apply_pin_updates(
+    sites: Dict[int, CompactFragmentSite], updates: Sequence[PinUpdate]
+) -> int:
+    """Apply pin updates to a worker's pinned-site map; returns the count refreshed.
+
+    The single worker-side interpretation of the delta-vs-payload protocol,
+    shared by the replicated and the routed pool.
+    """
+    refreshed = 0
+    for update in updates:
+        if update.delta is not None and update.fragment_id in sites:
+            sites[update.fragment_id].apply_delta(update.delta, update.estimated_iterations)
+            refreshed += 1
+        elif update.payload is not None:
+            sites[update.fragment_id] = update.payload
+            refreshed += 1
+    return refreshed
 
 
 def semiring_from_name(name: str) -> Semiring:
@@ -115,17 +162,7 @@ def _worker_repin(updates: Sequence[PinUpdate]) -> int:
     """
     assert _WORKER_BARRIER is not None
     _WORKER_BARRIER.wait(timeout=REPIN_TIMEOUT_SECONDS)
-    refreshed = 0
-    for update in updates:
-        if update.delta is not None and update.fragment_id in _WORKER_SITES:
-            _WORKER_SITES[update.fragment_id].apply_delta(
-                update.delta, update.estimated_iterations
-            )
-            refreshed += 1
-        elif update.payload is not None:
-            _WORKER_SITES[update.fragment_id] = update.payload
-            refreshed += 1
-    return refreshed
+    return apply_pin_updates(_WORKER_SITES, updates)
 
 
 def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
@@ -255,17 +292,7 @@ class ResidentWorkerPool:
             raise RuntimeError("the resident worker pool has been closed")
         if not updates:
             return
-        # Live workers get the small delta when one exists; the full payload
-        # only crosses the boundary when a replica must be replaced wholesale.
-        wire_updates = [
-            PinUpdate(
-                fragment_id=update.fragment_id,
-                estimated_iterations=update.estimated_iterations,
-                delta=update.delta,
-                payload=None if update.delta is not None else update.payload,
-            )
-            for update in updates
-        ]
+        wire_updates = [update.wire() for update in updates]
         self._pool.map(_worker_repin, [wire_updates] * self._processes, 1)
         for update in updates:
             if update.payload is None:
@@ -299,6 +326,560 @@ class ResidentWorkerPool:
     # --------------------------------------------------------------- context
 
     def __enter__(self) -> "ResidentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------- routed pool
+
+
+def _routed_worker_loop(
+    worker_index: int,
+    semiring_name: str,
+    task_queue: "multiprocessing.queues.Queue",
+    result_conn: "multiprocessing.connection.Connection",
+    initial_sites: List[CompactFragmentSite],
+) -> None:
+    """The owner-worker main loop: serve one routed task queue until ``stop``.
+
+    The worker pins only ``initial_sites`` (its owned/replicated fragments)
+    plus whatever later ``pin`` messages hand it.  Replies travel over the
+    worker's *private* result pipe — deliberately not a queue shared with
+    the siblings: a worker terminated mid-write can only ever corrupt its
+    own channel, which the coordinator discards (with the process) on
+    respawn.  Every reply carries the request id so the coordinator can
+    match out-of-order completions.
+    """
+    sites: Dict[int, CompactFragmentSite] = {site.fragment_id: site for site in initial_sites}
+    evaluator = LocalQueryEvaluator(semiring=semiring_from_name(semiring_name))
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        request_id = message[1]
+        try:
+            if kind == "evaluate":
+                tasks: Sequence[TaskKey] = message[2]
+                payloads = []
+                for task in tasks:
+                    fragment_id, entry_nodes, exit_nodes = task
+                    if fragment_id not in sites:
+                        raise KeyError(
+                            f"fragment {fragment_id} is not pinned on worker {worker_index}"
+                        )
+                    spec = LocalQuerySpec(
+                        fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes
+                    )
+                    result = evaluator.evaluate(sites[fragment_id], spec)
+                    payloads.append(
+                        (
+                            task,
+                            {
+                                "values": dict(result.values),
+                                "iterations": result.estimated_iterations,
+                                "tuples": result.statistics.tuples_produced,
+                            },
+                        )
+                    )
+                result_conn.send((request_id, worker_index, "evaluated", payloads))
+            elif kind == "pin":
+                for site in message[2]:
+                    sites[site.fragment_id] = site
+                result_conn.send((request_id, worker_index, "pinned", len(message[2])))
+            elif kind == "unpin":
+                for fragment_id in message[2]:
+                    sites.pop(fragment_id, None)
+                result_conn.send((request_id, worker_index, "unpinned", len(message[2])))
+            elif kind == "repin":
+                refreshed = apply_pin_updates(sites, message[2])
+                result_conn.send((request_id, worker_index, "repinned", refreshed))
+            elif kind == "census":
+                result_conn.send((request_id, worker_index, "census", sorted(sites)))
+            else:
+                raise ValueError(f"unknown worker message kind {kind!r}")
+        except Exception:
+            result_conn.send((request_id, worker_index, "error", traceback.format_exc()))
+
+
+@dataclass
+class _WorkerHandle:
+    """The coordinator's view of one owner worker.
+
+    ``pinned`` mirrors the worker's resident sites so a crashed process can
+    be respawned with its *current* state (post-repin, post-migration), not
+    the state captured at pool start.  ``reader`` is the coordinator's end
+    of the worker's private result pipe — per-worker by design, so a worker
+    terminated mid-reply corrupts only a channel that dies with it.
+    """
+
+    index: int
+    process: multiprocessing.Process
+    queue: "multiprocessing.queues.Queue"
+    reader: "multiprocessing.connection.Connection"
+    pinned: Dict[int, CompactFragmentSite] = field(default_factory=dict)
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPoolError(RuntimeError):
+    """A routed worker failed, timed out, or was asked the impossible."""
+
+
+class PlacedWorkerPool:
+    """Shared-nothing worker pool: per-owner routed task queues.
+
+    Args:
+        catalog: the distributed catalog whose sites the workers pin.
+        plan: the fragment -> owner-worker placement to execute; every
+            fragment of the catalog must be placed.
+        reply_timeout: seconds to wait for a routed worker's reply before
+            declaring the request failed (dead workers are detected and
+            respawned much sooner).
+
+    Unlike :class:`ResidentWorkerPool` (one replicated ``multiprocessing.Pool``
+    with work stealing), each worker here is a dedicated process draining its
+    own queue and pinning only the fragments the plan places on it.
+    ``evaluate`` routes every task to its fragment's owner — falling back to
+    a live replica (and respawning the owner) when the owner process died —
+    so the coordinator, not the OS scheduler, decides where data-dependent
+    work runs; that is what makes scoped re-pins and live migration possible.
+    """
+
+    def __init__(
+        self,
+        catalog: DistributedCatalog,
+        plan: PlacementPlan,
+        *,
+        reply_timeout: float = ROUTED_REPLY_TIMEOUT_SECONDS,
+    ) -> None:
+        if catalog.semiring.name not in PICKLABLE_SEMIRINGS:
+            raise ValueError(
+                "the placed worker pool supports the "
+                f"{' and '.join(PICKLABLE_SEMIRINGS)} semirings only"
+            )
+        self._semiring_name = catalog.semiring.name
+        self._semiring = semiring_from_name(self._semiring_name)
+        self._reply_timeout = reply_timeout
+        self._context = multiprocessing.get_context()
+        self._next_request_id = 0
+        self._running = False
+        self._workers: List[_WorkerHandle] = []
+        # Observability counters (the service folds these into its stats).
+        self.dispatch_counts: Dict[int, int] = {}
+        self.last_route_counts: Dict[int, int] = {}
+        self.queue_depth_peak = 0
+        self.repins = 0
+        self.repinned_fragments = 0
+        self.repin_messages = 0
+        self.last_repin_workers: Tuple[int, ...] = ()
+        self.migrations = 0
+        self.respawns = 0
+        self.replica_fallbacks = 0
+        self._start(catalog, plan)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _start(self, catalog: DistributedCatalog, plan: PlacementPlan) -> None:
+        sites = catalog.compact_sites()
+        missing = sorted(set(sites) - set(plan.owner_of))
+        if missing:
+            raise PlacementError(f"placement plan does not place fragments {missing}")
+        self._plan = plan.copy()
+        self._workers = []
+        for worker_index in range(self._plan.worker_count):
+            pinned = {
+                fragment_id: sites[fragment_id]
+                for fragment_id in self._plan.fragments_on(worker_index)
+                if fragment_id in sites
+            }
+            self._workers.append(self._spawn(worker_index, pinned))
+        self._running = True
+
+    def _spawn(self, worker_index: int, pinned: Dict[int, CompactFragmentSite]) -> _WorkerHandle:
+        task_queue = self._context.Queue()
+        reader, writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_routed_worker_loop,
+            args=(
+                worker_index,
+                self._semiring_name,
+                task_queue,
+                writer,
+                list(pinned.values()),
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Drop the coordinator's copy of the write end: once the worker dies,
+        # its pipe reaches EOF and `connection.wait` reports it immediately.
+        writer.close()
+        return _WorkerHandle(
+            index=worker_index,
+            process=process,
+            queue=task_queue,
+            reader=reader,
+            pinned=dict(pinned),
+        )
+
+    def _respawn(self, worker_index: int) -> _WorkerHandle:
+        """Re-home a dead owner: a fresh process re-pins the current mirror.
+
+        A fresh task queue and result pipe replace the dead worker's: the
+        queue's buffer may hold undelivered messages that would replay out
+        of order, and the pipe may hold a half-written reply.
+        """
+        stale = self._workers[worker_index]
+        for closer in (stale.queue.close, stale.queue.cancel_join_thread, stale.reader.close):
+            try:
+                closer()
+            except Exception:
+                pass
+        handle = self._spawn(worker_index, stale.pinned)
+        self._workers[worker_index] = handle
+        self.respawns += 1
+        return handle
+
+    def restart(self, catalog: DistributedCatalog) -> None:
+        """Replace every pinned site with ``catalog``'s under a fresh plan.
+
+        Kept for the full-rebuild path (refragmentation, incremental
+        fallback), where the fragment set itself may have changed; scoped
+        updates go through :meth:`repin` and skew through :meth:`migrate`
+        instead.  The plan is recomputed with the same policy when the
+        catalog's fragments no longer match the old plan.
+        """
+        if catalog.semiring.name != self._semiring_name:
+            raise ValueError(
+                f"cannot restart a {self._semiring_name} pool with a "
+                f"{catalog.semiring.name} catalog"
+            )
+        plan = self._plan
+        fragment_ids = {site.fragment_id for site in catalog.sites()}
+        if fragment_ids != set(plan.owner_of):
+            from ..placement import plan_placement  # local import to keep startup light
+
+            plan = plan_placement(
+                plan.policy,
+                plan.worker_count,
+                fragment_ids=sorted(fragment_ids),
+                fragment_costs={
+                    site.fragment_id: float(site.edge_count()) for site in catalog.sites()
+                },
+            )
+        self.close()
+        self._start(catalog, plan)
+
+    def close(self) -> None:
+        """Stop and reap the worker processes (idempotent)."""
+        if not self._running:
+            return
+        self._running = False
+        for handle in self._workers:
+            try:
+                if handle.is_alive():
+                    handle.queue.put(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in self._workers:
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            for closer in (
+                handle.queue.close,
+                handle.queue.cancel_join_thread,
+                handle.reader.close,
+            ):
+                try:
+                    closer()
+                except Exception:
+                    pass
+        self._workers = []
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def plan(self) -> PlacementPlan:
+        """The live placement plan (mutated in place by :meth:`migrate`)."""
+        return self._plan
+
+    @property
+    def worker_count(self) -> int:
+        """The number of routed worker slots."""
+        return self._plan.worker_count
+
+    def is_running(self) -> bool:
+        """Return ``True`` while the pool serves its queues."""
+        return self._running
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Return each worker's OS pid (stable across repins and migrations)."""
+        return [handle.process.pid for handle in self._workers]
+
+    def pinned_census(self, *, ask_workers: bool = True) -> Dict[int, List[int]]:
+        """Return worker -> pinned fragment ids.
+
+        With ``ask_workers`` the figures come from the live processes (the
+        ground truth the placement benchmark audits); otherwise from the
+        coordinator's mirrors.
+        """
+        if not ask_workers or not self._running:
+            return {h.index: sorted(h.pinned) for h in self._workers}
+        request_id = self._request_id()
+        targets = []
+        for handle in self._workers:
+            if handle.is_alive():
+                handle.queue.put(("census", request_id))
+                targets.append(handle.index)
+        replies = self._collect(request_id, targets, resubmit=None)
+        census = {h.index: sorted(h.pinned) for h in self._workers if h.index not in replies}
+        census.update({worker: list(fragments) for worker, fragments in replies.items()})
+        return dict(sorted(census.items()))
+
+    # ------------------------------------------------------------ operations
+
+    def evaluate(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
+        """Route each task to its fragment's owner queue and gather the results.
+
+        Routing prefers the owner; when the owner process died, a live
+        replica takes the task and the owner is respawned (from the
+        coordinator's pinned mirror) for the next round.  Mid-flight worker
+        deaths are detected while waiting and the lost tasks are resubmitted
+        to the respawned owner, so a crash costs latency, never answers.
+
+        Raises:
+            WorkerPoolError: when the pool is closed, a fragment is not
+                placed, or workers keep failing past the reply timeout.
+        """
+        if not self._running:
+            raise WorkerPoolError("the placed worker pool has been closed")
+        results: Dict[TaskKey, LocalQueryResult] = {}
+        # Reset before the empty-batch return: a no-task call must not leave
+        # the previous call's counts behind for the caller to re-accumulate.
+        self.last_route_counts = {}
+        if not tasks:
+            return results
+        groups = self._route(tasks)
+        request_id = self._request_id()
+        # Per-owner accounting counts *tasks* (the unit of local work), never
+        # messages: one routed message may batch many subqueries.
+        self.last_route_counts = {w: len(ts) for w, ts in groups.items()}
+        for worker_index, worker_tasks in groups.items():
+            self._workers[worker_index].queue.put(("evaluate", request_id, worker_tasks))
+            self.queue_depth_peak = max(self.queue_depth_peak, len(worker_tasks))
+        replies = self._collect(
+            request_id,
+            list(groups),
+            resubmit={worker: list(worker_tasks) for worker, worker_tasks in groups.items()},
+        )
+        for payloads in replies.values():
+            for key, payload in payloads:
+                results[key] = result_from_payload(key, payload, semiring=self._semiring)
+                self.dispatch_counts[key[0]] = self.dispatch_counts.get(key[0], 0) + 1
+        missing = [task for task in tasks if task not in results]
+        if missing:
+            raise WorkerPoolError(f"routed evaluation lost tasks {missing}")
+        return results
+
+    def repin(self, updates: Sequence[PinUpdate]) -> None:
+        """Refresh dirty fragments on their owner(s) only — no broadcast.
+
+        This is the shared-nothing counterpart of
+        :meth:`ResidentWorkerPool.repin`: instead of a barrier broadcast to
+        every worker, each update travels only to the workers that actually
+        pin the fragment (its owner plus any replicas), so update cost
+        scales with the dirty fragments' replication, not the pool size.
+        """
+        if not self._running:
+            raise WorkerPoolError("the placed worker pool has been closed")
+        if not updates:
+            return
+        groups: Dict[int, List[PinUpdate]] = {}
+        for update in updates:
+            for worker_index in self._plan.workers_for(update.fragment_id):
+                groups.setdefault(worker_index, []).append(update)
+        request_id = self._request_id()
+        targets: List[int] = []
+        for worker_index, worker_updates in groups.items():
+            handle = self._workers[worker_index]
+            # The coordinator mirror is refreshed regardless of process
+            # health: a dead owner respawns from this mirror later.
+            for update in worker_updates:
+                if update.payload is not None:
+                    handle.pinned[update.fragment_id] = update.payload
+            if not handle.is_alive():
+                continue
+            handle.queue.put(("repin", request_id, [u.wire() for u in worker_updates]))
+            targets.append(worker_index)
+        self._collect(request_id, targets, resubmit=None)
+        self.repins += 1
+        self.repinned_fragments += len(updates)
+        self.repin_messages += len(targets)
+        self.last_repin_workers = tuple(sorted(groups))
+
+    def migrate(self, fragment_id: int, to_worker: int) -> bool:
+        """Move a fragment's compact state to ``to_worker`` — live, no restart.
+
+        The fragment's current payload (the coordinator's mirror, which every
+        repin keeps current) is pinned on the destination first, the plan is
+        flipped, and only then is the source told to unpin — a reader routed
+        mid-migration always finds the fragment somewhere.  Returns ``False``
+        when the fragment already lives on ``to_worker``.
+
+        Raises:
+            WorkerPoolError: when the pool is closed or the coordinator has
+                no payload for the fragment.
+            PlacementError: when the fragment is unplaced or the destination
+                worker index is out of range.
+        """
+        if not self._running:
+            raise WorkerPoolError("the placed worker pool has been closed")
+        if not 0 <= to_worker < self._plan.worker_count:
+            # Validated before any side effect: an out-of-range index (or a
+            # negative one, which Python would silently wrap) must not pin
+            # state onto a worker the plan does not list.
+            raise PlacementError(
+                f"destination worker {to_worker} is outside "
+                f"0..{self._plan.worker_count - 1}"
+            )
+        from_worker = self._plan.owner(fragment_id)
+        if from_worker == to_worker:
+            return False
+        source = self._workers[from_worker]
+        payload = source.pinned.get(fragment_id)
+        if payload is None:
+            raise WorkerPoolError(
+                f"no pinned payload for fragment {fragment_id} on worker {from_worker}"
+            )
+        destination = self._workers[to_worker]
+        if not destination.is_alive():
+            destination = self._respawn(to_worker)
+        # The mirror is updated *before* the pin is sent: if the destination
+        # dies mid-pin, _collect respawns it from this mirror — fragment
+        # included — so the move is self-healing instead of stranding the
+        # fragment on a new owner that never pinned it.
+        destination.pinned[fragment_id] = payload
+        request_id = self._request_id()
+        destination.queue.put(("pin", request_id, [payload]))
+        self._collect(request_id, [to_worker], resubmit=None)
+        self._plan.move(fragment_id, to_worker)
+        # move() always takes the fragment off its previous owner entirely
+        # (a destination replica is absorbed into ownership, never the other
+        # way around), so the source unpins unconditionally.
+        source.pinned.pop(fragment_id, None)
+        if source.is_alive():
+            request_id = self._request_id()
+            source.queue.put(("unpin", request_id, [fragment_id]))
+            self._collect(request_id, [from_worker], resubmit=None)
+        self.migrations += 1
+        return True
+
+    # ------------------------------------------------------------- internals
+
+    def _request_id(self) -> int:
+        self._next_request_id += 1
+        return self._next_request_id
+
+    def _route(self, tasks: Sequence[TaskKey]) -> Dict[int, List[TaskKey]]:
+        """Group tasks by the worker that will run them (owner, else replica)."""
+        groups: Dict[int, List[TaskKey]] = {}
+        respawned: set = set()
+        for task in tasks:
+            fragment_id = task[0]
+            candidates = self._plan.workers_for(fragment_id)
+            owner = candidates[0]
+            chosen: Optional[int] = None
+            if self._workers[owner].is_alive():
+                chosen = owner
+            else:
+                for replica in candidates[1:]:
+                    if self._workers[replica].is_alive():
+                        chosen = replica
+                        self.replica_fallbacks += 1
+                        break
+                if owner not in respawned:
+                    # Re-home the dead owner's fragments either way: a fresh
+                    # process re-pins the mirror and takes the next round.
+                    self._respawn(owner)
+                    respawned.add(owner)
+                if chosen is None:
+                    chosen = owner  # the respawned owner takes it now
+            groups.setdefault(chosen, []).append(task)
+        return groups
+
+    def _collect(
+        self,
+        request_id: int,
+        workers: List[int],
+        *,
+        resubmit: Optional[Dict[int, List[TaskKey]]],
+    ) -> Dict[int, object]:
+        """Gather one reply per worker for ``request_id`` from the result pipes.
+
+        Each worker owns a private result pipe, multiplexed here with
+        :func:`multiprocessing.connection.wait` — a dead worker's pipe hits
+        EOF and is reported ready immediately, so crashes surface as fast as
+        replies.  ``resubmit`` (evaluate only) maps each worker to the tasks
+        it was sent: when a worker dies before replying, it is respawned
+        from its mirror and its tasks are resubmitted under the same request
+        id.
+
+        Raises:
+            WorkerPoolError: on a worker-side error or an overall timeout.
+        """
+        outstanding = set(workers)
+        replies: Dict[int, object] = {}
+        deadline = time.monotonic() + self._reply_timeout
+        while outstanding:
+            if time.monotonic() > deadline:
+                raise WorkerPoolError(
+                    f"workers {sorted(outstanding)} did not reply within "
+                    f"{self._reply_timeout:.0f}s"
+                )
+            reader_of = {self._workers[w].reader: w for w in outstanding}
+            ready = multiprocessing.connection.wait(
+                list(reader_of), timeout=_POLL_SECONDS
+            )
+            failed: List[int] = []
+            for reader in ready:
+                worker_index = reader_of[reader]
+                try:
+                    reply_id, _, kind, payload = reader.recv()
+                except (EOFError, OSError):
+                    failed.append(worker_index)
+                    continue
+                if reply_id != request_id:
+                    continue  # a stale reply from a superseded request
+                if kind == "error":
+                    raise WorkerPoolError(f"worker {worker_index} failed:\n{payload}")
+                replies[worker_index] = payload
+                outstanding.discard(worker_index)
+            if not ready:
+                failed = [w for w in sorted(outstanding) if not self._workers[w].is_alive()]
+            for worker_index in failed:
+                handle = self._respawn(worker_index)
+                if resubmit is not None and worker_index in resubmit:
+                    handle.queue.put(("evaluate", request_id, resubmit[worker_index]))
+                else:
+                    # Non-evaluate requests (pin/repin/census) were already
+                    # folded into the mirror the respawn used.
+                    outstanding.discard(worker_index)
+        return replies
+
+    # --------------------------------------------------------------- context
+
+    def __enter__(self) -> "PlacedWorkerPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -7,8 +7,14 @@ pieces of this package:
 * a :class:`~repro.service.cache.LRUCache` of answers addressed by a typed
   :class:`~repro.service.cache.CacheKey`, each entry recording the
   per-fragment versions it depends on,
-* an optional :class:`~repro.service.pool.ResidentWorkerPool` that keeps the
-  fragment sites pinned in persistent worker processes,
+* an optional worker pool that keeps the fragment sites pinned in
+  persistent worker processes — replicated
+  (:class:`~repro.service.pool.ResidentWorkerPool`) or shared-nothing
+  (:class:`~repro.service.pool.PlacedWorkerPool`, selected with
+  ``placement=...``: a :class:`~repro.placement.plan.PlacementPlan` routes
+  every fragment's subqueries and re-pins to its owner worker, and
+  :meth:`QueryService.migrate` / :meth:`QueryService.rebalance` move
+  fragments between live workers),
 * the :class:`~repro.service.batch.BatchPlanner` that evaluates a batch's
   shared local subqueries once,
 * the update hooks of
@@ -48,16 +54,31 @@ from ..disconnection import (
 from ..disconnection.maintenance import UpdateEvent
 from ..disconnection.planner import LocalQuerySpec
 from ..fragmentation import Fragmentation
-from ..incremental import VersionVector
+from ..incremental import DeltaLog, VersionVector
+from ..placement import (
+    PLACEMENT_POLICIES,
+    Migration,
+    PlacementError,
+    PlacementPlan,
+    RebalanceAdvisor,
+    plan_placement,
+)
 from .batch import BatchPlanner
 from .cache import CachedAnswer, CacheKey, LRUCache
-from .pool import PICKLABLE_SEMIRINGS, PinUpdate, ResidentWorkerPool, TaskKey
+from .pool import (
+    PICKLABLE_SEMIRINGS,
+    PinUpdate,
+    PlacedWorkerPool,
+    ResidentWorkerPool,
+    TaskKey,
+)
 from .snapshot import SnapshotManifest, load_snapshot, save_snapshot
 from .stats import ServiceStatistics
 
 Node = Hashable
 Query = Tuple[Node, Node]
 PathLike = Union[str, Path]
+WorkerPool = Union[ResidentWorkerPool, PlacedWorkerPool]
 
 
 @dataclass(frozen=True)
@@ -101,6 +122,18 @@ class QueryService:
             evaluates them in-process (still sharing subqueries and caching
             results — the right choice for small fragments, where process
             messaging would dominate).
+        placement: shared-nothing placement of fragments onto the workers.
+            ``None`` (default) keeps the replicated pool: every worker pins
+            every fragment.  A policy name (``"round_robin"``,
+            ``"cost_balanced"``, ``"workload_aware"``) or an explicit
+            :class:`~repro.placement.plan.PlacementPlan` switches to the
+            routed :class:`~repro.service.pool.PlacedWorkerPool`: each
+            worker pins only the fragments it owns, subqueries are routed
+            to owners, re-pins reach only the dirty fragment's owner(s),
+            and :meth:`migrate` / :meth:`rebalance` move fragments between
+            live workers.  Implies pooled evaluation (``workers`` defaults
+            to the plan's worker count, or the fragment count capped at the
+            CPU count for a policy name).
         compact_sites: seed the per-fragment compact kernel graphs (snapshot
             reload fast path; ``from_snapshot`` wires this automatically).
         use_compact: evaluate local subqueries with the compact kernels
@@ -114,6 +147,9 @@ class QueryService:
             update benchmark's baseline).
         version_vector: seed the per-fragment version vector (wired by
             ``from_snapshot`` so a restored service resumes mid-stream).
+        delta_sequence: seed the delta log's numbering (wired by
+            ``from_snapshot`` so replayed tail records keep their original
+            sequence numbers).
     """
 
     def __init__(
@@ -124,13 +160,41 @@ class QueryService:
         complementary: Optional[ComplementaryInformation] = None,
         cache_size: int = 1024,
         workers: Optional[int] = None,
+        placement: Optional[Union[str, PlacementPlan]] = None,
         compact_sites: Optional[Dict[int, CompactFragmentSite]] = None,
         use_compact: bool = True,
         max_chains: Optional[int] = 32,
         incremental: bool = True,
         version_vector: Optional[VersionVector] = None,
+        delta_sequence: int = 0,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
+        if isinstance(placement, str) and placement not in PLACEMENT_POLICIES:
+            raise PlacementError(
+                f"unknown placement policy {placement!r} "
+                f"(expected one of {PLACEMENT_POLICIES})"
+            )
+        if (
+            isinstance(placement, PlacementPlan)
+            and workers
+            and workers != placement.worker_count
+        ):
+            raise PlacementError(
+                f"workers={workers} conflicts with the placement plan's "
+                f"worker_count={placement.worker_count}; drop one or pass a "
+                "policy name to recompute the plan for the requested workers"
+            )
+        if placement is not None and not workers:
+            # Placement implies pooled evaluation: an explicit plan fixes the
+            # worker count, a policy name defaults to one worker per
+            # fragment, capped at the CPU count.
+            import multiprocessing
+
+            workers = (
+                placement.worker_count
+                if isinstance(placement, PlacementPlan)
+                else max(1, min(fragmentation.fragment_count(), multiprocessing.cpu_count()))
+            )
         if workers and self._semiring.name not in PICKLABLE_SEMIRINGS:
             raise ValueError(
                 "worker processes support the "
@@ -145,11 +209,13 @@ class QueryService:
             version_vector=version_vector,
         )
         self._database.add_update_listener(self._on_update)
+        self._database.delta_log.resume_at(delta_sequence)
         self._cache = LRUCache(cache_size)
         self._stats = ServiceStatistics()
         self._workers = workers
+        self._placement = placement
         self._max_chains = max_chains
-        self._pool: Optional[ResidentWorkerPool] = None
+        self._pool: Optional[WorkerPool] = None
         self._evaluator = LocalQueryEvaluator(semiring=self._semiring, use_compact=use_compact)
         self._base_version = "live"
         self._current_engine: Optional[DisconnectionSetEngine] = None
@@ -160,16 +226,62 @@ class QueryService:
     # ---------------------------------------------------------- constructors
 
     @classmethod
-    def from_snapshot(cls, directory: PathLike, **kwargs) -> "QueryService":
+    def from_snapshot(
+        cls,
+        directory: PathLike,
+        *,
+        replay_log: Optional[DeltaLog] = None,
+        **kwargs,
+    ) -> "QueryService":
         """Restore a service from a snapshot directory (no recomputation).
 
         The snapshot's persisted compact fragments seed the kernel caches, so
         the restored service serves its first query without ever rebuilding
-        adjacency.
+        adjacency.  A persisted placement plan is re-adopted the same way —
+        pass ``placement=...`` to override it (including an explicit
+        ``placement=None`` to force the replicated pool), or a different
+        ``workers=`` count to recompute the plan with the persisted policy
+        for the new pool shape.
+
+        ``replay_log`` catches the restored service up with a *live*
+        database: the snapshot records the delta sequence it was taken at,
+        and every newer record in the given log is re-applied through the
+        incremental maintainer — so a replica that restores an old snapshot
+        converges on the live state without forcing a fresh snapshot.
+
+        Raises:
+            ValueError: when ``replay_log`` no longer retains the records
+                after the snapshot's sequence (the restore fell off the
+                log's tail), or the tail contains a ``refragment`` record —
+                those reorganise fragment ids in ways a replica cannot
+                reconstruct; resynchronise from a newer snapshot either way.
         """
         loaded = load_snapshot(directory)
         kwargs.setdefault("compact_sites", loaded.compact_sites)
         kwargs.setdefault("version_vector", loaded.version_vector)
+        kwargs.setdefault("delta_sequence", loaded.delta_sequence)
+        if loaded.placement_plan is not None:
+            if (
+                kwargs.get("workers")
+                and kwargs["workers"] != loaded.placement_plan.worker_count
+            ):
+                # An explicit worker count that differs from the persisted
+                # plan's is a new deployment shape: keep the persisted
+                # *policy* and recompute the plan for the requested workers.
+                kwargs.setdefault("placement", loaded.placement_plan.policy)
+            else:
+                kwargs.setdefault("placement", loaded.placement_plan)
+        if replay_log is not None:
+            # Fail before doing any restore work when the tail is gone or
+            # crosses a refragmentation (unreplayable — see replay_record).
+            tail = replay_log.records_since(loaded.delta_sequence)
+            for record in tail:
+                if record.kind == "refragment" or not record.changes:
+                    raise ValueError(
+                        f"the replay tail contains record {record.sequence} "
+                        f"({record.kind!r}), which reorganised the source's "
+                        "fragments; resynchronise from a snapshot taken after it"
+                    )
         service = cls(
             loaded.fragmentation,
             semiring=loaded.semiring,
@@ -178,6 +290,10 @@ class QueryService:
         )
         service._base_version = loaded.manifest.version
         service._stats.snapshots_loaded += 1
+        if replay_log is not None:
+            for record in tail:
+                service._database.replay_record(record)
+                service._stats.replayed_records += 1
         return service
 
     @classmethod
@@ -226,6 +342,37 @@ class QueryService:
     def version_vector(self) -> VersionVector:
         """The per-fragment version vector scoped invalidation runs on."""
         return self._database.version_vector
+
+    @property
+    def placement_plan(self) -> Optional[PlacementPlan]:
+        """The live fragment -> owner-worker plan (``None`` outside placement mode).
+
+        Once the routed pool runs this is its live plan, migrations
+        included.  Before that, a policy name is materialised into a
+        concrete plan here (and pinned, so the pool later starts with
+        exactly this plan) — a service configured with ``placement=...``
+        therefore always reports and persists its placement, even before
+        the first query forces the pool up.
+        """
+        if isinstance(self._pool, PlacedWorkerPool):
+            return self._pool.plan
+        if self._placement is None:
+            return None
+        if isinstance(self._placement, PlacementPlan):
+            return self._placement
+        engine = self._refresh_engine()
+        catalog = engine.catalog
+        plan = plan_placement(
+            self._placement,
+            self._workers or 1,
+            fragment_ids=[site.fragment_id for site in catalog.sites()],
+            fragment_costs={
+                site.fragment_id: float(site.edge_count()) for site in catalog.sites()
+            },
+            dispatch_counts=dict(self._stats.per_site_load),
+        )
+        self._placement = plan
+        return plan
 
     def engine(self) -> DisconnectionSetEngine:
         """The current engine (rebuilt lazily after updates)."""
@@ -370,17 +517,82 @@ class QueryService:
             return self._database.update_edge_weight(source, target, weight)
         return self._database.insert_edge(source, target, weight, symmetric=symmetric)
 
+    # ------------------------------------------------------------- placement
+
+    def migrate(self, fragment_id: int, to_worker: int) -> bool:
+        """Move one fragment's pinned state to another live worker (no restart).
+
+        Returns ``False`` when the fragment already lives there.
+
+        Raises:
+            PlacementError: when the service runs without a placement plan,
+                the fragment is unplaced, or the worker index is invalid.
+        """
+        pool = self._require_placed_pool()
+        moved = pool.migrate(fragment_id, to_worker)
+        if moved:
+            self._stats.migrations += 1
+        return moved
+
+    def rebalance(
+        self,
+        *,
+        apply: bool = True,
+        advisor: Optional[RebalanceAdvisor] = None,
+    ) -> List[Migration]:
+        """Ask the advisor for migrations against the observed load; optionally apply.
+
+        The advisor folds the per-fragment dispatch counts
+        (``stats.per_site_load``) with the delta log's re-pin locality, and
+        recommends moves only while the modelled owner skew exceeds its
+        threshold — a balanced pool returns ``[]``.  With ``apply=True``
+        (default) the recommended migrations are executed immediately on the
+        live pool.
+
+        Raises:
+            PlacementError: when the service runs without a placement plan.
+        """
+        pool = self._require_placed_pool()
+        advisor = advisor or RebalanceAdvisor()
+        migrations = advisor.recommend(
+            pool.plan,
+            dict(self._stats.per_site_load),
+            delta_log=self._database.delta_log,
+        )
+        if apply:
+            for migration in migrations:
+                if pool.migrate(migration.fragment_id, migration.to_worker):
+                    self._stats.migrations += 1
+        return migrations
+
+    def _require_placed_pool(self) -> PlacedWorkerPool:
+        if self._placement is None:
+            raise PlacementError(
+                "this service runs the replicated pool; construct it with "
+                "placement=... to route fragments to owner workers"
+            )
+        self._refresh_engine()
+        pool = self._ensure_pool()
+        assert isinstance(pool, PlacedWorkerPool)
+        return pool
+
     # -------------------------------------------------------------- snapshot
 
     def snapshot(self, directory: PathLike) -> SnapshotManifest:
         """Serialise the service's current prepared state to ``directory``.
 
-        The per-fragment version vector is persisted alongside the catalog,
-        so a service restored from this snapshot resumes mid-stream instead
-        of restarting its versions from zero.
+        The per-fragment version vector, the live placement plan (migrations
+        included) and the delta log's sequence position are persisted
+        alongside the catalog, so a service restored from this snapshot
+        resumes mid-stream — with the same placement, and able to replay a
+        live delta log's tail from exactly where this snapshot left off.
         """
         manifest = save_snapshot(
-            directory, self._refresh_engine(), version_vector=self._database.version_vector
+            directory,
+            self._refresh_engine(),
+            version_vector=self._database.version_vector,
+            placement=self.placement_plan,
+            delta_sequence=self._database.delta_log.last_sequence,
         )
         self._stats.snapshots_saved += 1
         return manifest
@@ -494,13 +706,38 @@ class QueryService:
                 self._pool.restart(engine.catalog)
         return engine
 
+    def _ensure_pool(self) -> WorkerPool:
+        """Return the worker pool, building it (and its plan) on first use."""
+        if self._pool is not None:
+            return self._pool
+        engine = self._current_engine
+        assert engine is not None
+        if self._placement is None:
+            self._pool = ResidentWorkerPool(engine.catalog, processes=self._workers)
+            return self._pool
+        plan = self.placement_plan
+        assert plan is not None
+        self._pool = PlacedWorkerPool(engine.catalog, plan)
+        return self._pool
+
     def _evaluate_tasks(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
         engine = self._current_engine
         assert engine is not None
         if self._workers:
-            if self._pool is None:
-                self._pool = ResidentWorkerPool(engine.catalog, processes=self._workers)
-            results = self._pool.evaluate(tasks)
+            pool = self._ensure_pool()
+            results = pool.evaluate(tasks)
+            if isinstance(pool, PlacedWorkerPool):
+                # Per-owner load comes from the pool's actual routing (which
+                # may differ from plan ownership when a replica or respawned
+                # worker ran a task), accumulated here so it survives pool
+                # restarts.
+                for worker, count in pool.last_route_counts.items():
+                    self._stats.per_owner_dispatch[worker] = (
+                        self._stats.per_owner_dispatch.get(worker, 0) + count
+                    )
+                self._stats.observe_owner_queues(
+                    owner_count=pool.worker_count, queue_depth_peak=pool.queue_depth_peak
+                )
         else:
             results = {}
             for key in tasks:
@@ -509,6 +746,8 @@ class QueryService:
                     fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes
                 )
                 results[key] = self._evaluator.evaluate(engine.catalog.site(fragment_id), spec)
+        # One dispatch per *task*: a batch of n shared subqueries records n
+        # site dispatches, never one per batch.
         for key in tasks:
             self._stats.record_dispatch(key[0])
         return results

@@ -31,6 +31,7 @@ from ..exceptions import ReproError
 from ..fragmentation import Fragmentation
 from ..graph import DiGraph, Point
 from ..incremental import VersionVector
+from ..placement import PlacementPlan
 from .pool import semiring_from_name
 
 Node = Hashable
@@ -55,9 +56,13 @@ class SnapshotPayload:
     service starts with warm kernels and never rebuilds adjacency.
     ``version_vector`` persists the per-fragment update versions, so a
     restored service resumes its incremental-maintenance stream instead of
-    restarting from version zero.  Both are derived/operational data: the
-    content hash deliberately excludes them, and snapshots written before
-    they existed reload fine without them.
+    restarting from version zero.  ``placement`` persists the fragment ->
+    owner-worker plan a routed pool was serving with (migrations included),
+    and ``delta_sequence`` records where in the source database's delta log
+    the snapshot was taken — the position a restored service replays a live
+    log's tail from.  All of these are derived/operational data: the content
+    hash deliberately excludes them, and snapshots written before they
+    existed reload fine without them.
     """
 
     nodes: List[Node]
@@ -71,6 +76,8 @@ class SnapshotPayload:
     precompute_work: int = 0
     compact_fragments: Dict[int, Dict[str, object]] = field(default_factory=dict)
     version_vector: Dict[str, object] = field(default_factory=dict)
+    placement: Dict[str, object] = field(default_factory=dict)
+    delta_sequence: int = 0
 
 
 @dataclass
@@ -134,6 +141,8 @@ class LoadedSnapshot:
     semiring: Semiring
     compact_sites: Dict[int, CompactFragmentSite] = field(default_factory=dict)
     version_vector: VersionVector = field(default_factory=VersionVector)
+    placement_plan: Optional[PlacementPlan] = None
+    delta_sequence: int = 0
 
     def build_engine(self, **kwargs) -> DisconnectionSetEngine:
         """Return a query engine over the snapshot — no search work recomputed.
@@ -154,7 +163,11 @@ class LoadedSnapshot:
 
 
 def _payload_from_engine(
-    engine: DisconnectionSetEngine, *, version_vector: Optional[VersionVector] = None
+    engine: DisconnectionSetEngine,
+    *,
+    version_vector: Optional[VersionVector] = None,
+    placement: Optional[PlacementPlan] = None,
+    delta_sequence: int = 0,
 ) -> SnapshotPayload:
     catalog = engine.catalog
     fragmentation = catalog.fragmentation
@@ -183,6 +196,8 @@ def _payload_from_engine(
         precompute_work=complementary.precompute_work,
         compact_fragments=compact_fragments,
         version_vector=version_vector.as_dict() if version_vector is not None else {},
+        placement=placement.as_dict() if placement is not None else {},
+        delta_sequence=delta_sequence,
     )
 
 
@@ -213,14 +228,23 @@ def save_snapshot(
     engine: DisconnectionSetEngine,
     *,
     version_vector: Optional[VersionVector] = None,
+    placement: Optional[PlacementPlan] = None,
+    delta_sequence: int = 0,
 ) -> SnapshotManifest:
     """Serialise a prepared engine into ``directory`` and return its manifest.
 
-    ``version_vector`` (when given) persists the per-fragment update versions
-    alongside the catalog; like the compact fragments it is operational data
-    and excluded from the content hash.
+    ``version_vector`` (when given) persists the per-fragment update
+    versions, ``placement`` the fragment -> owner-worker plan, and
+    ``delta_sequence`` the source delta log's position at snapshot time
+    (what a restored service replays a live log from).  Like the compact
+    fragments they are operational data and excluded from the content hash.
     """
-    payload = _payload_from_engine(engine, version_vector=version_vector)
+    payload = _payload_from_engine(
+        engine,
+        version_vector=version_vector,
+        placement=placement,
+        delta_sequence=delta_sequence,
+    )
     manifest = SnapshotManifest(
         version=compute_version(payload),
         semiring_name=payload.semiring_name,
@@ -291,6 +315,7 @@ def load_snapshot(directory: PathLike) -> LoadedSnapshot:
         )
         for fragment_id, entry in getattr(payload, "compact_fragments", {}).items()
     }
+    placement_state = getattr(payload, "placement", {}) or {}
     return LoadedSnapshot(
         manifest=manifest,
         fragmentation=fragmentation,
@@ -298,6 +323,8 @@ def load_snapshot(directory: PathLike) -> LoadedSnapshot:
         semiring=semiring_from_name(payload.semiring_name),
         compact_sites=compact_sites,
         version_vector=VersionVector.from_dict(getattr(payload, "version_vector", {}) or {}),
+        placement_plan=PlacementPlan.from_dict(placement_state) if placement_state else None,
+        delta_sequence=int(getattr(payload, "delta_sequence", 0)),
     )
 
 

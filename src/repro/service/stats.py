@@ -36,8 +36,18 @@ class ServiceStatistics:
         cache_entries_evicted: answers dropped by update invalidation (scoped
             and full).
         updates_applied: edge insertions/deletions/reweights applied.
+        replayed_records: delta-log records replayed into a restored
+            snapshot (``QueryService.from_snapshot(..., replay_log=...)``).
         snapshots_saved / snapshots_loaded: snapshot-store round trips.
         per_site_load: subqueries dispatched to each fragment site.
+        per_owner_dispatch: subqueries routed to each owner *worker* under a
+            placement plan (counts tasks, never routed messages: one owner
+            message may batch many subqueries).
+        owner_count: worker slots behind ``per_owner_dispatch`` — workers
+            that never received a task still count in the skew denominator.
+        queue_depth_peak: the largest per-owner task batch observed (the
+            routed pool's queue-depth high-water mark).
+        migrations: live fragment migrations applied (rebalancing).
         total_latency / max_latency: wall-clock seconds spent answering
             queries (cache hits included — they are what the cache buys).
     """
@@ -54,9 +64,14 @@ class ServiceStatistics:
     scoped_invalidations: int = 0
     cache_entries_evicted: int = 0
     updates_applied: int = 0
+    replayed_records: int = 0
     snapshots_saved: int = 0
     snapshots_loaded: int = 0
     per_site_load: Dict[int, int] = field(default_factory=dict)
+    per_owner_dispatch: Dict[int, int] = field(default_factory=dict)
+    owner_count: int = 0
+    queue_depth_peak: int = 0
+    migrations: int = 0
     total_latency: float = 0.0
     max_latency: float = 0.0
 
@@ -73,9 +88,24 @@ class ServiceStatistics:
         self.max_latency = max(self.max_latency, latency)
 
     def record_dispatch(self, fragment_id: int, count: int = 1) -> None:
-        """Record ``count`` subqueries dispatched to one fragment site."""
+        """Record ``count`` subqueries dispatched to one fragment site.
+
+        Dispatch accounting is always per *task*: a batch of ``n`` subqueries
+        shipped to a site (or routed to an owner worker in one message) must
+        be recorded with ``count=n``, never as a single dispatch — the
+        advisor's skew model would otherwise undercount exactly the hot,
+        heavily-batched fragments it exists to find.  ``per_owner_dispatch``
+        is fed separately from the routed pool's actual routing counts,
+        which attribute tasks to the worker that really ran them (a replica
+        or a respawned owner, not necessarily the plan's owner).
+        """
         self.local_evaluations += count
         self.per_site_load[fragment_id] = self.per_site_load.get(fragment_id, 0) + count
+
+    def observe_owner_queues(self, *, owner_count: int, queue_depth_peak: int) -> None:
+        """Fold the routed pool's queue observability into the counters."""
+        self.owner_count = max(self.owner_count, owner_count)
+        self.queue_depth_peak = max(self.queue_depth_peak, queue_depth_peak)
 
     # ------------------------------------------------------------- reporting
 
@@ -87,6 +117,19 @@ class ServiceStatistics:
     def average_latency(self) -> float:
         """Return the mean per-query latency in seconds (0.0 when idle)."""
         return self.total_latency / self.queries if self.queries else 0.0
+
+    def dispatch_skew(self) -> float:
+        """Return max/mean per-owner dispatch load (1.0 = balanced, 0.0 = idle).
+
+        Workers that never received a task still count in the mean (via
+        ``owner_count``): a pool where one of four owners does all the work
+        skews 4.0, not 1.0.
+        """
+        if not self.per_owner_dispatch:
+            return 0.0
+        owners = max(self.owner_count, len(self.per_owner_dispatch))
+        mean = sum(self.per_owner_dispatch.values()) / owners
+        return max(self.per_owner_dispatch.values()) / mean if mean else 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """Return the counters as a flat dictionary (for reporting)."""
@@ -104,9 +147,14 @@ class ServiceStatistics:
             "scoped_invalidations": self.scoped_invalidations,
             "cache_entries_evicted": self.cache_entries_evicted,
             "updates_applied": self.updates_applied,
+            "replayed_records": self.replayed_records,
             "snapshots_saved": self.snapshots_saved,
             "snapshots_loaded": self.snapshots_loaded,
             "per_site_load": dict(sorted(self.per_site_load.items())),
+            "per_owner_dispatch": dict(sorted(self.per_owner_dispatch.items())),
+            "dispatch_skew": round(self.dispatch_skew(), 4),
+            "queue_depth_peak": self.queue_depth_peak,
+            "migrations": self.migrations,
             "average_latency": self.average_latency(),
             "max_latency": self.max_latency,
         }

@@ -1,0 +1,87 @@
+"""The rebalance advisor: skew detection and migration recommendations."""
+
+import pytest
+
+from repro.incremental import DeltaLog
+from repro.placement import Migration, PlacementPlan, RebalanceAdvisor, round_robin_plan
+
+
+def skewed_plan(fragments=6, workers=3):
+    """Every fragment parked on worker 0 — the worst case a bad plan allows."""
+    return PlacementPlan(owner_of={f: 0 for f in range(fragments)}, worker_count=workers)
+
+
+class TestRecommendations:
+    def test_balanced_plan_yields_nothing(self):
+        advisor = RebalanceAdvisor()
+        plan = round_robin_plan(range(6), 3)
+        assert advisor.recommend(plan, {f: 10 for f in range(6)}) == []
+
+    def test_skewed_plan_is_repaired_under_threshold(self):
+        advisor = RebalanceAdvisor(skew_threshold=1.5)
+        plan = skewed_plan()
+        dispatches = {f: 10 for f in range(6)}
+        migrations = advisor.recommend(plan, dispatches)
+        assert migrations, "an all-on-one plan must trigger migrations"
+        repaired = plan.copy()
+        for migration in migrations:
+            assert migration.from_worker == 0
+            repaired.move(migration.fragment_id, migration.to_worker)
+        assert advisor.skew(repaired, dispatches) <= 1.5
+        # The original plan is never mutated by recommend().
+        assert plan.owner_of == skewed_plan().owner_of
+
+    def test_cold_pool_balances_by_fragment_count(self):
+        advisor = RebalanceAdvisor()
+        migrations = advisor.recommend(skewed_plan(), {})
+        assert migrations, "no dispatch signal must not mask an all-on-one plan"
+
+    def test_single_hot_fragment_is_not_shuffled_forever(self):
+        # One fragment carries everything: moving it around cannot help, so
+        # the advisor must not recommend churn.
+        advisor = RebalanceAdvisor()
+        plan = round_robin_plan(range(3), 3)
+        migrations = advisor.recommend(plan, {plan.fragment_ids[0]: 1000, 1: 1, 2: 1})
+        assert migrations == []
+
+    def test_migration_cap_bounds_churn(self):
+        advisor = RebalanceAdvisor(max_migrations=2)
+        migrations = advisor.recommend(skewed_plan(fragments=12, workers=4), {})
+        assert len(migrations) <= 2
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RebalanceAdvisor(skew_threshold=0.5)
+
+
+class TestDeltaLogLocality:
+    def test_update_heavy_fragment_counts_as_load(self):
+        advisor = RebalanceAdvisor(update_weight=1.0)
+        plan = round_robin_plan(range(2), 2)
+        log = DeltaLog()
+        for _ in range(40):
+            log.append("reweight", dirty_fragments=(0,), incremental=True)
+        loads = advisor.fragment_loads(plan, {0: 5, 1: 5}, delta_log=log)
+        assert loads[0] == pytest.approx(45.0)
+        assert loads[1] == pytest.approx(5.0)
+        assert advisor.skew(plan, {0: 5, 1: 5}, delta_log=log) > 1.5
+
+
+class TestApply:
+    def test_apply_drives_a_pool_like_object(self):
+        class FakePool:
+            def __init__(self):
+                self.calls = []
+
+            def migrate(self, fragment_id, to_worker):
+                self.calls.append((fragment_id, to_worker))
+                return True
+
+        pool = FakePool()
+        advisor = RebalanceAdvisor()
+        migrations = [
+            Migration(fragment_id=1, from_worker=0, to_worker=2, reason="test"),
+            Migration(fragment_id=3, from_worker=0, to_worker=1, reason="test"),
+        ]
+        assert advisor.apply(migrations, pool) == 2
+        assert pool.calls == [(1, 2), (3, 1)]

@@ -1,0 +1,173 @@
+"""Placement plans: policies, bounds, moves, serialisation."""
+
+import math
+
+import pytest
+
+from repro.placement import (
+    POLICY_COST_BALANCED,
+    POLICY_ROUND_ROBIN,
+    POLICY_WORKLOAD_AWARE,
+    PlacementError,
+    PlacementPlan,
+    cost_balanced_plan,
+    plan_placement,
+    round_robin_plan,
+    workload_aware_plan,
+)
+
+
+class TestRoundRobin:
+    def test_spreads_fragments_evenly(self):
+        plan = round_robin_plan(range(7), 3)
+        assert plan.policy == POLICY_ROUND_ROBIN
+        counts = [len(plan.owned_by(worker)) for worker in range(3)]
+        assert sorted(counts) == [2, 2, 3]
+        assert plan.max_pinned() <= plan.pinned_bound()
+
+    def test_every_fragment_has_exactly_one_owner(self):
+        plan = round_robin_plan([3, 1, 4, 1 + 10, 5], 2)
+        assert sorted(plan.fragment_ids) == [1, 3, 4, 5, 11]
+        for fragment_id in plan.fragment_ids:
+            assert plan.workers_for(fragment_id) == (plan.owner(fragment_id),)
+
+    def test_empty_fragment_set_rejected(self):
+        with pytest.raises(PlacementError):
+            round_robin_plan([], 2)
+
+
+class TestCostBalanced:
+    def test_balances_cost_within_the_count_capacity(self):
+        # One huge fragment: LPT wants it alone, but the memory bound caps
+        # every worker at ceil(4/2)=2 owned fragments, so the cheap ones
+        # spread instead of all piling opposite the heavy one.
+        costs = {0: 100.0, 1: 10.0, 2: 10.0, 3: 10.0}
+        plan = cost_balanced_plan(costs, 2)
+        assert plan.policy == POLICY_COST_BALANCED
+        assert plan.max_pinned() <= plan.pinned_bound() == 2
+        heavy_owner = plan.owner(0)
+        # The heavy worker takes at most one cheap rider; the rest balance.
+        assert len(plan.owned_by(heavy_owner)) <= 2
+        assert plan.skew(costs) < 4.0  # far better than all-on-one
+
+    def test_respects_pinned_bound(self):
+        costs = {f: float(f + 1) for f in range(10)}
+        plan = cost_balanced_plan(costs, 4)
+        assert plan.max_pinned() <= math.ceil(10 / 4)
+
+
+class TestWorkloadAware:
+    def test_replicates_only_hot_fragments(self):
+        # Fragment 0 absorbs almost the whole workload: it earns a replica.
+        dispatches = {0: 1000, 1: 5, 2: 5, 3: 5}
+        plan = workload_aware_plan(dispatches, 2)
+        assert plan.policy == POLICY_WORKLOAD_AWARE
+        assert len(plan.workers_for(0)) == 2
+        for cold in (1, 2, 3):
+            assert len(plan.workers_for(cold)) == 1
+        assert plan.replication_factor() == 1
+        assert plan.max_pinned() <= plan.pinned_bound()
+
+    def test_uniform_load_replicates_nothing(self):
+        dispatches = {f: 10 for f in range(8)}
+        plan = workload_aware_plan(dispatches, 4)
+        assert plan.replication_factor() == 0
+
+    def test_unobserved_fragments_are_still_placed(self):
+        plan = workload_aware_plan({0: 50}, 2, fragment_ids=[0, 1, 2])
+        assert sorted(plan.fragment_ids) == [0, 1, 2]
+
+
+class TestPlanPlacementFactory:
+    def test_workload_aware_falls_back_when_cold(self):
+        # No dispatches recorded yet: fall back to cost balancing.
+        plan = plan_placement(
+            POLICY_WORKLOAD_AWARE,
+            2,
+            fragment_costs={0: 5.0, 1: 5.0, 2: 5.0},
+            dispatch_counts={},
+        )
+        assert plan.policy == POLICY_WORKLOAD_AWARE
+        assert sorted(plan.fragment_ids) == [0, 1, 2]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PlacementError):
+            plan_placement("best_effort", 2, fragment_ids=[0, 1])
+
+    def test_no_fragments_rejected(self):
+        with pytest.raises(PlacementError):
+            plan_placement(POLICY_ROUND_ROBIN, 2)
+
+
+class TestMutationAndValidation:
+    def test_move_changes_owner_and_reports_previous(self):
+        plan = round_robin_plan([0, 1, 2, 3], 2)
+        previous = plan.owner(2)
+        assert plan.move(2, 1 - previous) == previous
+        assert plan.owner(2) == 1 - previous
+
+    def test_move_absorbs_destination_replica(self):
+        plan = round_robin_plan([0, 1], 2)
+        plan.add_replica(0, 1)
+        assert plan.workers_for(0) == (0, 1)
+        plan.move(0, 1)
+        # No duplicate pinning: the destination replica became the owner.
+        assert plan.workers_for(0) == (1,)
+
+    def test_add_replica_is_idempotent_and_skips_owner(self):
+        plan = round_robin_plan([0], 2)
+        plan.add_replica(0, plan.owner(0))
+        assert plan.replicas.get(0) is None
+        plan.add_replica(0, 1)
+        plan.add_replica(0, 1)
+        assert plan.replicas[0] == (1,)
+
+    def test_out_of_range_workers_rejected(self):
+        plan = round_robin_plan([0, 1], 2)
+        with pytest.raises(PlacementError):
+            plan.move(0, 5)
+        with pytest.raises(PlacementError):
+            plan.add_replica(0, -1)
+        with pytest.raises(PlacementError):
+            PlacementPlan(owner_of={0: 7}, worker_count=2)
+
+    def test_replica_listing_owner_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementPlan(owner_of={0: 0}, worker_count=2, replicas={0: (0,)})
+
+    def test_unplaced_fragment_rejected(self):
+        plan = round_robin_plan([0, 1], 2)
+        with pytest.raises(PlacementError):
+            plan.owner(9)
+
+
+class TestSkew:
+    def test_idle_workers_count_in_the_mean(self):
+        plan = PlacementPlan(owner_of={0: 0, 1: 0, 2: 0, 3: 0}, worker_count=4)
+        assert plan.skew({f: 1.0 for f in range(4)}) == pytest.approx(4.0)
+
+    def test_balanced_plan_has_unit_skew(self):
+        plan = round_robin_plan(range(4), 4)
+        assert plan.skew({f: 1.0 for f in range(4)}) == pytest.approx(1.0)
+
+    def test_no_signal_reports_balanced(self):
+        plan = round_robin_plan(range(4), 2)
+        assert plan.skew({}) == 1.0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = workload_aware_plan({0: 100, 1: 3, 2: 2}, 2)
+        plan.move(1, plan.owner(0))
+        restored = PlacementPlan.from_dict(plan.as_dict())
+        assert restored.owner_of == plan.owner_of
+        assert restored.replicas == plan.replicas
+        assert restored.worker_count == plan.worker_count
+        assert restored.policy == plan.policy
+
+    def test_copy_is_independent(self):
+        plan = round_robin_plan([0, 1, 2], 2)
+        clone = plan.copy()
+        clone.move(0, 1)
+        assert plan.owner(0) == 0
+        assert clone.owner(0) == 1
