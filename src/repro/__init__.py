@@ -96,6 +96,12 @@ from .placement import (
     RebalanceAdvisor,
     plan_placement,
 )
+from .refragmentation import (
+    LiveRefragmenter,
+    RefragmentResult,
+    RefragmentationAdvisor,
+    measure_layout,
+)
 from .relational import Relation, edge_relation, seminaive_closure
 from .service import (
     BatchPlanner,
@@ -139,6 +145,7 @@ __all__ = [
     "KConnectivityFragmenter",
     "LRUCache",
     "LinearFragmenter",
+    "LiveRefragmenter",
     "Migration",
     "MultiprocessQueryExecutor",
     "NoChainError",
@@ -154,6 +161,8 @@ __all__ = [
     "RandomGraphConfig",
     "RandomNodeFragmenter",
     "RebalanceAdvisor",
+    "RefragmentResult",
+    "RefragmentationAdvisor",
     "Relation",
     "ReproError",
     "ResidentWorkerPool",
@@ -174,6 +183,7 @@ __all__ = [
     "generate_transportation_graph",
     "is_connected",
     "load_snapshot",
+    "measure_layout",
     "naive_transitive_closure",
     "paper_table1_config",
     "paper_table2_config",

@@ -32,17 +32,7 @@ from .disconnection import DisconnectionSetEngine, RouteReconstructingEngine
 from .exceptions import ReproError
 from .experiments import render_result, run_experiment
 from .experiments.reporting import format_table
-from .fragmentation import (
-    AdvisorConstraints,
-    BondEnergyFragmenter,
-    CenterBasedFragmenter,
-    Fragmenter,
-    HashFragmenter,
-    KConnectivityFragmenter,
-    LinearFragmenter,
-    characterize,
-    recommend,
-)
+from .fragmentation import AdvisorConstraints, Fragmenter, characterize, recommend
 from .generators import (
     RandomGraphConfig,
     TransportationGraphConfig,
@@ -50,6 +40,11 @@ from .generators import (
     generate_transportation_graph,
 )
 from .graph import DiGraph, load_json, save_json
+from .refragmentation import (
+    REFRAGMENT_ALGORITHMS,
+    RefragmentationAdvisor,
+    fragmenter_for,
+)
 from .service import (
     QueryService,
     WorkerPoolError,
@@ -58,28 +53,25 @@ from .service import (
     semiring_from_name,
 )
 
-ALGORITHMS = ("center", "center-distributed", "bond-energy", "linear", "k-connectivity", "hash", "auto")
+# The one name -> algorithm set, shared with the serving layer's refragment
+# strings so the two surfaces can never drift apart.
+ALGORITHMS = REFRAGMENT_ALGORITHMS
 SEMIRINGS = ("shortest-path", "reachability")
 
 
 def _make_fragmenter(name: str, fragment_count: int, graph: DiGraph, seed: int) -> Fragmenter:
-    """Map a CLI algorithm name to a configured fragmenter."""
-    if name == "center":
-        return CenterBasedFragmenter(fragment_count, center_selection="random", seed=seed)
-    if name == "center-distributed":
-        return CenterBasedFragmenter(fragment_count, center_selection="distributed")
-    if name == "bond-energy":
-        return BondEnergyFragmenter(fragment_count)
-    if name == "linear":
-        return LinearFragmenter(fragment_count)
-    if name == "k-connectivity":
-        return KConnectivityFragmenter(fragment_count)
-    if name == "hash":
-        return HashFragmenter(fragment_count)
-    recommendation = recommend(graph, AdvisorConstraints(processor_count=fragment_count))
-    for line in recommendation.rationale:
-        print(f"# advisor: {line}")
-    return recommendation.fragmenter
+    """Map a CLI algorithm name to a configured fragmenter.
+
+    Delegates to the shared :func:`repro.refragmentation.fragmenter_for`
+    mapping; only the ``auto`` path differs (the CLI prints the advisor's
+    rationale).
+    """
+    if name == "auto":
+        recommendation = recommend(graph, AdvisorConstraints(processor_count=fragment_count))
+        for line in recommendation.rationale:
+            print(f"# advisor: {line}")
+        return recommendation.fragmenter
+    return fragmenter_for(name, fragment_count, graph=graph, seed=seed)
 
 
 def _decode_node(value: str):
@@ -168,6 +160,8 @@ def _build_service(args: argparse.Namespace) -> QueryService:
     """Build a :class:`QueryService` from a snapshot directory or a graph JSON file."""
     source = Path(args.source)
     options = {"cache_size": args.cache_size, "workers": args.workers}
+    if getattr(args, "auto_refragment", False):
+        options["auto_refragment"] = True
     placement = getattr(args, "placement", None)
     if placement is not None:
         # An explicit "none" forces the replicated pool even when a snapshot
@@ -272,7 +266,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with _build_service(args) as service:
         print("# ready; commands: query A B | batch A B [C D ...] | update A B [W] | "
               "delete A B | stats | placement | migrate F W | rebalance | "
-              "snapshot DIR | quit")
+              "refragment [ALGO] | advise | snapshot DIR | quit")
         for line in sys.stdin:
             words = line.split()
             if not words:
@@ -322,6 +316,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             f"{migration.from_worker} -> {migration.to_worker} "
                             f"({migration.reason})"
                         )
+                elif command == "refragment" and len(rest) <= 1:
+                    redraws_before = service.stats.refragments
+                    result = service.refragment(rest[0] if rest else None)
+                    if result is not None:
+                        print(
+                            f"refragmented live: rebuilt {len(result.changed)} "
+                            f"fragment(s), kept {len(result.unchanged)}, "
+                            f"recovered {result.border_nodes_recovered()} border "
+                            f"node(s); catalog version {service.catalog_version}"
+                        )
+                    elif service.stats.refragments > redraws_before:
+                        print(
+                            "refragmented (full rebuild); catalog version "
+                            f"{service.catalog_version}"
+                        )
+                    else:
+                        print("advisor found no worthwhile redraw; layout unchanged")
+                elif command == "advise":
+                    advisor = service.refragment_advisor or RefragmentationAdvisor()
+                    fragmentation = service.database.fragmentation()
+                    assessment = advisor.assess(
+                        fragmentation,
+                        version_vector=service.version_vector,
+                        delta_log=service.database.delta_log,
+                    )
+                    for key, value in assessment.signals.as_dict().items():
+                        print(f"{key}: {value}")
+                    print(f"update_skew: {assessment.update_skew:.2f}")
+                    for line in advisor.recommend(fragmentation).rationale:
+                        print(f"# {line}")
                 elif command == "snapshot" and len(rest) == 1:
                     manifest = service.snapshot(rest[0])
                     print(f"wrote snapshot to {rest[0]} (version {manifest.version})")
@@ -402,6 +426,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "owner worker instead of replicating every fragment everywhere; "
                  "'none' forces the replicated pool even over a snapshot's "
                  "persisted plan (default: the snapshot's plan, if any)",
+        )
+        subparser.add_argument(
+            "--auto-refragment",
+            action="store_true",
+            help="watch the layout's locality (border growth, cross-fragment "
+                 "edge ratio, update skew) and redraw fragment boundaries "
+                 "live when it erodes",
         )
 
     snapshot = subparsers.add_parser(

@@ -294,24 +294,34 @@ class DistributedCatalog:
         )
         self._sites = self._build_sites(compact_sites or {})
 
+    def _build_site(self, fragment_id: int, fragmentation: Fragmentation) -> FragmentSite:
+        """Construct one site's full per-fragment state from a fragmentation.
+
+        The single place site field wiring lives: initial catalog
+        construction and the scoped refragmentation rebuild both go through
+        it, so a freshly-redrawn site can never diverge from a freshly-built
+        one.
+        """
+        neighbours = fragmentation.adjacent_fragments(fragment_id)
+        return FragmentSite(
+            fragment_id=fragment_id,
+            subgraph=fragmentation.fragment_subgraph(fragment_id),
+            border_nodes=fragmentation.border_nodes(fragment_id),
+            shortcuts=self._complementary.shortcut_edges(fragment_id, fragmentation),
+            neighbours=neighbours,
+            disconnection_sets={
+                neighbour: fragmentation.disconnection_set(fragment_id, neighbour)
+                for neighbour in neighbours
+            },
+        )
+
     def _build_sites(
         self, compact_sites: Dict[int, CompactFragmentSite]
     ) -> Dict[int, FragmentSite]:
         sites: Dict[int, FragmentSite] = {}
         for fragment in self._fragmentation.fragments:
             fragment_id = fragment.fragment_id
-            neighbours = self._fragmentation.adjacent_fragments(fragment_id)
-            site = FragmentSite(
-                fragment_id=fragment_id,
-                subgraph=self._fragmentation.fragment_subgraph(fragment_id),
-                border_nodes=self._fragmentation.border_nodes(fragment_id),
-                shortcuts=self._complementary.shortcut_edges(fragment_id, self._fragmentation),
-                neighbours=neighbours,
-                disconnection_sets={
-                    neighbour: self._fragmentation.disconnection_set(fragment_id, neighbour)
-                    for neighbour in neighbours
-                },
-            )
+            site = self._build_site(fragment_id, self._fragmentation)
             if fragment_id in compact_sites:
                 site.seed_compact(compact_sites[fragment_id])
             sites[fragment_id] = site
@@ -323,6 +333,32 @@ class DistributedCatalog:
             fragment_id: site.to_compact_site()
             for fragment_id, site in sorted(self._sites.items())
         }
+
+    def apply_refragmentation(
+        self,
+        fragmentation: Fragmentation,
+        *,
+        rebuilt: List[int],
+        dropped: List[int],
+    ) -> None:
+        """Adopt a redrawn fragment layout, rebuilding only the named sites.
+
+        The live refragmenter has already aligned the new layout's fragment
+        ids to the deployed ones and repaired the complementary information
+        in place; this swaps in the new fragmentation metadata, builds fresh
+        :class:`FragmentSite` objects for exactly the ``rebuilt`` fragments
+        (including ids that are new in this layout), removes the ``dropped``
+        ids, and leaves every other site — with its cached compact kernels —
+        object-identical.  This is the scoped replacement for the old
+        "any refragmentation rebuilds the world" path: the catalog object,
+        and with it the engine, survives the redraw.
+        """
+        self._fragmentation = fragmentation
+        self._fragmentation_graph = FragmentationGraph(fragmentation)
+        for fragment_id in dropped:
+            self._sites.pop(fragment_id, None)
+        for fragment_id in rebuilt:
+            self._sites[fragment_id] = self._build_site(fragment_id, fragmentation)
 
     def apply_incremental_update(
         self, fragmentation: Fragmentation, *, dirty_fragments: List[int]

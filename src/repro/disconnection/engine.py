@@ -177,6 +177,25 @@ class DisconnectionSetEngine:
             fragmentation, dirty_fragments=dirty_fragments
         )
 
+    def apply_refragmentation(
+        self,
+        fragmentation: "Fragmentation",
+        *,
+        rebuilt: List[int],
+        dropped: List[int],
+    ) -> None:
+        """Adopt a redrawn fragment layout without rebuilding the engine.
+
+        The live refragmenter calls this after repairing the complementary
+        information in place: the engine keeps its identity (so the serving
+        layer's planner and worker pool survive the redraw), the catalog
+        rebuilds only the named sites, and every untouched site — compact
+        kernels included — stays object-identical.
+        """
+        self._catalog.apply_refragmentation(
+            fragmentation, rebuilt=rebuilt, dropped=dropped
+        )
+
     # ------------------------------------------------------------- queries
 
     def query(self, source: Node, target: Node) -> QueryAnswer:

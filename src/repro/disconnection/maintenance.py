@@ -21,10 +21,16 @@ updates are not too frequent, this cost is amortised over many queries.
   engine is rebuilt lazily and the complementary information recomputed —
   the classic full-invalidation path, still the correctness baseline.
 
-The class deliberately does not re-run the fragmentation algorithm: the paper
-treats fragmentation design as an offline decision, and re-fragmenting on
-every update would defeat the amortisation argument.  ``refragment()`` is
-provided for explicit, operator-triggered reorganisation.
+The class deliberately does not re-run the fragmentation algorithm on every
+update: the paper treats fragmentation design as an offline decision, and
+re-fragmenting per update would defeat the amortisation argument.
+``refragment()`` is the explicit reorganisation entry point — and it is no
+longer catastrophic: with a live engine and a standard semiring the new
+layout is applied *in place* by :class:`~repro.refragmentation.live.LiveRefragmenter`
+(ids aligned so surviving fragments keep their sites, complementary
+information repaired per disconnection set, only changed fragments rebuilt),
+and the applied layout is recorded in the delta log so replicas can replay
+across the reorganisation instead of resnapshotting.
 """
 
 from __future__ import annotations
@@ -88,6 +94,8 @@ class UpdateStatistics:
     incremental_updates: int = 0
     pairs_repaired: int = 0
     rows_recomputed: int = 0
+    refragments: int = 0
+    scoped_refragments: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dictionary (for reporting)."""
@@ -100,6 +108,8 @@ class UpdateStatistics:
             "incremental_updates": self.incremental_updates,
             "pairs_repaired": self.pairs_repaired,
             "rows_recomputed": self.rows_recomputed,
+            "refragments": self.refragments,
+            "scoped_refragments": self.scoped_refragments,
         }
 
 
@@ -151,6 +161,7 @@ class FragmentedDatabase:
         self.version_vector = version_vector.copy() if version_vector else VersionVector()
         self.delta_log = DeltaLog()
         self.last_delta = None  # the AppliedDelta of the newest incremental update
+        self.last_refragment = None  # the RefragmentResult of the newest scoped redraw
         if complementary is not None:
             self._engine = DisconnectionSetEngine(
                 fragmentation,
@@ -336,24 +347,32 @@ class FragmentedDatabase:
         same sequence number (provided :meth:`DeltaLog.resume_at` aligned
         the numbering).
 
-        ``refragment`` records (and records without elementary changes)
-        cannot be replayed: the record does not carry the new fragment
-        layout, and every later record's changes name fragment ids of a
-        fragmentation this database has never seen — applying them would
-        corrupt (or index past) the local fragment edge sets.
+        ``refragment`` records carry the complete new fragment edge lists
+        (already id-aligned), so replay *crosses* a reorganisation: the
+        recorded layout is re-adopted through :meth:`refragment`, after which
+        every later record's fragment ids mean the same thing here as in the
+        source database.  Only legacy change-free records (written before
+        layouts were recorded) remain unreplayable.
 
         Returns the dirty fragment ids.
 
         Raises:
-            ValueError: for a ``refragment`` (or change-free) record; the
-                caller must resynchronise from a snapshot taken after the
-                reorganisation instead of replaying across it.
+            ValueError: for a change-free record with no recorded layout;
+                the caller must resynchronise from a snapshot taken after
+                the reorganisation instead of replaying across it.
         """
+        if record.kind == "refragment" and record.layout is not None:
+            self.refragment(
+                layout=[list(edges) for edges in record.layout],
+                algorithm=record.algorithm or "replayed",
+            )
+            replayed = self.delta_log.last()
+            return replayed.dirty_fragments if replayed is not None else ()
         if record.kind == "refragment" or not record.changes:
             raise ValueError(
                 f"cannot replay record {record.sequence} ({record.kind!r}): it "
-                "reorganised the source's fragments and carries no edge "
-                "changes — resynchronise from a snapshot taken after it"
+                "reorganised the source's fragments and carries no layout or "
+                "edge changes — resynchronise from a snapshot taken after it"
             )
         changes = list(record.changes)
         for change in changes:
@@ -375,20 +394,126 @@ class FragmentedDatabase:
         )
         return dirty
 
-    def refragment(self, fragmenter: Fragmenter) -> Fragmentation:
-        """Re-run a fragmentation algorithm over the current graph (explicit reorganisation)."""
-        fragmentation = fragmenter.fragment(self._graph.copy())
-        self._fragment_edges = [set(fragment.edges) for fragment in fragmentation.fragments]
-        self._algorithm = fragmentation.algorithm
+    def refragment(
+        self,
+        fragmenter: Optional[Fragmenter] = None,
+        *,
+        layout: Optional[List[List[Edge]]] = None,
+        algorithm: Optional[str] = None,
+        aligned: bool = True,
+    ) -> Fragmentation:
+        """Redraw the fragment boundaries over the current graph.
+
+        Either re-runs a fragmentation algorithm (``fragmenter``) or adopts
+        an explicit ``layout``: already id-aligned by default (the delta-log
+        replay path), or a raw proposal to be aligned here
+        (``aligned=False`` — how a caller executes exactly the layout an
+        advisor already computed and judged, without re-running the
+        fragmenter).  With a live engine and a standard semiring the redraw is
+        applied *in place* by the :class:`~repro.refragmentation.live.LiveRefragmenter`:
+        fragment ids are aligned to the deployed layout by edge overlap, only
+        the fragments whose edges or neighbourhood moved are rebuilt, the
+        complementary information is repaired per disconnection set, and
+        listeners receive a scoped, ``incremental=True`` event naming exactly
+        the dirty fragments.  Outside that envelope the classic full rebuild
+        applies (everything stale, epoch advanced).
+
+        Both paths append a ``refragment`` delta record carrying the aligned
+        fragment edge lists, so a replica replaying this database's log
+        follows the reorganisation instead of falling off it.
+
+        Raises:
+            ValueError: when neither ``fragmenter`` nor ``layout`` is given.
+        """
+        from ..refragmentation.live import align_layout
+
+        if layout is not None:
+            new_layout = [set(edges) for edges in layout]
+            if not aligned:
+                new_layout = align_layout(self._fragment_edges, new_layout)
+            new_algorithm = algorithm or self._algorithm
+        elif fragmenter is not None:
+            proposed = fragmenter.fragment(self._graph.copy())
+            new_layout = align_layout(
+                self._fragment_edges, [set(f.edges) for f in proposed.fragments]
+            )
+            new_algorithm = proposed.algorithm
+        else:
+            raise ValueError("refragment needs a fragmenter or an explicit layout")
+        self.statistics.refragments += 1
+        recorded_layout = tuple(
+            tuple(sorted(edges, key=repr)) for edges in new_layout
+        )
+
+        result = self._refragment_in_place(new_layout, new_algorithm)
+        if result is not None:
+            dirty = result.dirty_fragments
+            self._fragment_edges = [set(edges) for edges in new_layout]
+            self._algorithm = new_algorithm
+            self.last_delta = None
+            self.last_refragment = result
+            self._maintainer = None  # rebind to the new fragmentation lazily
+            self.statistics.scoped_refragments += 1
+            self.statistics.affected_fragment_pairs += result.pairs_recomputed
+            self.statistics.rows_recomputed += result.report.rows_recomputed
+            self.version_vector.bump_all(dirty)
+            self.delta_log.append(
+                "refragment",
+                dirty_fragments=dirty,
+                incremental=True,
+                versions={fid: self.version_vector.version_of(fid) for fid in dirty},
+                epoch=self.version_vector.epoch,
+                layout=recorded_layout,
+                algorithm=new_algorithm,
+            )
+            self._notify(
+                UpdateEvent(
+                    kind="refragment", dirty_fragments=dirty, incremental=True
+                )
+            )
+            return self.fragmentation()
+
+        # Classic path: everything is stale, the next engine() call rebuilds.
+        self._fragment_edges = [set(edges) for edges in new_layout]
+        self._algorithm = new_algorithm
         self._stale = True
         self._maintainer = None
         self.last_delta = None
+        self.last_refragment = None
         self.version_vector.advance_epoch()
         self.delta_log.append(
-            "refragment", incremental=False, epoch=self.version_vector.epoch
+            "refragment",
+            incremental=False,
+            epoch=self.version_vector.epoch,
+            layout=recorded_layout,
+            algorithm=new_algorithm,
         )
         self._notify(UpdateEvent(kind="refragment"))
         return self.fragmentation()
+
+    def _refragment_in_place(
+        self, new_layout: List[Set[Edge]], algorithm: str
+    ) -> Optional["RefragmentResult"]:
+        """Try the scoped redraw against the live engine; ``None`` means fall back."""
+        if not self._incremental or self._stale or self._engine is None:
+            return None
+        if any(not edges for edges in new_layout):
+            return None  # an empty slot would violate the Fragmentation contract
+        from ..refragmentation.live import IncrementalFallback, LiveRefragmenter
+
+        try:
+            refragmenter = LiveRefragmenter(self._engine)
+            new_fragmentation = Fragmentation(
+                self._graph, new_layout, algorithm=algorithm
+            )
+            return refragmenter.apply(new_fragmentation)
+        except IncrementalFallback:
+            return None
+        except Exception:
+            # A failure mid-apply may have half-patched the complementary
+            # information; the classic path below discards it with the
+            # engine, so correctness never depends on the scoped apply.
+            return None
 
     # ------------------------------------------------------------- internals
 

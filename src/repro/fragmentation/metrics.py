@@ -129,12 +129,22 @@ def workload_balance(fragmentation: Fragmentation) -> float:
     return mean([float(size) for size in sizes]) / float(largest)
 
 
-def total_border_nodes(fragmentation: Fragmentation) -> int:
-    """Return the number of distinct nodes that appear in any disconnection set."""
+def border_node_set(fragmentation: Fragmentation) -> set:
+    """Return the distinct nodes that appear in any disconnection set.
+
+    The single definition of "border node" shared by the table metrics, the
+    refragmentation advisor's locality signals and the live refragmenter's
+    recovery accounting.
+    """
     border = set()
     for nodes in fragmentation.disconnection_sets().values():
         border |= nodes
-    return len(border)
+    return border
+
+
+def total_border_nodes(fragmentation: Fragmentation) -> int:
+    """Return the number of distinct nodes that appear in any disconnection set."""
+    return len(border_node_set(fragmentation))
 
 
 def complementary_information_size(fragmentation: Fragmentation) -> int:

@@ -56,6 +56,12 @@ class DeltaRecord:
             means the engine fell back to a full rebuild).
         versions: the per-fragment version vector *after* the change.
         epoch: the vector epoch after the change.
+        layout: for ``refragment`` records, the complete new fragment edge
+            lists, already aligned to the post-refragment fragment ids —
+            what lets a replica replay *across* a reorganisation instead of
+            resnapshotting (``None`` on ordinary edge-change records).
+        algorithm: for ``refragment`` records, the fragmentation algorithm
+            that produced the layout.
     """
 
     sequence: int
@@ -65,6 +71,8 @@ class DeltaRecord:
     incremental: bool = False
     versions: Dict[int, int] = field(default_factory=dict)
     epoch: int = 0
+    layout: Optional[Tuple[Tuple[Tuple[Node, Node], ...], ...]] = None
+    algorithm: Optional[str] = None
 
 
 class DeltaLog:
@@ -95,6 +103,8 @@ class DeltaLog:
         incremental: bool = False,
         versions: Optional[Dict[int, int]] = None,
         epoch: int = 0,
+        layout: Optional[Tuple[Tuple[Tuple[Node, Node], ...], ...]] = None,
+        algorithm: Optional[str] = None,
     ) -> DeltaRecord:
         """Append one applied update and return its record."""
         record = DeltaRecord(
@@ -105,6 +115,8 @@ class DeltaLog:
             incremental=incremental,
             versions=dict(versions or {}),
             epoch=epoch,
+            layout=layout,
+            algorithm=algorithm,
         )
         self._next_sequence += 1
         self._records.append(record)

@@ -202,6 +202,37 @@ class PlacementPlan:
             self.replicas.pop(fragment_id, None)
         return previous
 
+    def remap(self, fragment_ids: Iterable[int]) -> "PlacementPlan":
+        """Return a plan for a redrawn fragment set, moving as little as possible.
+
+        This is the placement half of a live refragmentation: fragments that
+        survive the redraw keep their owner (and replicas) — their workers'
+        pinned state, and the processes themselves, stay put — fragments that
+        vanished are dropped, and brand-new fragment ids are assigned to the
+        workers owning the fewest fragments.  The result is a *new* plan (the
+        live pool swaps it in atomically after executing the pin changes).
+        """
+        ids = set(fragment_ids)
+        if not ids:
+            raise PlacementError("cannot remap onto an empty fragment set")
+        owner_of = {f: w for f, w in self.owner_of.items() if f in ids}
+        replicas = {
+            f: tuple(extra) for f, extra in self.replicas.items() if f in ids and extra
+        }
+        owned_counts = [0] * self.worker_count
+        for worker in owner_of.values():
+            owned_counts[worker] += 1
+        for fragment_id in sorted(ids - set(owner_of)):
+            worker = min(range(self.worker_count), key=lambda w: (owned_counts[w], w))
+            owner_of[fragment_id] = worker
+            owned_counts[worker] += 1
+        return PlacementPlan(
+            owner_of=owner_of,
+            worker_count=self.worker_count,
+            replicas=replicas,
+            policy=self.policy,
+        )
+
     def add_replica(self, fragment_id: int, worker: int) -> None:
         """Pin one extra replica of a fragment (idempotent; never the owner)."""
         if not 0 <= worker < self.worker_count:

@@ -1,0 +1,54 @@
+"""Live refragmentation: advisor-driven boundary redraws without downtime.
+
+The fragmentation decides the parallel transitive-closure cost — that is the
+paper's whole premise — yet a served layout erodes as updates land: borders
+grow, complementary information bloats, the update stream concentrates where
+the boundaries are not.  This package closes the loop:
+
+* :mod:`~repro.refragmentation.advisor` — the :class:`RefragmentationAdvisor`
+  watches delta-log / version-vector skew, border growth and cross-fragment
+  edge ratio, and recommends a concrete replacement layout (policy-pluggable,
+  reusing the :mod:`repro.fragmentation` strategies and metrics),
+* :mod:`~repro.refragmentation.live` — the :class:`LiveRefragmenter` executes
+  a redraw *in place*: ids aligned by edge overlap so surviving fragments
+  keep their sites, complementary information repaired per disconnection set
+  through the :mod:`repro.incremental` kernels, the engine (and with it the
+  serving layer's planner, caches and worker pool) kept alive.
+
+``FragmentedDatabase.refragment`` drives the scoped path and records a
+replayable ``refragment`` delta record carrying the new layout, so replicas
+can follow a reorganisation instead of resnapshotting;
+``QueryService.refragment`` / ``auto_refragment=`` wire it into serving.
+"""
+
+from .advisor import (
+    DEFAULT_BORDER_GROWTH_THRESHOLD,
+    DEFAULT_CROSS_RATIO_THRESHOLD,
+    DEFAULT_MIN_BORDER_GAIN,
+    DEFAULT_UPDATE_SKEW_THRESHOLD,
+    REFRAGMENT_ALGORITHMS,
+    LayoutSignals,
+    RefragmentationAdvice,
+    RefragmentationAdvisor,
+    RefragmentationAssessment,
+    fragmenter_for,
+    measure_layout,
+)
+from .live import LiveRefragmenter, RefragmentResult, align_layout
+
+__all__ = [
+    "DEFAULT_BORDER_GROWTH_THRESHOLD",
+    "DEFAULT_CROSS_RATIO_THRESHOLD",
+    "DEFAULT_MIN_BORDER_GAIN",
+    "DEFAULT_UPDATE_SKEW_THRESHOLD",
+    "LayoutSignals",
+    "LiveRefragmenter",
+    "REFRAGMENT_ALGORITHMS",
+    "RefragmentResult",
+    "RefragmentationAdvice",
+    "RefragmentationAdvisor",
+    "RefragmentationAssessment",
+    "align_layout",
+    "fragmenter_for",
+    "measure_layout",
+]

@@ -8,10 +8,14 @@ and exit sets are the disconnection sets, independent of the endpoints.  The
 batch planner therefore:
 
 1. deduplicates the submitted ``(source, target)`` pairs,
-2. plans each distinct query (grouping its chains), and
+2. plans each distinct query (grouping its chains),
 3. pools the local query specs of *all* chains of *all* queries into one
    duplicate-free task list, so shared subqueries are evaluated exactly once
-   and the fan-out to worker sites happens in a single round.
+   and the fan-out to worker sites happens in a single round, and
+4. under a shared-nothing placement, groups that task list per *owner
+   worker* (``owner_groups``), so the routed pool ships exactly one message
+   per owner with the whole batch's work for that owner — the batch is
+   planned placement-aware instead of placement-blind.
 
 The saved work is reported per batch (``shared_subqueries_saved``,
 ``duplicate_queries_saved``) and surfaces in the service statistics.
@@ -20,10 +24,11 @@ The saved work is reported per batch (``shared_subqueries_saved``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..disconnection.planner import QueryPlan, QueryPlanner
 from ..exceptions import NoChainError
+from ..placement import PlacementError, PlacementPlan
 from .pool import TaskKey
 
 Node = Hashable
@@ -48,6 +53,9 @@ class BatchPlan:
             total; ``spec_references - len(tasks)`` evaluations were saved.
         chain_groups: fragment chain -> indices of the distinct queries whose
             plans use that chain (the grouping that exposes the sharing).
+        owner_groups: owner worker -> the batch's tasks for that owner, in
+            task order (empty when the batch was planned without a placement
+            plan).  The routed pool ships each group as one message.
     """
 
     queries: List[Query]
@@ -58,6 +66,7 @@ class BatchPlan:
     tasks: List[TaskKey] = field(default_factory=list)
     spec_references: int = 0
     chain_groups: Dict[Tuple[int, ...], List[int]] = field(default_factory=dict)
+    owner_groups: Dict[int, List[TaskKey]] = field(default_factory=dict)
 
     def duplicate_queries_saved(self) -> int:
         """Return how many submitted queries were answered by deduplication."""
@@ -67,12 +76,31 @@ class BatchPlan:
         """Return how many local evaluations the pooled task list avoided."""
         return self.spec_references - len(self.tasks)
 
+    def owner_rounds(self) -> int:
+        """Return how many routed messages the placement-aware grouping ships."""
+        return len(self.owner_groups)
+
 
 class BatchPlanner:
-    """Plans batches of queries over a :class:`QueryPlanner`."""
+    """Plans batches of queries over a :class:`QueryPlanner`.
 
-    def __init__(self, planner: QueryPlanner) -> None:
+    Args:
+        planner: the per-query planner.
+        placement_provider: optional zero-argument callable returning the
+            live :class:`~repro.placement.plan.PlacementPlan` (or ``None``).
+            When it yields a plan, every batch is additionally grouped per
+            owner worker — consulted at plan time, so the grouping always
+            reflects the *current* placement, migrations included.
+    """
+
+    def __init__(
+        self,
+        planner: QueryPlanner,
+        *,
+        placement_provider: Optional[Callable[[], Optional[PlacementPlan]]] = None,
+    ) -> None:
         self._planner = planner
+        self._placement_provider = placement_provider
 
     def plan_batch(self, queries: Sequence[Query]) -> BatchPlan:
         """Return the shared :class:`BatchPlan` for ``queries``.
@@ -104,4 +132,14 @@ class BatchPlanner:
                     batch.spec_references += 1
                     seen_tasks.setdefault(spec.key(), None)
         batch.tasks = list(seen_tasks)
+        placement = self._placement_provider() if self._placement_provider else None
+        if placement is not None and batch.tasks:
+            try:
+                for task in batch.tasks:
+                    batch.owner_groups.setdefault(placement.owner(task[0]), []).append(task)
+            except PlacementError:
+                # A fragment the plan does not place (e.g. a query planned
+                # mid-reorganisation): fall back to placement-blind routing
+                # rather than ship a partial grouping.
+                batch.owner_groups = {}
         return batch

@@ -84,12 +84,15 @@ class PinUpdate:
             folds it into its parent-side pinned list so a worker process
             respawned later (after a crash) re-initialises from current
             state, not from the sites captured at pool start.
+        remove: the fragment no longer exists (a refragmentation dropped
+            it); workers discard their pinned copy instead of refreshing it.
     """
 
     fragment_id: int
     estimated_iterations: int
     delta: Optional[CompactDelta] = None
     payload: Optional[CompactFragmentSite] = None
+    remove: bool = False
 
     def wire(self) -> "PinUpdate":
         """Return the copy that crosses the process boundary.
@@ -102,6 +105,7 @@ class PinUpdate:
             estimated_iterations=self.estimated_iterations,
             delta=self.delta,
             payload=None if self.delta is not None else self.payload,
+            remove=self.remove,
         )
 
 
@@ -115,7 +119,10 @@ def apply_pin_updates(
     """
     refreshed = 0
     for update in updates:
-        if update.delta is not None and update.fragment_id in sites:
+        if update.remove:
+            if sites.pop(update.fragment_id, None) is not None:
+                refreshed += 1
+        elif update.delta is not None and update.fragment_id in sites:
             sites[update.fragment_id].apply_delta(update.delta, update.estimated_iterations)
             refreshed += 1
         elif update.payload is not None:
@@ -295,6 +302,13 @@ class ResidentWorkerPool:
         wire_updates = [update.wire() for update in updates]
         self._pool.map(_worker_repin, [wire_updates] * self._processes, 1)
         for update in updates:
+            if update.remove:
+                self._pinned_sites = [
+                    pinned
+                    for pinned in self._pinned_sites
+                    if pinned.fragment_id != update.fragment_id
+                ]
+                continue
             if update.payload is None:
                 continue
             for index, pinned in enumerate(self._pinned_sites):
@@ -485,6 +499,13 @@ class PlacedWorkerPool:
         self.migrations = 0
         self.respawns = 0
         self.replica_fallbacks = 0
+        # Replica version fencing: a repin reaches only the *owner* eagerly;
+        # replicas are fenced at the stale version and refreshed lazily from
+        # the coordinator mirror on their first routed read.
+        self.replica_refreshes = 0
+        self.replica_repins_deferred = 0
+        self.refragments = 0
+        self._stale_replicas: Dict[int, set] = {}
         self._start(catalog, plan)
 
     # ------------------------------------------------------------- lifecycle
@@ -496,6 +517,7 @@ class PlacedWorkerPool:
             raise PlacementError(f"placement plan does not place fragments {missing}")
         self._plan = plan.copy()
         self._workers = []
+        self._stale_replicas = {}
         for worker_index in range(self._plan.worker_count):
             pinned = {
                 fragment_id: sites[fragment_id]
@@ -546,6 +568,9 @@ class PlacedWorkerPool:
                 pass
         handle = self._spawn(worker_index, stale.pinned)
         self._workers[worker_index] = handle
+        # The fresh process pinned the current mirror, so nothing it holds is
+        # behind a fence any more.
+        self._stale_replicas.pop(worker_index, None)
         self.respawns += 1
         return handle
 
@@ -649,7 +674,12 @@ class PlacedWorkerPool:
 
     # ------------------------------------------------------------ operations
 
-    def evaluate(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
+    def evaluate(
+        self,
+        tasks: Sequence[TaskKey],
+        *,
+        owner_groups: Optional[Dict[int, List[TaskKey]]] = None,
+    ) -> Dict[TaskKey, LocalQueryResult]:
         """Route each task to its fragment's owner queue and gather the results.
 
         Routing prefers the owner; when the owner process died, a live
@@ -657,6 +687,12 @@ class PlacedWorkerPool:
         coordinator's pinned mirror) for the next round.  Mid-flight worker
         deaths are detected while waiting and the lost tasks are resubmitted
         to the respawned owner, so a crash costs latency, never answers.
+
+        ``owner_groups`` is the placement-aware batch planner's pre-computed
+        worker -> tasks grouping: groups whose worker is alive and still pins
+        every named fragment ship as-is (one message per owner, no
+        re-derivation), anything else falls back to live routing — a batch
+        planned just before a migration or a crash still lands correctly.
 
         Raises:
             WorkerPoolError: when the pool is closed, a fragment is not
@@ -670,12 +706,18 @@ class PlacedWorkerPool:
         self.last_route_counts = {}
         if not tasks:
             return results
-        groups = self._route(tasks)
+        if owner_groups is not None:
+            groups = self._adopt_groups(owner_groups)
+        else:
+            groups = self._route(tasks)
         request_id = self._request_id()
         # Per-owner accounting counts *tasks* (the unit of local work), never
         # messages: one routed message may batch many subqueries.
         self.last_route_counts = {w: len(ts) for w, ts in groups.items()}
         for worker_index, worker_tasks in groups.items():
+            # Fenced replicas refresh from the mirror before the read; queue
+            # order guarantees the pin applies before the evaluate.
+            self._refresh_fenced(worker_index, {task[0] for task in worker_tasks})
             self._workers[worker_index].queue.put(("evaluate", request_id, worker_tasks))
             self.queue_depth_peak = max(self.queue_depth_peak, len(worker_tasks))
         replies = self._collect(
@@ -693,31 +735,59 @@ class PlacedWorkerPool:
         return results
 
     def repin(self, updates: Sequence[PinUpdate]) -> None:
-        """Refresh dirty fragments on their owner(s) only — no broadcast.
+        """Refresh dirty fragments on their owner only — replicas are fenced.
 
         This is the shared-nothing counterpart of
         :meth:`ResidentWorkerPool.repin`: instead of a barrier broadcast to
-        every worker, each update travels only to the workers that actually
-        pin the fragment (its owner plus any replicas), so update cost
-        scales with the dirty fragments' replication, not the pool size.
+        every worker, each update travels eagerly only to the fragment's
+        *owner* — the worker every read routes to — so a hot fragment's
+        update cost stays O(1) however widely it is replicated.  Replica
+        processes keep serving their old version behind a fence: the
+        coordinator mirror records the new payload, the replica is marked
+        stale, and the first routed read that actually falls back to it
+        (owner death) refreshes it from the mirror before the read runs.
         """
         if not self._running:
             raise WorkerPoolError("the placed worker pool has been closed")
         if not updates:
             return
-        groups: Dict[int, List[PinUpdate]] = {}
+        owner_groups: Dict[int, List[PinUpdate]] = {}
         for update in updates:
-            for worker_index in self._plan.workers_for(update.fragment_id):
-                groups.setdefault(worker_index, []).append(update)
+            workers = self._plan.workers_for(update.fragment_id)
+            if len(workers) > 1 and update.payload is None and not update.remove:
+                # The fence (and the lazy refresh behind it, and a respawn)
+                # serves from the coordinator mirror, which only a payload
+                # can refresh; applying a bare delta to a possibly-stale
+                # replica would corrupt it silently.
+                raise WorkerPoolError(
+                    f"re-pinning replicated fragment {update.fragment_id} "
+                    "requires a full payload, not just a delta"
+                )
+            owner = workers[0]
+            owner_groups.setdefault(owner, []).append(update)
+            for replica in workers[1:]:
+                # Mirror now, process later: the replica's live state is
+                # fenced at its old version until a routed read needs it.
+                if update.remove:
+                    self._workers[replica].pinned.pop(update.fragment_id, None)
+                else:
+                    self._workers[replica].pinned[update.fragment_id] = update.payload
+                self._stale_replicas.setdefault(replica, set()).add(update.fragment_id)
+                self.replica_repins_deferred += 1
         request_id = self._request_id()
         targets: List[int] = []
-        for worker_index, worker_updates in groups.items():
+        for worker_index, worker_updates in owner_groups.items():
             handle = self._workers[worker_index]
             # The coordinator mirror is refreshed regardless of process
             # health: a dead owner respawns from this mirror later.
             for update in worker_updates:
-                if update.payload is not None:
+                if update.remove:
+                    handle.pinned.pop(update.fragment_id, None)
+                elif update.payload is not None:
                     handle.pinned[update.fragment_id] = update.payload
+            self._stale_replicas.get(worker_index, set()).difference_update(
+                update.fragment_id for update in worker_updates
+            )
             if not handle.is_alive():
                 continue
             handle.queue.put(("repin", request_id, [u.wire() for u in worker_updates]))
@@ -726,7 +796,7 @@ class PlacedWorkerPool:
         self.repins += 1
         self.repinned_fragments += len(updates)
         self.repin_messages += len(targets)
-        self.last_repin_workers = tuple(sorted(groups))
+        self.last_repin_workers = tuple(sorted(owner_groups))
 
     def migrate(self, fragment_id: int, to_worker: int) -> bool:
         """Move a fragment's compact state to ``to_worker`` — live, no restart.
@@ -773,11 +843,15 @@ class PlacedWorkerPool:
         request_id = self._request_id()
         destination.queue.put(("pin", request_id, [payload]))
         self._collect(request_id, [to_worker], resubmit=None)
+        # The destination just pinned the mirror's current payload: whatever
+        # fence it carried for this fragment is satisfied.
+        self._stale_replicas.get(to_worker, set()).discard(fragment_id)
         self._plan.move(fragment_id, to_worker)
         # move() always takes the fragment off its previous owner entirely
         # (a destination replica is absorbed into ownership, never the other
         # way around), so the source unpins unconditionally.
         source.pinned.pop(fragment_id, None)
+        self._stale_replicas.get(from_worker, set()).discard(fragment_id)
         if source.is_alive():
             request_id = self._request_id()
             source.queue.put(("unpin", request_id, [fragment_id]))
@@ -785,11 +859,136 @@ class PlacedWorkerPool:
         self.migrations += 1
         return True
 
+    def apply_refragmentation(
+        self, updates: Sequence[PinUpdate], new_plan: PlacementPlan
+    ) -> None:
+        """Execute a live boundary redraw: scoped pin changes, then the new plan.
+
+        ``updates`` carries the rebuilt fragments' full payloads plus
+        ``remove`` markers for fragments the redraw dropped; ``new_plan`` is
+        the remapped placement (surviving fragments keep their owners — see
+        :meth:`PlacementPlan.remap`).  Each rebuilt fragment ships to its
+        (new) owner only, with replicas fenced exactly like an ordinary
+        repin; dropped fragments are unpinned from every worker holding
+        them.  Worker processes are never restarted — unchanged fragments
+        stay pinned where they are, warm state and PIDs intact.  Dead
+        workers are skipped (their mirrors are refreshed, so the eventual
+        respawn pins current state).
+
+        Raises:
+            WorkerPoolError: when the pool is closed.
+        """
+        if not self._running:
+            raise WorkerPoolError("the placed worker pool has been closed")
+        old_plan = self._plan
+        groups: Dict[int, List[PinUpdate]] = {}
+        for update in updates:
+            fragment_id = update.fragment_id
+            if update.remove:
+                # Unpin everywhere the old plan put it; the fragment id no
+                # longer exists, so there is nothing to fence.
+                for worker_index in range(len(self._workers)):
+                    handle = self._workers[worker_index]
+                    if handle.pinned.pop(fragment_id, None) is not None:
+                        groups.setdefault(worker_index, []).append(update)
+                    stale = self._stale_replicas.get(worker_index)
+                    if stale:
+                        stale.discard(fragment_id)
+                continue
+            workers = new_plan.workers_for(fragment_id)
+            owner = workers[0]
+            self._workers[owner].pinned[fragment_id] = update.payload
+            self._stale_replicas.get(owner, set()).discard(fragment_id)
+            groups.setdefault(owner, []).append(update)
+            for replica in workers[1:]:
+                self._workers[replica].pinned[fragment_id] = update.payload
+                self._stale_replicas.setdefault(replica, set()).add(fragment_id)
+                self.replica_repins_deferred += 1
+            # The redraw may have re-owned the fragment (a created id landing
+            # on a new worker): the old owner no longer pins it.
+            try:
+                previous = old_plan.owner(fragment_id)
+            except PlacementError:
+                previous = None
+            if previous is not None and previous not in workers:
+                handle = self._workers[previous]
+                if handle.pinned.pop(fragment_id, None) is not None:
+                    groups.setdefault(previous, []).append(
+                        PinUpdate(fragment_id=fragment_id, estimated_iterations=0, remove=True)
+                    )
+        request_id = self._request_id()
+        targets: List[int] = []
+        for worker_index, worker_updates in groups.items():
+            handle = self._workers[worker_index]
+            if not handle.is_alive():
+                continue
+            handle.queue.put(("repin", request_id, [u.wire() for u in worker_updates]))
+            targets.append(worker_index)
+        self._collect(request_id, targets, resubmit=None)
+        self._plan = new_plan.copy()
+        self.refragments += 1
+        self.repinned_fragments += len(updates)
+        self.repin_messages += len(targets)
+        self.last_repin_workers = tuple(sorted(groups))
+
     # ------------------------------------------------------------- internals
 
     def _request_id(self) -> int:
         self._next_request_id += 1
         return self._next_request_id
+
+    def _adopt_groups(
+        self, owner_groups: Dict[int, List[TaskKey]]
+    ) -> Dict[int, List[TaskKey]]:
+        """Validate a pre-computed batch grouping against the live pool.
+
+        A group ships untouched when its worker index is in range, the
+        process is alive, and the worker pins every fragment the group
+        names; otherwise its tasks re-route live (owner first, replica
+        fallback, respawn) exactly like un-grouped evaluation.
+        """
+        groups: Dict[int, List[TaskKey]] = {}
+        stragglers: List[TaskKey] = []
+        for worker_index, worker_tasks in owner_groups.items():
+            usable = (
+                0 <= worker_index < len(self._workers)
+                and self._workers[worker_index].is_alive()
+                and all(
+                    task[0] in self._workers[worker_index].pinned
+                    for task in worker_tasks
+                )
+            )
+            if usable:
+                groups.setdefault(worker_index, []).extend(worker_tasks)
+            else:
+                stragglers.extend(worker_tasks)
+        if stragglers:
+            for worker_index, worker_tasks in self._route(stragglers).items():
+                groups.setdefault(worker_index, []).extend(worker_tasks)
+        return groups
+
+    def _refresh_fenced(self, worker_index: int, fragment_ids: set) -> None:
+        """Push mirror payloads for fenced fragments ahead of a routed read."""
+        stale = self._stale_replicas.get(worker_index)
+        if not stale:
+            return
+        needed = sorted(stale & fragment_ids)
+        if not needed:
+            return
+        handle = self._workers[worker_index]
+        if not handle.is_alive():
+            return  # the respawn pins the fresh mirror anyway
+        refresh = [handle.pinned[fid] for fid in needed if fid in handle.pinned]
+        drop = [fid for fid in needed if fid not in handle.pinned]
+        if refresh:
+            # The reply is intentionally not awaited: queue order guarantees
+            # the pin applies before the evaluate behind it, and _collect
+            # discards the out-of-band "pinned" acknowledgement.
+            handle.queue.put(("pin", self._request_id(), refresh))
+            self.replica_refreshes += len(refresh)
+        if drop:
+            handle.queue.put(("unpin", self._request_id(), drop))
+        stale.difference_update(needed)
 
     def _route(self, tasks: Sequence[TaskKey]) -> Dict[int, List[TaskKey]]:
         """Group tasks by the worker that will run them (owner, else replica)."""

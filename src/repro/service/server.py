@@ -53,7 +53,7 @@ from ..disconnection import (
 )
 from ..disconnection.maintenance import UpdateEvent
 from ..disconnection.planner import LocalQuerySpec
-from ..fragmentation import Fragmentation
+from ..fragmentation import Fragmentation, Fragmenter
 from ..incremental import DeltaLog, VersionVector
 from ..placement import (
     PLACEMENT_POLICIES,
@@ -62,6 +62,11 @@ from ..placement import (
     PlacementPlan,
     RebalanceAdvisor,
     plan_placement,
+)
+from ..refragmentation import (
+    RefragmentationAdvisor,
+    RefragmentResult,
+    fragmenter_for,
 )
 from .batch import BatchPlanner
 from .cache import CachedAnswer, CacheKey, LRUCache
@@ -79,6 +84,10 @@ Node = Hashable
 Query = Tuple[Node, Node]
 PathLike = Union[str, Path]
 WorkerPool = Union[ResidentWorkerPool, PlacedWorkerPool]
+
+# After the advisor's recommendation fails the worthwhile bar, skip this many
+# check intervals before paying for trial-run recommendations again.
+_REFRAGMENT_REJECTION_BACKOFF = 4
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,15 @@ class QueryService:
         delta_sequence: seed the delta log's numbering (wired by
             ``from_snapshot`` so replayed tail records keep their original
             sequence numbers).
+        auto_refragment: watch the layout's locality and redraw boundaries
+            automatically.  ``True`` installs a default
+            :class:`~repro.refragmentation.RefragmentationAdvisor`; an
+            advisor instance installs it as configured.  Every
+            ``refragment_check_interval`` applied updates the advisor
+            assesses the layout (border growth, cross-fragment edge ratio,
+            update skew) and — when triggered and a measured improvement
+            exists — executes :meth:`refragment` live.
+        refragment_check_interval: applied updates between advisor checks.
     """
 
     def __init__(
@@ -167,6 +185,8 @@ class QueryService:
         incremental: bool = True,
         version_vector: Optional[VersionVector] = None,
         delta_sequence: int = 0,
+        auto_refragment: Union[bool, RefragmentationAdvisor] = False,
+        refragment_check_interval: int = 32,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         if isinstance(placement, str) and placement not in PLACEMENT_POLICIES:
@@ -221,6 +241,23 @@ class QueryService:
         self._current_engine: Optional[DisconnectionSetEngine] = None
         self._planner: Optional[QueryPlanner] = None
         self._batch_planner: Optional[BatchPlanner] = None
+        if refragment_check_interval <= 0:
+            raise ValueError(
+                f"refragment_check_interval must be positive, got {refragment_check_interval}"
+            )
+        self._refragment_check_interval = refragment_check_interval
+        self._updates_at_last_check = 0
+        self._refragment_backoff_until = 0
+        if auto_refragment is True:
+            self._refragment_advisor: Optional[RefragmentationAdvisor] = (
+                RefragmentationAdvisor()
+            )
+        elif isinstance(auto_refragment, RefragmentationAdvisor):
+            self._refragment_advisor = auto_refragment
+        else:
+            self._refragment_advisor = None
+        if self._refragment_advisor is not None and self._refragment_advisor.baseline is None:
+            self._refragment_advisor.observe(fragmentation)
         self._refresh_engine()
 
     # ---------------------------------------------------------- constructors
@@ -247,14 +284,18 @@ class QueryService:
         database: the snapshot records the delta sequence it was taken at,
         and every newer record in the given log is re-applied through the
         incremental maintainer — so a replica that restores an old snapshot
-        converges on the live state without forcing a fresh snapshot.
+        converges on the live state without forcing a fresh snapshot.  The
+        tail may contain ``refragment`` records: they carry the complete
+        aligned layout, so the replica follows the reorganisation (and every
+        later record's fragment ids line up) instead of resnapshotting.
 
         Raises:
             ValueError: when ``replay_log`` no longer retains the records
                 after the snapshot's sequence (the restore fell off the
-                log's tail), or the tail contains a ``refragment`` record —
-                those reorganise fragment ids in ways a replica cannot
-                reconstruct; resynchronise from a newer snapshot either way.
+                log's tail), or the tail contains a legacy ``refragment``
+                record written before layouts were recorded — that one
+                cannot be reconstructed; resynchronise from a newer
+                snapshot either way.
         """
         loaded = load_snapshot(directory)
         kwargs.setdefault("compact_sites", loaded.compact_sites)
@@ -273,14 +314,18 @@ class QueryService:
                 kwargs.setdefault("placement", loaded.placement_plan)
         if replay_log is not None:
             # Fail before doing any restore work when the tail is gone or
-            # crosses a refragmentation (unreplayable — see replay_record).
+            # contains a record replay cannot reconstruct (a legacy
+            # refragment without a recorded layout — see replay_record).
             tail = replay_log.records_since(loaded.delta_sequence)
             for record in tail:
-                if record.kind == "refragment" or not record.changes:
+                replayable_refragment = (
+                    record.kind == "refragment" and record.layout is not None
+                )
+                if not replayable_refragment and not record.changes:
                     raise ValueError(
                         f"the replay tail contains record {record.sequence} "
-                        f"({record.kind!r}), which reorganised the source's "
-                        "fragments; resynchronise from a snapshot taken after it"
+                        f"({record.kind!r}) with no recorded layout or edge "
+                        "changes; resynchronise from a snapshot taken after it"
                     )
         service = cls(
             loaded.fragmentation,
@@ -342,6 +387,17 @@ class QueryService:
     def version_vector(self) -> VersionVector:
         """The per-fragment version vector scoped invalidation runs on."""
         return self._database.version_vector
+
+    @property
+    def refragment_advisor(self) -> Optional[RefragmentationAdvisor]:
+        """The installed auto-refragmentation advisor (``None`` when disabled).
+
+        This is the advisor — with its deployment baseline — that
+        ``auto_refragment`` consults; surfacing it lets operators (the CLI's
+        ``advise`` command) see exactly the signals the automatic path acts
+        on.
+        """
+        return self._refragment_advisor
 
     @property
     def placement_plan(self) -> Optional[PlacementPlan]:
@@ -457,7 +513,15 @@ class QueryService:
         if pending:
             assert self._batch_planner is not None
             batch = self._batch_planner.plan_batch(pending)
-            results = self._evaluate_tasks(batch.tasks)
+            if batch.owner_groups:
+                # Placement-aware batch: the planner grouped the whole
+                # batch's tasks per owner, so the routed pool ships exactly
+                # one message round per owner instead of re-deriving routes.
+                self._stats.placement_aware_batches += 1
+                self._stats.batch_owner_rounds += batch.owner_rounds()
+            results = self._evaluate_tasks(
+                batch.tasks, owner_groups=batch.owner_groups or None
+            )
             self._stats.shared_subqueries_saved += batch.shared_subqueries_saved()
             for index, query in enumerate(batch.unique_queries):
                 source, target = query
@@ -509,13 +573,115 @@ class QueryService:
         Inserts the edge when it does not exist, reweights it when it does,
         and deletes it with ``delete=True``.  The registered update hook
         bumps the catalog version and flushes the result cache, so stale
-        answers can never be served.
+        answers can never be served.  With ``auto_refragment`` enabled, every
+        ``refragment_check_interval``-th update also asks the advisor
+        whether the layout's locality has eroded enough to redraw.
         """
         if delete:
-            return self._database.delete_edge(source, target, symmetric=symmetric)
-        if self._database.graph.has_edge(source, target):
-            return self._database.update_edge_weight(source, target, weight)
-        return self._database.insert_edge(source, target, weight, symmetric=symmetric)
+            owner = self._database.delete_edge(source, target, symmetric=symmetric)
+        elif self._database.graph.has_edge(source, target):
+            owner = self._database.update_edge_weight(source, target, weight)
+        else:
+            owner = self._database.insert_edge(source, target, weight, symmetric=symmetric)
+        self._maybe_auto_refragment()
+        return owner
+
+    # -------------------------------------------------------- refragmentation
+
+    def refragment(
+        self,
+        fragmenter: Optional[Union[str, Fragmenter]] = None,
+        *,
+        fragment_count: Optional[int] = None,
+        advisor: Optional[RefragmentationAdvisor] = None,
+    ) -> Optional[RefragmentResult]:
+        """Redraw the fragment boundaries over the live graph, in place.
+
+        ``fragmenter`` may be a configured
+        :class:`~repro.fragmentation.Fragmenter`, an algorithm name
+        (``"auto"``, ``"bond-energy"``, ``"linear"``, ...) or ``None`` — the
+        default asks the (given or installed) refragmentation advisor for a
+        recommended layout.  With a live engine and a standard semiring the
+        redraw is scoped: fragment ids are aligned so surviving fragments
+        keep their sites, only changed fragments are rebuilt and re-pinned,
+        a routed pool keeps its workers (unchanged fragments stay pinned on
+        the same PIDs) under a remapped plan, and the delta log records the
+        layout so replicas can replay across it.  Outside that envelope the
+        classic full rebuild applies.
+
+        Returns the :class:`~repro.refragmentation.RefragmentResult` of a
+        scoped redraw, or ``None`` when the full-rebuild path ran — or when
+        the advisor path found no worthwhile candidate and left the layout
+        untouched (distinguish via ``stats.refragments``).
+        """
+        self._refresh_engine()
+        database = self._database
+        if fragmenter is None:
+            chooser = advisor or self._refragment_advisor or RefragmentationAdvisor()
+            advice = chooser.recommend(
+                database.fragmentation(), fragment_count=fragment_count
+            )
+            if not advice.worthwhile:
+                # The advisor's contract: a redraw is a measured improvement.
+                # A candidate that does not shrink the border set is not
+                # executed — the deployed layout stays.
+                return None
+            return self._apply_advice(advice)
+        if isinstance(fragmenter, str):
+            count = fragment_count or database.fragmentation().fragment_count()
+            chosen: Fragmenter = fragmenter_for(fragmenter, count, graph=database.graph)
+        else:
+            chosen = fragmenter
+        database.refragment(chosen)  # the update listener evicts and re-pins
+        result = database.last_refragment
+        self._refresh_engine()  # full-rebuild path: rebuild (and restart the pool) now
+        return result
+
+    def _apply_advice(self, advice) -> Optional[RefragmentResult]:
+        """Execute exactly the layout an advisor judged worthwhile.
+
+        Not a re-run of the fragmenter: that would cost another full
+        fragmentation pass and — for a nondeterministic fragmenter — could
+        apply a layout that was never measured.
+        """
+        self._database.refragment(
+            layout=[list(f.edges) for f in advice.proposed.fragments],
+            algorithm=advice.proposed.algorithm,
+            aligned=False,
+        )
+        result = self._database.last_refragment
+        self._refresh_engine()  # full-rebuild path: rebuild (and restart the pool) now
+        return result
+
+    def _maybe_auto_refragment(self) -> None:
+        advisor = self._refragment_advisor
+        if advisor is None:
+            return
+        applied = self._stats.updates_applied
+        if applied - self._updates_at_last_check < self._refragment_check_interval:
+            return
+        self._updates_at_last_check = applied
+        if applied < self._refragment_backoff_until:
+            # A persistently-triggered assessment whose candidates keep
+            # failing the worthwhile bar must not pay the trial-run
+            # recommendation on every interval: back off after a rejection.
+            return
+        fragmentation = self._database.fragmentation()
+        assessment = advisor.assess(
+            fragmentation,
+            version_vector=self._database.version_vector,
+            delta_log=self._database.delta_log,
+        )
+        if not assessment.triggered:
+            return
+        advice = advisor.recommend(fragmentation, current_signals=assessment.signals)
+        if advice.worthwhile:
+            self._refragment_backoff_until = 0
+            self._apply_advice(advice)
+        else:
+            self._refragment_backoff_until = (
+                applied + _REFRAGMENT_REJECTION_BACKOFF * self._refragment_check_interval
+            )
 
     # ------------------------------------------------------------- placement
 
@@ -648,6 +814,9 @@ class QueryService:
 
     def _on_update(self, event: UpdateEvent) -> None:
         self._stats.invalidations += 1
+        if event.kind == "refragment":
+            self._on_refragment(event)
+            return
         self._stats.updates_applied += 1
         if event.incremental and event.dirty_fragments:
             # Scoped invalidation: the maintainer absorbed the change in
@@ -666,6 +835,79 @@ class QueryService:
         # and every pinned worker payload is stale (the pool restarts when
         # _refresh_engine notices the new engine object).
         self._stats.cache_entries_evicted += self._cache.clear()
+
+    def _on_refragment(self, event: UpdateEvent) -> None:
+        """Absorb a boundary redraw: scoped eviction + live re-pins when possible."""
+        self._stats.refragments += 1
+        if self._refragment_advisor is not None:
+            # The redraw is the new normal: growth is measured against it.
+            # Re-observing here (the update listener) covers every path a
+            # redraw can arrive by — refragment(), delta-log replay, or a
+            # direct database.refragment().
+            self._refragment_advisor.observe(self._database.fragmentation())
+        result = self._database.last_refragment
+        if event.incremental and event.dirty_fragments and result is not None:
+            dirty = set(event.dirty_fragments)
+            evicted = self._cache.evict_where(
+                lambda key, entry: entry.depends_on(dirty)  # type: ignore[union-attr]
+            )
+            self._stats.scoped_invalidations += 1
+            self._stats.cache_entries_evicted += evicted
+            self._stats.scoped_refragments += 1
+            self._stats.refragment_fragments_rebuilt += len(result.changed)
+            self._stats.refragment_fragments_kept += len(result.unchanged)
+            self._stats.refragment_moved_edges += result.moved_edges
+            self._stats.border_nodes_recovered += result.border_nodes_recovered()
+            self._repin_refragment(result)
+            return
+        # Full-rebuild redraw: every answer and every pinned payload is
+        # stale; the pool restarts when _refresh_engine sees the new engine.
+        # A pinned explicit plan must still follow the new fragment ids — a
+        # pool built *after* this redraw starts from self._placement, and a
+        # plan missing the redrawn ids would refuse to start.
+        if isinstance(self._placement, PlacementPlan):
+            count = self._database.fragmentation().fragment_count()
+            self._placement = self._placement.remap(range(count))
+        self._stats.cache_entries_evicted += self._cache.clear()
+
+    def _repin_refragment(self, result: RefragmentResult) -> None:
+        """Push a scoped redraw's rebuilt fragments into the live pool."""
+        engine = self._current_engine
+        assert engine is not None
+        catalog = engine.catalog
+        surviving = [site.fragment_id for site in catalog.sites()]
+        if self._pool is None:
+            if isinstance(self._placement, PlacementPlan):
+                # Keep the pinned (not-yet-started) plan shaped like the new
+                # layout, owners of surviving fragments preserved.
+                self._placement = self._placement.remap(surviving)
+            return
+        updates: List[PinUpdate] = []
+        for fragment_id in result.changed:
+            site = catalog.site(fragment_id)
+            updates.append(
+                PinUpdate(
+                    fragment_id=fragment_id,
+                    estimated_iterations=site.local_iterations(),
+                    payload=site.to_compact_site(),
+                )
+            )
+        for fragment_id in result.dropped:
+            updates.append(
+                PinUpdate(fragment_id=fragment_id, estimated_iterations=0, remove=True)
+            )
+        try:
+            if isinstance(self._pool, PlacedWorkerPool):
+                new_plan = self._pool.plan.remap(surviving)
+                self._pool.apply_refragmentation(updates, new_plan)
+                if isinstance(self._placement, PlacementPlan):
+                    self._placement = new_plan
+            else:
+                self._pool.repin(updates)
+        except Exception:
+            # A broken apply (dead worker mid-redraw, barrier timeout) must
+            # not leave half-reorganised replicas behind.
+            self._pool.restart(engine.catalog)
 
     def _repin_dirty(self, dirty_fragments: List[int]) -> None:
         """Push the dirty fragments' new state into the resident workers."""
@@ -689,19 +931,37 @@ class QueryService:
                     payload=site.to_compact_site(),
                 )
             )
+        placed = isinstance(self._pool, PlacedWorkerPool)
+        deferred_before = self._pool.replica_repins_deferred if placed else 0
         try:
             self._pool.repin(updates)
+            if placed:
+                self._stats.replica_repins_deferred += (
+                    self._pool.replica_repins_deferred - deferred_before
+                )
         except Exception:
             # A broken broadcast (dead worker, barrier timeout) must not
             # leave stale replicas behind: fall back to a full restart.
             self._pool.restart(engine.catalog)
+
+    def _live_placement_plan(self) -> Optional[PlacementPlan]:
+        """The batch planner's view of the current placement (``None`` = blind)."""
+        if self._placement is None or not self._workers:
+            # In-process evaluation never consumes owner groups: planning
+            # them (and reporting placement-aware batches) would be noise.
+            return None
+        if isinstance(self._pool, PlacedWorkerPool):
+            return self._pool.plan
+        return self.placement_plan
 
     def _refresh_engine(self) -> DisconnectionSetEngine:
         engine = self._database.engine()
         if engine is not self._current_engine:
             self._current_engine = engine
             self._planner = QueryPlanner(engine.catalog, max_chains=self._max_chains)
-            self._batch_planner = BatchPlanner(self._planner)
+            self._batch_planner = BatchPlanner(
+                self._planner, placement_provider=self._live_placement_plan
+            )
             if self._pool is not None:
                 self._pool.restart(engine.catalog)
         return engine
@@ -720,13 +980,20 @@ class QueryService:
         self._pool = PlacedWorkerPool(engine.catalog, plan)
         return self._pool
 
-    def _evaluate_tasks(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
+    def _evaluate_tasks(
+        self,
+        tasks: Sequence[TaskKey],
+        *,
+        owner_groups: Optional[Dict[int, List[TaskKey]]] = None,
+    ) -> Dict[TaskKey, LocalQueryResult]:
         engine = self._current_engine
         assert engine is not None
         if self._workers:
             pool = self._ensure_pool()
-            results = pool.evaluate(tasks)
             if isinstance(pool, PlacedWorkerPool):
+                refreshes_before = pool.replica_refreshes
+                results = pool.evaluate(tasks, owner_groups=owner_groups)
+                self._stats.replica_refreshes += pool.replica_refreshes - refreshes_before
                 # Per-owner load comes from the pool's actual routing (which
                 # may differ from plan ownership when a replica or respawned
                 # worker ran a task), accumulated here so it survives pool
@@ -738,6 +1005,8 @@ class QueryService:
                 self._stats.observe_owner_queues(
                     owner_count=pool.worker_count, queue_depth_peak=pool.queue_depth_peak
                 )
+            else:
+                results = pool.evaluate(tasks)
         else:
             results = {}
             for key in tasks:

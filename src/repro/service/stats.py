@@ -48,6 +48,23 @@ class ServiceStatistics:
         queue_depth_peak: the largest per-owner task batch observed (the
             routed pool's queue-depth high-water mark).
         migrations: live fragment migrations applied (rebalancing).
+        placement_aware_batches: batches whose tasks were pre-grouped per
+            owner by the batch planner (one routed message per owner).
+        batch_owner_rounds: total per-owner messages those groupings shipped.
+        refragments: boundary redraws applied through the service (scoped
+            and full-rebuild alike).
+        scoped_refragments: redraws absorbed in place — only changed
+            fragments rebuilt, workers kept alive.
+        refragment_fragments_rebuilt / refragment_fragments_kept: fragments
+            rebuilt vs kept object-identical across all scoped redraws.
+        refragment_moved_edges: edges re-shipped by scoped redraws (what a
+            full rebuild would multiply by every fragment).
+        border_nodes_recovered: cumulative reduction in distinct border
+            nodes across redraws — the locality the advisor's redraws won
+            back (negative contributions count too).
+        replica_refreshes: fenced replicas lazily refreshed on first routed
+            read (replica version fencing).
+        replica_repins_deferred: eager replica re-pins the fencing avoided.
         total_latency / max_latency: wall-clock seconds spent answering
             queries (cache hits included — they are what the cache buys).
     """
@@ -72,6 +89,16 @@ class ServiceStatistics:
     owner_count: int = 0
     queue_depth_peak: int = 0
     migrations: int = 0
+    placement_aware_batches: int = 0
+    batch_owner_rounds: int = 0
+    refragments: int = 0
+    scoped_refragments: int = 0
+    refragment_fragments_rebuilt: int = 0
+    refragment_fragments_kept: int = 0
+    refragment_moved_edges: int = 0
+    border_nodes_recovered: int = 0
+    replica_refreshes: int = 0
+    replica_repins_deferred: int = 0
     total_latency: float = 0.0
     max_latency: float = 0.0
 
@@ -155,6 +182,16 @@ class ServiceStatistics:
             "dispatch_skew": round(self.dispatch_skew(), 4),
             "queue_depth_peak": self.queue_depth_peak,
             "migrations": self.migrations,
+            "placement_aware_batches": self.placement_aware_batches,
+            "batch_owner_rounds": self.batch_owner_rounds,
+            "refragments": self.refragments,
+            "scoped_refragments": self.scoped_refragments,
+            "refragment_fragments_rebuilt": self.refragment_fragments_rebuilt,
+            "refragment_fragments_kept": self.refragment_fragments_kept,
+            "refragment_moved_edges": self.refragment_moved_edges,
+            "border_nodes_recovered": self.border_nodes_recovered,
+            "replica_refreshes": self.replica_refreshes,
+            "replica_repins_deferred": self.replica_repins_deferred,
             "average_latency": self.average_latency(),
             "max_latency": self.max_latency,
         }

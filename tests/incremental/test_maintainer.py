@@ -217,17 +217,38 @@ class TestFallbacks:
         assert database.version_vector.epoch == epoch + 1
         assert database.delta_log.last().incremental is False
 
-    def test_refragment_advances_the_epoch(self):
+    def test_scoped_refragment_bumps_versions_not_the_epoch(self):
         from repro.fragmentation import CenterBasedFragmenter
 
         graph = two_cluster_dumbbell(4, bridge_nodes=1)
         fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
         database = FragmentedDatabase(fragmentation, incremental=True)
+        engine = database.engine()
+        epoch = database.version_vector.epoch
+        database.refragment(CenterBasedFragmenter(2, center_selection="distributed"))
+        # A live redraw is absorbed in place: the engine survives, only the
+        # dirty fragments' versions move, and the record carries the layout.
+        assert database.version_vector.epoch == epoch
+        assert database.engine() is engine
+        record = database.delta_log.last()
+        assert record.kind == "refragment"
+        assert record.incremental is True
+        assert record.layout is not None
+
+    def test_full_rebuild_refragment_advances_the_epoch(self):
+        from repro.fragmentation import CenterBasedFragmenter
+
+        graph = two_cluster_dumbbell(4, bridge_nodes=1)
+        fragmentation = GroundTruthFragmenter([set(range(4)), set(range(4, 8))]).fragment(graph)
+        database = FragmentedDatabase(fragmentation)  # incremental off
         database.engine()
         epoch = database.version_vector.epoch
         database.refragment(CenterBasedFragmenter(2, center_selection="distributed"))
         assert database.version_vector.epoch == epoch + 1
-        assert database.delta_log.last().kind == "refragment"
+        record = database.delta_log.last()
+        assert record.kind == "refragment"
+        assert record.incremental is False
+        assert record.layout is not None  # replayable even on the classic path
 
 
 class TestPostEmptyConsistency:

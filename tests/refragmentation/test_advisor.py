@@ -1,0 +1,158 @@
+"""Tests for the refragmentation advisor's signals, triggers and advice."""
+
+import pytest
+
+from repro.fragmentation import (
+    BondEnergyFragmenter,
+    GroundTruthFragmenter,
+    HashFragmenter,
+    LinearFragmenter,
+)
+from repro.graph import DiGraph
+from repro.incremental import DeltaLog, VersionVector
+from repro.refragmentation import (
+    RefragmentationAdvisor,
+    fragmenter_for,
+    measure_layout,
+)
+
+
+def clustered_graph(blocks=3, size=4):
+    graph = DiGraph()
+    node_blocks = [list(range(i * size, (i + 1) * size)) for i in range(blocks)]
+    for block in node_blocks:
+        for i, a in enumerate(block):
+            for b in block[i + 1:]:
+                graph.add_edge(a, b, 1.0)
+                graph.add_edge(b, a, 1.0)
+    for i in range(blocks - 1):
+        left, right = node_blocks[i][-1], node_blocks[i + 1][0]
+        graph.add_edge(left, right, 1.0)
+        graph.add_edge(right, left, 1.0)
+    return graph, node_blocks
+
+
+class TestSignals:
+    def test_good_layout_measures_small_borders(self):
+        graph, blocks = clustered_graph()
+        fragmentation = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        signals = measure_layout(fragmentation)
+        assert signals.fragment_count == 3
+        assert signals.border_nodes == 2  # one shared node per bridge
+        assert 0.0 < signals.border_share < 0.5
+        assert signals.complementary_facts > 0
+
+    def test_hash_layout_measures_worse_than_clustered(self):
+        graph, blocks = clustered_graph()
+        clustered = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        hashed = HashFragmenter(3).fragment(graph)
+        good = measure_layout(clustered)
+        bad = measure_layout(hashed)
+        assert bad.border_nodes > good.border_nodes
+        assert bad.cross_edge_ratio > good.cross_edge_ratio
+
+    def test_update_skew_reads_vector_and_log(self):
+        graph, blocks = clustered_graph()
+        fragmentation = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        vector = VersionVector()
+        log = DeltaLog()
+        assert RefragmentationAdvisor.update_skew(fragmentation) == 0.0
+        for _ in range(6):
+            vector.bump(0)
+        log.append("insert", dirty_fragments=(0,), incremental=True)
+        skew = RefragmentationAdvisor.update_skew(
+            fragmentation, version_vector=vector, delta_log=log
+        )
+        assert skew == pytest.approx(3.0)  # all 7 signals on 1 of 3 fragments
+
+
+class TestAssess:
+    def test_untriggered_on_a_healthy_layout(self):
+        graph, blocks = clustered_graph()
+        fragmentation = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        advisor = RefragmentationAdvisor()
+        advisor.observe(fragmentation)
+        assessment = advisor.assess(fragmentation)
+        assert not assessment.triggered
+        assert assessment.reasons == []
+
+    def test_border_growth_triggers_against_the_baseline(self):
+        graph, blocks = clustered_graph()
+        good = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        advisor = RefragmentationAdvisor(border_growth_threshold=1.5)
+        advisor.observe(good)
+        eroded = HashFragmenter(3).fragment(graph)
+        assessment = advisor.assess(eroded)
+        assert assessment.triggered
+        assert any("border nodes grew" in reason for reason in assessment.reasons)
+
+    def test_cross_ratio_triggers_without_a_baseline(self):
+        graph, _ = clustered_graph()
+        eroded = HashFragmenter(3).fragment(graph)
+        advisor = RefragmentationAdvisor(cross_ratio_threshold=0.5)
+        assessment = advisor.assess(eroded)
+        assert assessment.triggered
+        assert any("cross-fragment edge ratio" in reason for reason in assessment.reasons)
+
+    def test_update_skew_triggers(self):
+        graph, blocks = clustered_graph()
+        fragmentation = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        vector = VersionVector()
+        for _ in range(30):
+            vector.bump(0)
+        advisor = RefragmentationAdvisor(update_skew_threshold=2.0)
+        advisor.observe(fragmentation)
+        assessment = advisor.assess(fragmentation, version_vector=vector)
+        assert assessment.triggered
+        assert any("update skew" in reason for reason in assessment.reasons)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            RefragmentationAdvisor(border_growth_threshold=0.5)
+
+
+class TestRecommend:
+    def test_recommends_a_measured_improvement_over_hash(self):
+        graph, _ = clustered_graph()
+        eroded = HashFragmenter(3).fragment(graph)
+        advisor = RefragmentationAdvisor()
+        advice = advisor.recommend(eroded)
+        assert advice.worthwhile
+        assert advice.candidate.border_nodes < advice.current.border_nodes
+        redrawn = advice.fragmenter.fragment(graph)
+        assert measure_layout(redrawn).border_nodes == advice.candidate.border_nodes
+
+    def test_a_wash_is_not_worthwhile(self):
+        graph, blocks = clustered_graph()
+        good = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
+        # Force the candidate to be the same layout: no improvement possible.
+        advisor = RefragmentationAdvisor(
+            fragmenter_factory=lambda g, n: GroundTruthFragmenter([set(b) for b in blocks])
+        )
+        advice = advisor.recommend(good)
+        assert not advice.worthwhile
+
+    def test_pluggable_factory_is_used(self):
+        graph, _ = clustered_graph()
+        eroded = HashFragmenter(3).fragment(graph)
+        advisor = RefragmentationAdvisor(
+            fragmenter_factory=lambda g, n: BondEnergyFragmenter(n)
+        )
+        advice = advisor.recommend(eroded)
+        assert advice.proposed.algorithm.startswith("bond-energy")
+
+
+class TestFragmenterFor:
+    def test_known_names(self):
+        graph, _ = clustered_graph()
+        assert isinstance(fragmenter_for("bond-energy", 3), BondEnergyFragmenter)
+        assert isinstance(fragmenter_for("linear", 3), LinearFragmenter)
+        assert isinstance(fragmenter_for("hash", 3), HashFragmenter)
+        auto = fragmenter_for("auto", 3, graph=graph)
+        assert auto.fragment(graph).fragment_count() <= 3
+
+    def test_unknown_name_and_auto_without_graph(self):
+        with pytest.raises(ValueError):
+            fragmenter_for("nope", 3)
+        with pytest.raises(ValueError):
+            fragmenter_for("auto", 3)

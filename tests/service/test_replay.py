@@ -79,28 +79,50 @@ class TestReplayOnRestore:
         )
         assert restored.stats.replayed_records == 0
 
-    def test_replay_refuses_to_cross_a_refragmentation(self, tmp_path):
-        # A refragment record carries no fragment layout, and every record
-        # after it names fragment ids the replica has never seen — replaying
-        # across it would corrupt the fragment edge sets.
+    def test_replay_crosses_a_refragmentation(self, tmp_path):
+        # A refragment record carries the complete aligned layout, so a
+        # replica follows the reorganisation — and every later record's
+        # fragment ids line up with the redrawn layout.
         from repro.fragmentation import HashFragmenter
 
         live = QueryService(three_fragment_line())
         live.snapshot(tmp_path / "snap")
         live.database.refragment(HashFragmenter(2))
         live.update_edge(0, 2, 0.5)
-        with pytest.raises(ValueError, match="resynchronise"):
-            QueryService.from_snapshot(tmp_path / "snap", replay_log=live.database.delta_log)
+        restored = QueryService.from_snapshot(
+            tmp_path / "snap", replay_log=live.database.delta_log
+        )
+        assert restored.stats.replayed_records == 2
+        live_frag = live.database.fragmentation()
+        restored_frag = restored.database.fragmentation()
+        assert [f.edges for f in restored_frag.fragments] == [
+            f.edges for f in live_frag.fragments
+        ]
+        for probe in [(0, 11), (9, 11), (0, 2)]:
+            assert restored.query(*probe).value == pytest.approx(
+                shortest_path_cost(live.database.graph, *probe)
+            )
 
-    def test_replay_record_itself_rejects_refragment_records(self):
+    def test_replay_record_applies_the_recorded_layout(self):
         live = QueryService(three_fragment_line())
         replica = QueryService(three_fragment_line())
         from repro.fragmentation import HashFragmenter
 
         live.database.refragment(HashFragmenter(2))
         record = live.database.delta_log.last()
+        assert record.layout is not None
+        replica.database.replay_record(record)
+        assert [f.edges for f in replica.database.fragmentation().fragments] == [
+            f.edges for f in live.database.fragmentation().fragments
+        ]
+
+    def test_legacy_layoutless_refragment_records_still_refuse(self):
+        from repro.incremental import DeltaRecord
+
+        replica = QueryService(three_fragment_line())
+        legacy = DeltaRecord(sequence=1, kind="refragment")  # no layout recorded
         with pytest.raises(ValueError, match="resynchronise"):
-            replica.database.replay_record(record)
+            replica.database.replay_record(legacy)
 
     def test_falling_off_the_log_tail_is_an_error(self, tmp_path):
         from repro.incremental import DeltaLog
