@@ -82,6 +82,7 @@ from .generators import (
     paper_table2_config,
 )
 from .graph import CompactGraph, DiGraph, Point
+from .observability import MetricsRegistry, QueryLog, Tracer
 from .parallel import (
     CostModel,
     MultiprocessQueryExecutor,
@@ -146,6 +147,7 @@ __all__ = [
     "LRUCache",
     "LinearFragmenter",
     "LiveRefragmenter",
+    "MetricsRegistry",
     "Migration",
     "MultiprocessQueryExecutor",
     "NoChainError",
@@ -156,6 +158,7 @@ __all__ = [
     "plan_placement",
     "Point",
     "QueryAnswer",
+    "QueryLog",
     "QueryPlanner",
     "QueryService",
     "RandomGraphConfig",
@@ -171,6 +174,7 @@ __all__ = [
     "ServiceStatistics",
     "SnapshotStore",
     "SpeedupPoint",
+    "Tracer",
     "TransportationGraph",
     "TransportationGraphConfig",
     "UpdateEvent",

@@ -17,12 +17,16 @@ Python:
 * ``batch-query``— answer many queries in one shared-work batch, from a
   snapshot directory or a graph JSON file,
 * ``serve``     — run a long-lived query service reading a line protocol
-  (``query A B`` / ``update A B W`` / ``stats`` / ...) from stdin.
+  (``query A B`` / ``update A B W`` / ``stats`` / ``trace on|off`` /
+  ``slowlog N`` / ...) from stdin,
+* ``stats``     — run a query workload and render the telemetry it produced
+  (text with latency percentiles, JSON, or Prometheus text exposition).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -225,10 +229,38 @@ def _print_answer(answer) -> None:
 
 def _print_stats(service: QueryService) -> None:
     for key, value in service.stats.as_dict().items():
-        if key in ("average_latency", "max_latency"):
+        if isinstance(value, float) and "latency" in key:
             print(f"{key}: {value:.6f}s")
         else:
             print(f"{key}: {value}")
+    for outcome in ("evaluated", "cached"):
+        quantiles = service.stats.latency_quantiles(outcome=outcome)
+        for name, value in quantiles.items():
+            print(f"{outcome}_latency_{name}: {value:.6f}s")
+
+
+def _print_slowlog(service: QueryService, count: int) -> None:
+    entries = service.query_log.slowest(count)
+    if not entries:
+        print("slow log empty")
+        return
+    for entry in entries:
+        suffix = " (cached)" if entry.cached else ""
+        if entry.error is not None:
+            suffix += f" error: {entry.error}"
+        print(
+            f"{entry.latency:.6f}s {entry.source} -> {entry.target} "
+            f"fragments {list(entry.fragments)}{suffix}"
+        )
+
+
+def _render_metrics(service: QueryService, fmt: str) -> None:
+    if fmt == "prometheus":
+        sys.stdout.write(service.metrics("prometheus"))
+    elif fmt == "json":
+        print(json.dumps(service.metrics("json"), indent=2, default=str, sort_keys=True))
+    else:
+        _print_stats(service)
 
 
 def _cmd_batch_query(args: argparse.Namespace) -> int:
@@ -249,6 +281,26 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    queries = []
+    if args.queries:
+        queries = [
+            (_decode_node(str(pair[0])), _decode_node(str(pair[1])))
+            for pair in json.loads(Path(args.queries).read_text())
+        ]
+    elif args.pairs:
+        queries = _parse_pairs(args.pairs)
+    # The build chatter ("# prepared ...") goes to stderr so the rendered
+    # metrics stay machine-parseable (JSON output especially).
+    with contextlib.redirect_stdout(sys.stderr):
+        service = _build_service(args)
+    with service:
+        if queries:
+            service.query_batch(queries)
+        _render_metrics(service, args.format)
+    return 0
+
+
 def _print_placement(service: QueryService) -> None:
     plan = service.placement_plan
     if plan is None:
@@ -265,7 +317,8 @@ def _print_placement(service: QueryService) -> None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     with _build_service(args) as service:
         print("# ready; commands: query A B | batch A B [C D ...] | update A B [W] | "
-              "delete A B | stats | placement | migrate F W | rebalance | "
+              "delete A B | stats [json|prometheus] | trace on|off | slowlog [N] | "
+              "placement | migrate F W | rebalance | "
               "refragment [ALGO] | advise | snapshot DIR | quit")
         for line in sys.stdin:
             words = line.split()
@@ -295,8 +348,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         _decode_node(rest[0]), _decode_node(rest[1]), delete=True
                     )
                     print(f"deleted; fragment {owner}, catalog version {service.catalog_version}")
-                elif command == "stats":
-                    _print_stats(service)
+                elif command == "stats" and len(rest) <= 1:
+                    _render_metrics(service, rest[0].lower() if rest else "text")
+                elif command == "trace" and len(rest) == 1 and rest[0] in ("on", "off"):
+                    if rest[0] == "on":
+                        service.tracer.enable()
+                    else:
+                        service.tracer.disable()
+                    print(f"tracing {rest[0]}")
+                elif command == "slowlog" and len(rest) <= 1:
+                    _print_slowlog(service, int(rest[0]) if rest else 10)
                 elif command == "placement":
                     _print_placement(service)
                 elif command == "migrate" and len(rest) == 2:
@@ -340,6 +401,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         fragmentation,
                         version_vector=service.version_vector,
                         delta_log=service.database.delta_log,
+                        query_log=service.query_log,
                     )
                     for key, value in assessment.signals.as_dict().items():
                         print(f"{key}: {value}")
@@ -460,6 +522,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    stats = subparsers.add_parser(
+        "stats", help="run a workload and render the telemetry it produced"
+    )
+    add_service_options(stats)
+    stats.add_argument("pairs", nargs="*", help="queries as SOURCE:TARGET pairs")
+    stats.add_argument("--queries", help="JSON file with a list of [source, target] pairs")
+    stats.add_argument(
+        "--format",
+        choices=("text", "json", "prometheus"),
+        default="text",
+        help="text prints counters plus latency percentiles; json dumps "
+             "QueryService.metrics(); prometheus emits text exposition format",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 

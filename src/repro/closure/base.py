@@ -29,11 +29,15 @@ class ClosureStatistics:
             counting duplicates across rounds — this is the paper's "size of
             the intermediate results" workload driver.
         delta_sizes: number of new facts per round.
+        elapsed_seconds: wall-clock seconds spent in the kernel; measured in
+            whichever process ran the evaluation, so worker-side timings
+            survive the trip back over the result channel.
     """
 
     iterations: int = 0
     tuples_produced: int = 0
     delta_sizes: List[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
 
     def record_round(self, produced: int, new: int) -> None:
         """Record one round that produced ``produced`` facts, ``new`` of them novel."""
@@ -47,6 +51,7 @@ class ClosureStatistics:
             iterations=max(self.iterations, other.iterations),
             tuples_produced=self.tuples_produced + other.tuples_produced,
             delta_sizes=self.delta_sizes + other.delta_sizes,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
         )
         return merged
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
+from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..closure import (
@@ -125,7 +126,14 @@ class LocalQueryEvaluator:
     def evaluate(
         self, site: FragmentSite | CompactFragmentSite, spec: LocalQuerySpec
     ) -> LocalQueryResult:
-        """Evaluate ``spec`` on ``site`` and return the entry-to-exit path values."""
+        """Evaluate ``spec`` on ``site`` and return the entry-to-exit path values.
+
+        The returned statistics carry ``elapsed_seconds``, timed here so the
+        measurement happens in whichever process runs the kernel — a worker's
+        in-process timing ships back with the result, needing no clock
+        agreement with the coordinator.
+        """
+        started = perf_counter()
         result = LocalQueryResult(fragment_id=site.fragment_id, semiring=self._semiring)
         compact_only = isinstance(site, CompactFragmentSite)
         if compact_only and self._semiring.name not in COMPACT_SEMIRINGS:
@@ -133,8 +141,11 @@ class LocalQueryEvaluator:
                 f"a compact fragment site only supports the {COMPACT_SEMIRINGS} semirings"
             )
         if (self._use_compact or compact_only) and self._semiring.name in COMPACT_SEMIRINGS:
-            return self._evaluate_compact(site, spec, result)
-        return self._evaluate_dict(site, spec, result)
+            result = self._evaluate_compact(site, spec, result)
+        else:
+            result = self._evaluate_dict(site, spec, result)
+        result.statistics.elapsed_seconds = perf_counter() - started
+        return result
 
     # ----------------------------------------------------------- kernel path
 

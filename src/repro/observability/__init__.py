@@ -1,0 +1,52 @@
+"""Telemetry for the serving stack: metrics, traces, and the query log.
+
+Five interacting layers (cache → batch planner → routed pool → workers →
+kernels) plus two advisors need more than a flat counter bag.  This package
+is the cross-cutting observability substrate they share:
+
+* :mod:`~repro.observability.metrics` — :class:`MetricsRegistry` with
+  labeled counters, gauges, and fixed-bucket histograms (p50/p90/p99),
+  mergeable across processes, exported as JSON or Prometheus text,
+* :mod:`~repro.observability.tracing` — :class:`Tracer` producing one trace
+  per service call with spans for every pipeline stage, including
+  worker-side kernel spans shipped back over the result channels,
+* :mod:`~repro.observability.querylog` — the bounded structured
+  :class:`QueryLog` (endpoints, fragments touched, latency, cache/trace
+  outcome, slow-query side car), the first real *workload* signal the
+  placement and refragmentation advisors consume.
+
+:class:`~repro.service.stats.ServiceStatistics` remains the operator-facing
+counter view, but is now a thin compatibility façade over a registry from
+this package.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
+from .querylog import (
+    DEFAULT_SLOW_THRESHOLD_SECONDS,
+    QueryLog,
+    QueryLogEntry,
+)
+from .tracing import NULL_SPAN, Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOW_THRESHOLD_SECONDS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "QueryLog",
+    "QueryLogEntry",
+    "Span",
+    "Trace",
+    "Tracer",
+]

@@ -1,0 +1,355 @@
+"""Request tracing: one trace id per service call, spans per pipeline stage.
+
+Every ``QueryService`` entry point (``query`` / ``query_batch`` /
+``update_edge`` / ``refragment``) opens a root span; the stages it passes
+through — cache lookup, batch planning, owner routing, per-worker evaluation,
+kernel execution — open child spans under it, so one answer's wall-clock
+decomposes into exactly the layers the ROADMAP's cost models need.
+
+Two span flavours exist:
+
+* **in-process spans** (:meth:`Tracer.span`): a context manager timing the
+  enclosed block with ``perf_counter``;
+* **remote spans** (:meth:`Tracer.remote_span`): a worker process timed the
+  work *in-process* and shipped the duration back over its private result
+  channel; the coordinator attaches it under the current (or an explicit)
+  parent.  Remote spans are how routed evaluation is attributed per owner
+  worker and per fragment without any cross-process clock agreement — only
+  durations cross the boundary, never timestamps.
+
+The tracer keeps a bounded ring of finished traces (:meth:`Tracer.recent`)
+and can be toggled live (``trace on|off`` in the serve loop); when disabled,
+``span`` yields a shared no-op span and the hot path pays one attribute
+check.  The tracer is deliberately single-threaded — the service answers one
+call at a time — so the active-span stack needs no context variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed stage of a traced service call.
+
+    A plain slotted class, not a dataclass, and its own context manager —
+    the hot path opens six spans per query, so each span is exactly one
+    allocation and the ``contextlib`` generator machinery (several
+    microseconds per use) is avoided entirely.
+
+    Attributes:
+        name: the stage ("query", "cache_lookup", "kernel", ...).
+        trace_id: the trace every span of one call shares.
+        span_id: this span's id, unique within the trace.
+        parent_id: the enclosing span's id (``None`` for the root).
+        start: coordinator ``perf_counter`` at entry (for remote spans, the
+            attach time minus the shipped duration — ordering only, the
+            duration is the measurement).
+        duration: seconds spent in the stage.
+        attributes: free-form labels (fragment id, owner worker, task count).
+        remote: ``True`` when the duration was measured inside a worker
+            process and shipped back, rather than timed here.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attributes",
+        "remote",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        duration: float = 0.0,
+        attributes: Optional[Dict[str, object]] = None,
+        remote: bool = False,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration = duration
+        self.attributes = {} if attributes is None else attributes
+        self.remote = remote
+        self._tracer: Optional["Tracer"] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id}, parent_id={self.parent_id}, "
+            f"duration={self.duration}, remote={self.remote})"
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.duration = perf_counter() - self.start
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._stack.pop()
+            if not tracer._stack:
+                tracer._finish(self)
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the span as plain data (reporting / assertions)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "remote": self.remote,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """The shared no-op context manager for a disabled tracer's hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+@dataclass(slots=True)
+class Trace:
+    """One finished trace: the root span plus every descendant, in open order.
+
+    Slotted and unfrozen: one is built per service call on the hot path, and
+    a frozen dataclass pays ``object.__setattr__`` per field at construction.
+    """
+
+    trace_id: str
+    root_name: str
+    duration: float
+    spans: List[Span]
+
+    def span_names(self) -> List[str]:
+        """Return every span name, root first."""
+        return [span.name for span in self.spans]
+
+    def children_of(self, parent: Span) -> List[Span]:
+        """Return the spans whose parent is ``parent``."""
+        return [span for span in self.spans if span.parent_id == parent.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        """Return every span called ``name``."""
+        return [span for span in self.spans if span.name == name]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the trace as plain data."""
+        return {
+            "trace_id": self.trace_id,
+            "root_name": self.root_name,
+            "duration": self.duration,
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+
+class Tracer:
+    """Produces and retains traces for the query service's calls.
+
+    Args:
+        enabled: start with tracing on (the serve loop toggles it live).
+        capacity: finished traces retained (oldest evicted first).
+
+    The first :meth:`span` opened while no span is active becomes a trace's
+    root; closing it files the whole trace into the bounded ring.  Spans
+    opened while a root is active nest under the innermost open span.
+    """
+
+    def __init__(self, *, enabled: bool = True, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self._enabled = enabled
+        self._traces: Deque[Trace] = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._live: List[Span] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._prefix = f"{os.getpid():x}"
+        self.traces_finished = 0
+        self.traces_dropped = 0
+
+    # ------------------------------------------------------------- toggling
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are currently being produced."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn span production on (from the next root span)."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn span production off; an in-flight trace still completes."""
+        self._enabled = False
+
+    # -------------------------------------------------------------- spanning
+
+    @property
+    def current_trace_id(self) -> Optional[str]:
+        """The active trace's id, or ``None`` outside any span."""
+        return self._stack[-1].trace_id if self._stack else None
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attributes: object) -> object:
+        """Open a timed span named ``name`` under the current span (or as root).
+
+        A context manager yielding the :class:`Span` (or a shared no-op when
+        tracing is off — callers may ``set`` attributes on either without
+        checking).
+        """
+        stack = self._stack
+        if not stack:
+            if not self._enabled:
+                return _NULL_SPAN_CONTEXT
+            trace_id = f"{self._prefix}-{next(self._trace_ids):08x}"
+            parent_id = None
+            self._live = []
+        else:
+            parent = stack[-1]
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name,
+            trace_id,
+            next(self._span_ids),
+            parent_id,
+            perf_counter(),
+            attributes=attributes,
+        )
+        span._tracer = self
+        stack.append(span)
+        self._live.append(span)
+        return span
+
+    def attach_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        parent: Optional[Span] = None,
+        remote: bool = False,
+        **attributes: object,
+    ) -> Optional[Span]:
+        """Attach an already-timed span under ``parent`` (default: current span).
+
+        The duration was measured elsewhere — by a kernel's own in-process
+        timer, or (``remote=True``) inside a worker process and shipped back
+        over its result channel; only the duration is trusted, the start is
+        back-dated locally for ordering.  Returns the attached span, or
+        ``None`` when no trace is active (tracing off, or called outside any
+        service call).
+        """
+        anchor = parent if parent is not None else (self._stack[-1] if self._stack else None)
+        if anchor is None:
+            return None
+        span = Span(
+            name,
+            anchor.trace_id,
+            next(self._span_ids),
+            anchor.span_id,
+            perf_counter() - duration,
+            duration=duration,
+            attributes=attributes,
+            remote=remote,
+        )
+        self._live.append(span)
+        return span
+
+    def remote_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        parent: Optional[Span] = None,
+        **attributes: object,
+    ) -> Optional[Span]:
+        """Attach a worker-timed span (``attach_span`` with ``remote=True``)."""
+        return self.attach_span(
+            name, duration, parent=parent, remote=True, **attributes
+        )
+
+    def _finish(self, root: Span) -> None:
+        if len(self._traces) == self._traces.maxlen:
+            self.traces_dropped += 1
+        # The live list is handed to the Trace, not copied: the next root
+        # span starts a fresh one.
+        self._traces.append(
+            Trace(
+                trace_id=root.trace_id,
+                root_name=root.name,
+                duration=root.duration,
+                spans=self._live,
+            )
+        )
+        self._live = []
+        self.traces_finished += 1
+
+    # ------------------------------------------------------------- retrieval
+
+    def recent(self, count: int = 10) -> List[Trace]:
+        """Return the most recent finished traces, newest first."""
+        if count <= 0:
+            return []
+        return list(itertools.islice(reversed(self._traces), count))
+
+    def find(self, trace_id: str) -> Optional[Trace]:
+        """Return the retained trace with ``trace_id``, or ``None``."""
+        for trace in self._traces:
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def clear(self) -> int:
+        """Drop every retained trace; returns how many were dropped."""
+        dropped = len(self._traces)
+        self._traces.clear()
+        return dropped

@@ -8,7 +8,12 @@ advisor folds the observable signals together —
 * per-fragment dispatch counts (``ServiceStatistics.per_site_load``),
 * per-owner dispatch totals / queue depths (the routed pool's counters),
 * :class:`~repro.incremental.delta.DeltaLog` locality (each dirty-fragment
-  entry is a re-pin an owner had to absorb) —
+  entry is a re-pin an owner had to absorb),
+* the :class:`~repro.observability.querylog.QueryLog`'s per-fragment read
+  frequencies — the first true *workload* signal: cached answers dispatch
+  nothing, so a hot-but-cached fragment is invisible to the dispatch
+  counters yet still concentrates invalidation and re-read risk on its
+  owner —
 
 and recommends :class:`Migration` steps that move fragments from the most
 loaded owner to the least loaded one.  Recommendations are greedy and
@@ -24,10 +29,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..incremental.delta import DeltaLog
+from ..observability.querylog import QueryLog
 from .plan import PlacementPlan
 
 DEFAULT_SKEW_THRESHOLD = 1.5
 DEFAULT_UPDATE_WEIGHT = 1.0
+DEFAULT_QUERY_WEIGHT = 1.0
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,8 @@ class RebalanceAdvisor:
             tolerates mild imbalance, as migrations are not free).
         update_weight: how many dispatches one delta-log re-pin counts as
             when folding update locality into the load model.
+        query_weight: how many dispatches one query-log fragment touch counts
+            as when folding the captured workload into the load model.
         max_migrations: cap on recommendations per :meth:`recommend` call.
     """
 
@@ -64,12 +73,14 @@ class RebalanceAdvisor:
         *,
         skew_threshold: float = DEFAULT_SKEW_THRESHOLD,
         update_weight: float = DEFAULT_UPDATE_WEIGHT,
+        query_weight: float = DEFAULT_QUERY_WEIGHT,
         max_migrations: int = 8,
     ) -> None:
         if skew_threshold < 1.0:
             raise ValueError(f"skew_threshold must be >= 1.0, got {skew_threshold}")
         self._skew_threshold = skew_threshold
         self._update_weight = update_weight
+        self._query_weight = query_weight
         self._max_migrations = max_migrations
 
     # -------------------------------------------------------------- modelling
@@ -80,14 +91,18 @@ class RebalanceAdvisor:
         dispatch_counts: Mapping[int, float],
         *,
         delta_log: Optional[DeltaLog] = None,
+        query_log: Optional[QueryLog] = None,
     ) -> Dict[int, float]:
         """Return the modelled load of every placed fragment.
 
         Query dispatches count 1 each; every delta-log record that dirtied a
-        fragment adds ``update_weight`` (its owner absorbed that re-pin).
-        Fragments with no recorded signal model as 0.0 — an idle fragment
-        costs its owner nothing; only when *no* fragment has any signal does
-        :meth:`recommend` fall back to balancing by fragment count.
+        fragment adds ``update_weight`` (its owner absorbed that re-pin);
+        every query-log entry that touched a fragment adds ``query_weight``
+        — crucially *including cached answers*, which never reached the
+        dispatch counters.  Fragments with no recorded signal model as 0.0 —
+        an idle fragment costs its owner nothing; only when *no* fragment
+        has any signal does :meth:`recommend` fall back to balancing by
+        fragment count.
         """
         loads = {f: float(dispatch_counts.get(f, 0.0)) for f in plan.fragment_ids}
         if delta_log is not None:
@@ -95,6 +110,10 @@ class RebalanceAdvisor:
                 for fragment_id in record.dirty_fragments:
                     if fragment_id in loads:
                         loads[fragment_id] += self._update_weight
+        if query_log is not None:
+            for fragment_id, touches in query_log.fragment_frequencies().items():
+                if fragment_id in loads:
+                    loads[fragment_id] += self._query_weight * touches
         return loads
 
     def skew(
@@ -103,9 +122,12 @@ class RebalanceAdvisor:
         dispatch_counts: Mapping[int, float],
         *,
         delta_log: Optional[DeltaLog] = None,
+        query_log: Optional[QueryLog] = None,
     ) -> float:
         """Return the plan's max/mean owner-load skew under the load model."""
-        return plan.skew(self.fragment_loads(plan, dispatch_counts, delta_log=delta_log))
+        return plan.skew(
+            self.fragment_loads(plan, dispatch_counts, delta_log=delta_log, query_log=query_log)
+        )
 
     # ---------------------------------------------------------- recommending
 
@@ -115,6 +137,7 @@ class RebalanceAdvisor:
         dispatch_counts: Mapping[int, float],
         *,
         delta_log: Optional[DeltaLog] = None,
+        query_log: Optional[QueryLog] = None,
     ) -> List[Migration]:
         """Return the migrations that bring the plan back within bounds.
 
@@ -131,7 +154,9 @@ class RebalanceAdvisor:
 
         An already-balanced, within-capacity plan yields no recommendations.
         """
-        loads = self.fragment_loads(plan, dispatch_counts, delta_log=delta_log)
+        loads = self.fragment_loads(
+            plan, dispatch_counts, delta_log=delta_log, query_log=query_log
+        )
         if sum(loads.values()) <= 0.0:
             # No signal at all: balance by fragment *count* instead, so a
             # cold pool with every fragment parked on worker 0 still spreads.

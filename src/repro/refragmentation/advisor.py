@@ -11,7 +11,10 @@ operationalises that for the serving stack:
 * :meth:`RefragmentationAdvisor.signals` measures the deployed layout —
   border-node share, cross-fragment edge ratio, complementary fact count,
   update skew from the :class:`~repro.incremental.versions.VersionVector` /
-  :class:`~repro.incremental.delta.DeltaLog`,
+  :class:`~repro.incremental.delta.DeltaLog`, and — when the serving layer
+  hands one over — read skew from the
+  :class:`~repro.observability.querylog.QueryLog`, the captured workload
+  itself rather than a structural proxy for it,
 * :meth:`RefragmentationAdvisor.assess` compares them against the baseline
   recorded at deployment and decides whether a redraw is warranted,
 * :meth:`RefragmentationAdvisor.recommend` computes a concrete candidate
@@ -45,10 +48,13 @@ from ..fragmentation.metrics import border_node_set, complementary_information_s
 from ..graph import DiGraph
 from ..incremental.delta import DeltaLog
 from ..incremental.versions import VersionVector
+from ..observability.querylog import QueryLog
 
 DEFAULT_BORDER_GROWTH_THRESHOLD = 1.5
 DEFAULT_CROSS_RATIO_THRESHOLD = 0.6
 DEFAULT_UPDATE_SKEW_THRESHOLD = 4.0
+DEFAULT_QUERY_SKEW_THRESHOLD = 4.0
+DEFAULT_MIN_QUERY_SAMPLE = 16
 DEFAULT_MIN_BORDER_GAIN = 0.95
 
 REFRAGMENT_ALGORITHMS = (
@@ -142,6 +148,9 @@ class RefragmentationAssessment:
             advisor never saw a baseline — absolute thresholds still apply).
         update_skew: max/mean per-fragment update count from the version
             vector (1.0 = uniform, 0.0 = no updates yet).
+        query_skew: max/mean per-fragment read concentration from the query
+            log's retained window (0.0 when no log was provided or it was
+            empty / below the minimum sample).
     """
 
     triggered: bool
@@ -149,6 +158,7 @@ class RefragmentationAssessment:
     signals: LayoutSignals
     baseline: Optional[LayoutSignals]
     update_skew: float
+    query_skew: float = 0.0
 
 
 @dataclass
@@ -205,6 +215,12 @@ class RefragmentationAdvisor:
         update_skew_threshold: trigger when the per-fragment update skew
             (max/mean version) exceeds this — the update stream concentrates
             where the layout does not.
+        query_skew_threshold: trigger when the query log's per-fragment read
+            concentration (max/mean touches) exceeds this — the workload
+            keeps crossing into a few fragments the layout scattered.
+        min_query_sample: ignore the query log until it retains at least
+            this many entries (a couple of warm-up queries are not a
+            workload).
         min_border_gain: a candidate layout is worthwhile only when its
             border-node count is below ``current * min_border_gain`` (a
             redraw is not free; a wash is not worth executing).
@@ -217,6 +233,8 @@ class RefragmentationAdvisor:
         border_growth_threshold: float = DEFAULT_BORDER_GROWTH_THRESHOLD,
         cross_ratio_threshold: float = DEFAULT_CROSS_RATIO_THRESHOLD,
         update_skew_threshold: float = DEFAULT_UPDATE_SKEW_THRESHOLD,
+        query_skew_threshold: float = DEFAULT_QUERY_SKEW_THRESHOLD,
+        min_query_sample: int = DEFAULT_MIN_QUERY_SAMPLE,
         min_border_gain: float = DEFAULT_MIN_BORDER_GAIN,
     ) -> None:
         if border_growth_threshold < 1.0:
@@ -227,6 +245,8 @@ class RefragmentationAdvisor:
         self._border_growth_threshold = border_growth_threshold
         self._cross_ratio_threshold = cross_ratio_threshold
         self._update_skew_threshold = update_skew_threshold
+        self._query_skew_threshold = query_skew_threshold
+        self._min_query_sample = min_query_sample
         self._min_border_gain = min_border_gain
         self._baseline: Optional[LayoutSignals] = None
 
@@ -283,12 +303,22 @@ class RefragmentationAdvisor:
         *,
         version_vector: Optional[VersionVector] = None,
         delta_log: Optional[DeltaLog] = None,
+        query_log: Optional[QueryLog] = None,
     ) -> RefragmentationAssessment:
-        """Decide whether the deployed layout has eroded enough to redraw."""
+        """Decide whether the deployed layout has eroded enough to redraw.
+
+        ``query_log`` adds the captured-workload trigger: when the retained
+        window (past the minimum sample) concentrates its fragment touches
+        hard enough, the layout is failing the queries actually asked even
+        if every structural signal still looks healthy.
+        """
         signals = measure_layout(fragmentation)
         skew = self.update_skew(
             fragmentation, version_vector=version_vector, delta_log=delta_log
         )
+        query_skew = 0.0
+        if query_log is not None and len(query_log) >= self._min_query_sample:
+            query_skew = query_log.query_skew()
         reasons: List[str] = []
         if (
             self._baseline is not None
@@ -312,12 +342,19 @@ class RefragmentationAdvisor:
                 f"update skew {skew:.2f} exceeds {self._update_skew_threshold:.2f} "
                 "(the update stream concentrates on a few fragments)"
             )
+        if query_skew > self._query_skew_threshold:
+            reasons.append(
+                f"query skew {query_skew:.2f} exceeds "
+                f"{self._query_skew_threshold:.2f} (the captured workload "
+                "concentrates its reads on a few fragments)"
+            )
         return RefragmentationAssessment(
             triggered=bool(reasons),
             reasons=reasons,
             signals=signals,
             baseline=self._baseline,
             update_skew=skew,
+            query_skew=query_skew,
         )
 
     # ----------------------------------------------------------- recommending

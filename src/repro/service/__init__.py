@@ -14,7 +14,7 @@ This package provides the serving layer that makes that true in practice:
 * :mod:`~repro.service.batch` — shared-subquery batch planning,
 * :mod:`~repro.service.server` — the :class:`QueryService` façade,
 * :mod:`~repro.service.stats` — hit-rate / latency / load / owner-skew
-  observability.
+  statistics, backed by the :mod:`repro.observability` metrics registry.
 """
 
 from .batch import BatchPlan, BatchPlanner

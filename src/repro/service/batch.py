@@ -24,6 +24,7 @@ The saved work is reported per batch (``shared_subqueries_saved``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..disconnection.planner import QueryPlan, QueryPlanner
@@ -56,6 +57,9 @@ class BatchPlan:
         owner_groups: owner worker -> the batch's tasks for that owner, in
             task order (empty when the batch was planned without a placement
             plan).  The routed pool ships each group as one message.
+        planning_seconds: wall-clock seconds :meth:`BatchPlanner.plan_batch`
+            spent producing this plan (the service's planning histogram and
+            the batch-planning trace span read it).
     """
 
     queries: List[Query]
@@ -67,6 +71,7 @@ class BatchPlan:
     spec_references: int = 0
     chain_groups: Dict[Tuple[int, ...], List[int]] = field(default_factory=dict)
     owner_groups: Dict[int, List[TaskKey]] = field(default_factory=dict)
+    planning_seconds: float = 0.0
 
     def duplicate_queries_saved(self) -> int:
         """Return how many submitted queries were answered by deduplication."""
@@ -109,6 +114,7 @@ class BatchPlanner:
         abort the batch; the affected queries are recorded in ``errors`` and
         the rest of the batch proceeds.
         """
+        started = perf_counter()
         batch = BatchPlan(queries=list(queries))
         index_of: Dict[Query, int] = {}
         for query in batch.queries:
@@ -142,4 +148,5 @@ class BatchPlanner:
                 # mid-reorganisation): fall back to placement-blind routing
                 # rather than ship a partial grouping.
                 batch.owner_groups = {}
+        batch.planning_seconds = perf_counter() - started
         return batch

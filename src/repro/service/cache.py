@@ -22,7 +22,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Optional, Tuple
 
+from ..observability import MetricsRegistry
+
 Key = Tuple[Hashable, ...]
+
+# Metric names the cache mirrors its counters into (labeled by event).
+CACHE_EVENTS_COUNTER = "repro_result_cache_events_total"
+CACHE_SIZE_GAUGE = "repro_result_cache_entries"
 
 
 @dataclass(frozen=True)
@@ -78,9 +84,14 @@ class LRUCache:
     Args:
         capacity: maximum number of entries kept; the least recently used
             entry is evicted when a put exceeds it.  Must be positive.
+        registry: optional metrics registry to mirror the counters into
+            (``repro_result_cache_events_total{event=...}`` plus a resident
+            entry-count gauge).  The plain int attributes remain the
+            in-process source of truth; the registry view exists for export
+            and is reset on a registry-wide epoch without touching them.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, *, registry: Optional[MetricsRegistry] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self._capacity = capacity
@@ -89,6 +100,26 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._events = (
+            registry.counter(
+                CACHE_EVENTS_COUNTER,
+                "Result-cache events by kind (hit, miss, eviction, invalidation).",
+                labelnames=("event",),
+            )
+            if registry is not None
+            else None
+        )
+        self._size_gauge = (
+            registry.gauge(CACHE_SIZE_GAUGE, "Entries resident in the result cache.")
+            if registry is not None
+            else None
+        )
+
+    def _observe(self, event: str, amount: int = 1) -> None:
+        if self._events is not None and amount:
+            self._events.inc(amount, event=event)
+        if self._size_gauge is not None:
+            self._size_gauge.set(len(self._entries))
 
     # -------------------------------------------------------------- protocol
 
@@ -112,8 +143,10 @@ class LRUCache:
         """Return the cached value for ``key`` (refreshing it) or ``None``."""
         if key not in self._entries:
             self.misses += 1
+            self._observe("miss")
             return None
         self.hits += 1
+        self._observe("hit")
         self._entries.move_to_end(key)
         return self._entries[key]
 
@@ -125,12 +158,16 @@ class LRUCache:
         if len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._observe("eviction")
+        else:
+            self._observe("stored", 0)
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
         dropped = len(self._entries)
         self._entries.clear()
         self.invalidations += dropped
+        self._observe("invalidation", dropped)
         return dropped
 
     def discard(self, key: Key) -> bool:
@@ -142,6 +179,7 @@ class LRUCache:
         if key in self._entries:
             del self._entries[key]
             self.invalidations += 1
+            self._observe("invalidation")
             return True
         return False
 
@@ -156,6 +194,7 @@ class LRUCache:
         for key in stale:
             del self._entries[key]
         self.invalidations += len(stale)
+        self._observe("invalidation", len(stale))
         return len(stale)
 
     def evict_where(self, is_stale: Callable[[Key, object], bool]) -> int:
@@ -169,4 +208,5 @@ class LRUCache:
         for key in stale:
             del self._entries[key]
         self.invalidations += len(stale)
+        self._observe("invalidation", len(stale))
         return len(stale)

@@ -48,12 +48,18 @@ from ..disconnection import LocalQueryEvaluator, LocalQueryResult
 from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
 from ..graph.compact import CompactDelta
+from ..observability import MetricsRegistry
 from ..placement import PlacementError, PlacementPlan
 
 Node = Hashable
 TaskKey = Tuple[int, FrozenSet[Node], FrozenSet[Node]]
 
 PICKLABLE_SEMIRINGS = ("shortest_path", "reachability")
+
+# Metric names for the routed workers' in-process registries; the coordinator
+# merges the drained payloads under the same names.
+WORKER_KERNEL_HISTOGRAM = "repro_worker_kernel_seconds"
+WORKER_TUPLES_COUNTER = "repro_worker_kernel_tuples_total"
 
 REPIN_TIMEOUT_SECONDS = 30.0
 ROUTED_REPLY_TIMEOUT_SECONDS = 60.0
@@ -184,6 +190,7 @@ def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
         "values": dict(result.values),
         "iterations": result.estimated_iterations,
         "tuples": result.statistics.tuples_produced,
+        "elapsed": result.statistics.elapsed_seconds,
     }
 
 
@@ -197,6 +204,7 @@ def result_from_payload(
     """
     statistics = ClosureStatistics()
     statistics.tuples_produced = payload["tuples"]
+    statistics.elapsed_seconds = payload.get("elapsed", 0.0)
     return LocalQueryResult(
         fragment_id=key[0],
         values=dict(payload["values"]),
@@ -371,9 +379,25 @@ def _routed_worker_loop(
     own channel, which the coordinator discards (with the process) on
     respawn.  Every reply carries the request id so the coordinator can
     match out-of-order completions.
+
+    The worker keeps a local :class:`MetricsRegistry` and times every kernel
+    in-process; each ``evaluated`` reply ships the registry's drained delta
+    alongside the result payloads, so the coordinator's merged view never
+    double-counts and needs no cross-process clock agreement.
     """
     sites: Dict[int, CompactFragmentSite] = {site.fragment_id: site for site in initial_sites}
     evaluator = LocalQueryEvaluator(semiring=semiring_from_name(semiring_name))
+    registry = MetricsRegistry()
+    kernel_seconds = registry.histogram(
+        WORKER_KERNEL_HISTOGRAM,
+        "In-process kernel execution time per routed task.",
+        labelnames=("worker", "fragment"),
+    )
+    kernel_tuples = registry.counter(
+        WORKER_TUPLES_COUNTER,
+        "Tuples produced by routed kernel executions.",
+        labelnames=("worker", "fragment"),
+    )
     while True:
         message = task_queue.get()
         kind = message[0]
@@ -394,6 +418,16 @@ def _routed_worker_loop(
                         fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes
                     )
                     result = evaluator.evaluate(sites[fragment_id], spec)
+                    kernel_seconds.observe(
+                        result.statistics.elapsed_seconds,
+                        worker=worker_index,
+                        fragment=fragment_id,
+                    )
+                    kernel_tuples.inc(
+                        result.statistics.tuples_produced,
+                        worker=worker_index,
+                        fragment=fragment_id,
+                    )
                     payloads.append(
                         (
                             task,
@@ -401,10 +435,18 @@ def _routed_worker_loop(
                                 "values": dict(result.values),
                                 "iterations": result.estimated_iterations,
                                 "tuples": result.statistics.tuples_produced,
+                                "elapsed": result.statistics.elapsed_seconds,
                             },
                         )
                     )
-                result_conn.send((request_id, worker_index, "evaluated", payloads))
+                result_conn.send(
+                    (
+                        request_id,
+                        worker_index,
+                        "evaluated",
+                        {"payloads": payloads, "metrics": registry.drain()},
+                    )
+                )
             elif kind == "pin":
                 for site in message[2]:
                     sites[site.fragment_id] = site
@@ -491,6 +533,11 @@ class PlacedWorkerPool:
         # Observability counters (the service folds these into its stats).
         self.dispatch_counts: Dict[int, int] = {}
         self.last_route_counts: Dict[int, int] = {}
+        # Per-evaluate telemetry: which worker actually ran each task (the
+        # replica/respawn fallbacks make this differ from the plan's owner),
+        # and the drained worker-registry payloads for the service to merge.
+        self.last_task_workers: Dict[TaskKey, int] = {}
+        self.last_worker_metrics: List[Dict] = []
         self.queue_depth_peak = 0
         self.repins = 0
         self.repinned_fragments = 0
@@ -704,6 +751,8 @@ class PlacedWorkerPool:
         # Reset before the empty-batch return: a no-task call must not leave
         # the previous call's counts behind for the caller to re-accumulate.
         self.last_route_counts = {}
+        self.last_task_workers = {}
+        self.last_worker_metrics = []
         if not tasks:
             return results
         if owner_groups is not None:
@@ -725,10 +774,14 @@ class PlacedWorkerPool:
             list(groups),
             resubmit={worker: list(worker_tasks) for worker, worker_tasks in groups.items()},
         )
-        for payloads in replies.values():
-            for key, payload in payloads:
+        for worker_index, reply in replies.items():
+            metrics = reply.get("metrics")
+            if metrics:
+                self.last_worker_metrics.append(metrics)
+            for key, payload in reply["payloads"]:
                 results[key] = result_from_payload(key, payload, semiring=self._semiring)
                 self.dispatch_counts[key[0]] = self.dispatch_counts.get(key[0], 0) + 1
+                self.last_task_workers[key] = worker_index
         missing = [task for task in tasks if task not in results]
         if missing:
             raise WorkerPoolError(f"routed evaluation lost tasks {missing}")

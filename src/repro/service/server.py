@@ -25,7 +25,16 @@ pieces of this package:
   payloads are re-pinned into the workers; a fall-back full rebuild flushes
   everything (the pre-incremental behaviour, kept as ``incremental=False``),
 * :class:`~repro.service.stats.ServiceStatistics` making hit rates, latency
-  and per-site load observable.
+  and per-site load observable — backed by a shared
+  :class:`~repro.observability.MetricsRegistry`, alongside a
+  :class:`~repro.observability.Tracer` (every ``query`` / ``query_batch`` /
+  ``update_edge`` / ``refragment`` call is one trace with spans for cache
+  lookup, planning, routing, per-worker evaluation and kernel execution,
+  worker-side spans timed in the worker and shipped back over the private
+  result channels) and a :class:`~repro.observability.QueryLog` capturing
+  the served workload for the placement and refragmentation advisors.
+  :meth:`QueryService.metrics` exports the whole registry as JSON or
+  Prometheus text exposition.
 
 ``QueryService.from_snapshot`` restores a service from a directory written by
 :func:`~repro.service.snapshot.save_snapshot` without recomputing any closure
@@ -53,8 +62,16 @@ from ..disconnection import (
 )
 from ..disconnection.maintenance import UpdateEvent
 from ..disconnection.planner import LocalQuerySpec
+from ..exceptions import NoChainError
 from ..fragmentation import Fragmentation, Fragmenter
 from ..incremental import DeltaLog, VersionVector
+from ..observability import (
+    DEFAULT_SLOW_THRESHOLD_SECONDS,
+    MetricsRegistry,
+    QueryLog,
+    Tracer,
+)
+from ..observability.querylog import DEFAULT_CAPACITY as DEFAULT_QUERY_LOG_CAPACITY
 from ..placement import (
     PLACEMENT_POLICIES,
     Migration,
@@ -165,9 +182,16 @@ class QueryService:
             advisor instance installs it as configured.  Every
             ``refragment_check_interval`` applied updates the advisor
             assesses the layout (border growth, cross-fragment edge ratio,
-            update skew) and — when triggered and a measured improvement
-            exists — executes :meth:`refragment` live.
+            update skew, captured query skew) and — when triggered and a
+            measured improvement exists — executes :meth:`refragment` live.
         refragment_check_interval: applied updates between advisor checks.
+        tracing: produce a request trace per service call (cache lookup,
+            planning, routing, per-worker evaluation, kernel execution
+            spans).  Toggle live via ``service.tracer``.
+        query_log_size: entries retained by the structured query log the
+            advisors mine (0 disables capture entirely).
+        slow_query_threshold: seconds past which a query is also retained in
+            the log's bounded slow-query window.
     """
 
     def __init__(
@@ -187,6 +211,9 @@ class QueryService:
         delta_sequence: int = 0,
         auto_refragment: Union[bool, RefragmentationAdvisor] = False,
         refragment_check_interval: int = 32,
+        tracing: bool = True,
+        query_log_size: int = DEFAULT_QUERY_LOG_CAPACITY,
+        slow_query_threshold: float = DEFAULT_SLOW_THRESHOLD_SECONDS,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         if isinstance(placement, str) and placement not in PLACEMENT_POLICIES:
@@ -230,8 +257,20 @@ class QueryService:
         )
         self._database.add_update_listener(self._on_update)
         self._database.delta_log.resume_at(delta_sequence)
-        self._cache = LRUCache(cache_size)
-        self._stats = ServiceStatistics()
+        # One registry backs everything: the statistics view, the result
+        # cache's mirrored counters, the latency/planning histograms, and the
+        # worker-side kernel series merged in from evaluate replies.
+        self._registry = MetricsRegistry()
+        self._cache = LRUCache(cache_size, registry=self._registry)
+        self._stats = ServiceStatistics(self._registry)
+        self._tracer = Tracer(enabled=tracing)
+        self._query_log = QueryLog(
+            capacity=query_log_size, slow_threshold=slow_query_threshold
+        )
+        self._planning_hist = self._registry.histogram(
+            "repro_batch_planning_seconds",
+            "Wall-clock seconds spent planning one query batch.",
+        )
         self._workers = workers
         self._placement = placement
         self._max_chains = max_chains
@@ -369,6 +408,57 @@ class QueryService:
         return self._cache
 
     @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry every telemetry series of this service lives in."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The request tracer (toggle with ``enable()`` / ``disable()``)."""
+        return self._tracer
+
+    @property
+    def query_log(self) -> QueryLog:
+        """The bounded structured log of answered queries (workload capture)."""
+        return self._query_log
+
+    def metrics(self, format: str = "json"):
+        """Export the service's telemetry.
+
+        ``format="json"`` returns a plain-data dictionary: the flat
+        statistics view, p50/p90/p99 latency quantiles per cache outcome,
+        every registry metric's series, and query-log / tracing summaries.
+        ``format="prometheus"`` returns the registry in Prometheus text
+        exposition format, ready for a scrape endpoint.
+        """
+        if format == "prometheus":
+            return self._registry.to_prometheus()
+        if format != "json":
+            raise ValueError(f"unknown metrics format {format!r} (json or prometheus)")
+        return {
+            "stats": self._stats.as_dict(),
+            "latency_quantiles": {
+                "evaluated": self._stats.latency_quantiles("evaluated"),
+                "cached": self._stats.latency_quantiles("cached"),
+            },
+            "metrics": self._registry.as_dict(),
+            "query_log": {
+                "recorded": self._query_log.recorded,
+                "retained": len(self._query_log),
+                "slow_count": self._query_log.slow_count,
+                "slow_threshold": self._query_log.slow_threshold,
+                "cached_share": round(self._query_log.cached_share(), 4),
+                "query_skew": round(self._query_log.query_skew(), 4),
+                "error_count": self._query_log.error_count(),
+            },
+            "tracing": {
+                "enabled": self._tracer.enabled,
+                "traces_finished": self._tracer.traces_finished,
+                "traces_dropped": self._tracer.traces_dropped,
+            },
+        }
+
+    @property
     def database(self) -> FragmentedDatabase:
         """The mutable fragmented database behind the service."""
         return self._database
@@ -444,28 +534,62 @@ class QueryService:
                 chain connects the endpoints (mirrors the engine contract).
         """
         started = time.perf_counter()
-        engine = self._refresh_engine()
-        key = self._cache_key(source, target)
-        hit = self._lookup(key)
-        if hit is not None:
-            self._stats.record_query(time.perf_counter() - started, cached=True)
-            return ServiceAnswer(
-                source=source, target=target, value=hit.value, chain=hit.chain, cached=True
+        with self._tracer.span("query", source=source, target=target) as root:
+            engine = self._refresh_engine()
+            key = self._cache_key(source, target)
+            # No child span for the lookup here: a cache hit costs a few
+            # tens of microseconds all-in, and the root span's "cached"
+            # outcome already tells the whole story.  query_batch keeps its
+            # cache_lookup span — one per batch, amortised.
+            hit = self._lookup(key)
+            if hit is not None:
+                root.set("outcome", "cached")
+                latency = time.perf_counter() - started
+                self._stats.record_query(latency, cached=True)
+                self._log_query(
+                    source,
+                    target,
+                    fragments=[f for f, _ in hit.fragment_versions],
+                    latency=latency,
+                    cached=True,
+                )
+                return ServiceAnswer(
+                    source=source, target=target, value=hit.value, chain=hit.chain, cached=True
+                )
+            involved = engine.catalog.sites_storing_node(source) if source == target else []
+            if involved:
+                value, chain = self._semiring.one, None
+            else:
+                assert self._planner is not None
+                with self._tracer.span("plan"):
+                    try:
+                        plan = self._planner.plan(source, target)
+                    except NoChainError as error:
+                        root.set("outcome", "error")
+                        self._log_query(
+                            source,
+                            target,
+                            fragments=(),
+                            latency=time.perf_counter() - started,
+                            cached=False,
+                            error=str(error),
+                        )
+                        raise
+                tasks, references = collect_task_keys([plan])
+                results = self._evaluate_tasks(tasks)
+                self._stats.shared_subqueries_saved += references - len(tasks)
+                value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
+                involved = plan.fragments_involved()
+            self._cache.put(key, self._entry(value, chain, involved))
+            root.set("outcome", "evaluated")
+            latency = time.perf_counter() - started
+            self._stats.record_query(latency, cached=False)
+            self._log_query(
+                source, target, fragments=involved, latency=latency, cached=False
             )
-        involved = engine.catalog.sites_storing_node(source) if source == target else []
-        if involved:
-            value, chain = self._semiring.one, None
-        else:
-            assert self._planner is not None
-            plan = self._planner.plan(source, target)
-            tasks, references = collect_task_keys([plan])
-            results = self._evaluate_tasks(tasks)
-            self._stats.shared_subqueries_saved += references - len(tasks)
-            value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
-            involved = plan.fragments_involved()
-        self._cache.put(key, self._entry(value, chain, involved))
-        self._stats.record_query(time.perf_counter() - started, cached=False)
-        return ServiceAnswer(source=source, target=target, value=value, chain=chain, cached=False)
+            return ServiceAnswer(
+                source=source, target=target, value=value, chain=chain, cached=False
+            )
 
     def query_batch(self, queries: Sequence[Query]) -> List[ServiceAnswer]:
         """Answer a batch of queries, sharing duplicated and overlapping work.
@@ -478,84 +602,129 @@ class QueryService:
         submitted = [tuple(query) for query in queries]
         self._stats.batches += 1
         self._stats.batched_queries += len(submitted)
-        engine = self._refresh_engine()
+        with self._tracer.span("query_batch", queries=len(submitted)) as root:
+            engine = self._refresh_engine()
 
-        distinct: List[Query] = []
-        seen = set()
-        for query in submitted:
-            if query not in seen:
-                seen.add(query)
-                distinct.append(query)
-        self._stats.duplicate_queries_saved += len(submitted) - len(distinct)
+            distinct: List[Query] = []
+            seen = set()
+            for query in submitted:
+                if query not in seen:
+                    seen.add(query)
+                    distinct.append(query)
+            self._stats.duplicate_queries_saved += len(submitted) - len(distinct)
 
-        resolved: Dict[Query, ServiceAnswer] = {}
-        pending: List[Query] = []
-        for source, target in distinct:
-            key = self._cache_key(source, target)
-            hit = self._lookup(key)
-            if hit is not None:
-                resolved[(source, target)] = ServiceAnswer(
-                    source=source, target=target, value=hit.value, chain=hit.chain, cached=True
+            resolved: Dict[Query, ServiceAnswer] = {}
+            fragments_of: Dict[Query, Tuple[int, ...]] = {}
+            pending: List[Query] = []
+            with self._tracer.span("cache_lookup", queries=len(distinct)) as cache_span:
+                for source, target in distinct:
+                    key = self._cache_key(source, target)
+                    hit = self._lookup(key)
+                    if hit is not None:
+                        resolved[(source, target)] = ServiceAnswer(
+                            source=source, target=target, value=hit.value,
+                            chain=hit.chain, cached=True,
+                        )
+                        fragments_of[(source, target)] = tuple(
+                            f for f, _ in hit.fragment_versions
+                        )
+                    else:
+                        storing = (
+                            engine.catalog.sites_storing_node(source)
+                            if source == target
+                            else []
+                        )
+                        if storing:
+                            value, chain = self._semiring.one, None
+                            self._cache.put(key, self._entry(value, chain, storing))
+                            resolved[(source, target)] = ServiceAnswer(
+                                source=source, target=target, value=value,
+                                chain=chain, cached=False,
+                            )
+                            fragments_of[(source, target)] = tuple(storing)
+                        else:
+                            pending.append((source, target))
+                cache_span.set("hits", len(distinct) - len(pending))
+
+            if pending:
+                assert self._batch_planner is not None
+                with self._tracer.span("batch_plan", queries=len(pending)) as plan_span:
+                    batch = self._batch_planner.plan_batch(pending)
+                    plan_span.set("tasks", len(batch.tasks))
+                    plan_span.set("owner_rounds", batch.owner_rounds())
+                self._planning_hist.observe(batch.planning_seconds)
+                if batch.owner_groups:
+                    # Placement-aware batch: the planner grouped the whole
+                    # batch's tasks per owner, so the routed pool ships exactly
+                    # one message round per owner instead of re-deriving routes.
+                    self._stats.placement_aware_batches += 1
+                    self._stats.batch_owner_rounds += batch.owner_rounds()
+                results = self._evaluate_tasks(
+                    batch.tasks, owner_groups=batch.owner_groups or None
                 )
-            else:
-                storing = (
-                    engine.catalog.sites_storing_node(source) if source == target else []
-                )
-                if storing:
-                    value, chain = self._semiring.one, None
-                    self._cache.put(key, self._entry(value, chain, storing))
-                    resolved[(source, target)] = ServiceAnswer(
-                        source=source, target=target, value=value, chain=chain, cached=False
+                self._stats.shared_subqueries_saved += batch.shared_subqueries_saved()
+                with self._tracer.span("assemble", queries=len(batch.unique_queries)):
+                    for index, query in enumerate(batch.unique_queries):
+                        source, target = query
+                        plan = batch.plans[index]
+                        if plan is None:
+                            resolved[query] = ServiceAnswer(
+                                source=source, target=target, value=None, chain=None,
+                                cached=False, error=batch.errors[index],
+                            )
+                            fragments_of[query] = ()
+                            continue
+                        value, chain = assemble_best_chain(
+                            plan, results, semiring=self._semiring
+                        )
+                        involved = plan.fragments_involved()
+                        self._cache.put(
+                            self._cache_key(source, target),
+                            self._entry(value, chain, involved),
+                        )
+                        resolved[query] = ServiceAnswer(
+                            source=source, target=target, value=value,
+                            chain=chain, cached=False,
+                        )
+                        fragments_of[query] = tuple(involved)
+
+            elapsed = time.perf_counter() - started
+            per_query = elapsed / len(submitted) if submitted else 0.0
+            answers = []
+            first_occurrence_seen = set()
+            # Per-entry log costs that are invariant across the batch (trace
+            # id, semiring name, timestamp) are paid once, not per query.
+            log = self._query_log if self._query_log.enabled else None
+            if log is not None:
+                trace_id = self._tracer.current_trace_id
+                semiring_name = self._semiring.name
+                now = time.time()
+            for query in submitted:
+                answer = resolved[query]
+                # A duplicate of an already-resolved query was served without
+                # any work of its own: count it as a hit, whatever its first
+                # occurrence cost.  The recorded latency is the batch's
+                # amortised per-query share.
+                duplicate = query in first_occurrence_seen
+                first_occurrence_seen.add(query)
+                cached = answer.cached or duplicate
+                self._stats.record_query(per_query, cached=cached)
+                if log is not None:
+                    log.push(
+                        answer.source,
+                        answer.target,
+                        semiring_name,
+                        fragments_of.get(query, ()),
+                        per_query,
+                        cached,
+                        True,
+                        trace_id,
+                        answer.error,
+                        now,
                     )
-                else:
-                    pending.append((source, target))
-
-        if pending:
-            assert self._batch_planner is not None
-            batch = self._batch_planner.plan_batch(pending)
-            if batch.owner_groups:
-                # Placement-aware batch: the planner grouped the whole
-                # batch's tasks per owner, so the routed pool ships exactly
-                # one message round per owner instead of re-deriving routes.
-                self._stats.placement_aware_batches += 1
-                self._stats.batch_owner_rounds += batch.owner_rounds()
-            results = self._evaluate_tasks(
-                batch.tasks, owner_groups=batch.owner_groups or None
-            )
-            self._stats.shared_subqueries_saved += batch.shared_subqueries_saved()
-            for index, query in enumerate(batch.unique_queries):
-                source, target = query
-                plan = batch.plans[index]
-                if plan is None:
-                    resolved[query] = ServiceAnswer(
-                        source=source, target=target, value=None, chain=None,
-                        cached=False, error=batch.errors[index],
-                    )
-                    continue
-                value, chain = assemble_best_chain(plan, results, semiring=self._semiring)
-                self._cache.put(
-                    self._cache_key(source, target),
-                    self._entry(value, chain, plan.fragments_involved()),
-                )
-                resolved[query] = ServiceAnswer(
-                    source=source, target=target, value=value, chain=chain, cached=False
-                )
-
-        elapsed = time.perf_counter() - started
-        per_query = elapsed / len(submitted) if submitted else 0.0
-        answers = []
-        first_occurrence_seen = set()
-        for query in submitted:
-            answer = resolved[query]
-            # A duplicate of an already-resolved query was served without any
-            # work of its own: count it as a hit, whatever its first
-            # occurrence cost.  The recorded latency is the batch's amortised
-            # per-query share.
-            duplicate = query in first_occurrence_seen
-            first_occurrence_seen.add(query)
-            self._stats.record_query(per_query, cached=answer.cached or duplicate)
-            answers.append(answer)
-        return answers
+                answers.append(answer)
+            root.set("outcome", "evaluated" if pending else "cached")
+            return answers
 
     # --------------------------------------------------------------- updates
 
@@ -577,14 +746,22 @@ class QueryService:
         ``refragment_check_interval``-th update also asks the advisor
         whether the layout's locality has eroded enough to redraw.
         """
-        if delete:
-            owner = self._database.delete_edge(source, target, symmetric=symmetric)
-        elif self._database.graph.has_edge(source, target):
-            owner = self._database.update_edge_weight(source, target, weight)
-        else:
-            owner = self._database.insert_edge(source, target, weight, symmetric=symmetric)
-        self._maybe_auto_refragment()
-        return owner
+        with self._tracer.span("update_edge", source=source, target=target) as root:
+            if delete:
+                with self._tracer.span("apply_update", kind="delete"):
+                    owner = self._database.delete_edge(source, target, symmetric=symmetric)
+            elif self._database.graph.has_edge(source, target):
+                with self._tracer.span("apply_update", kind="reweight"):
+                    owner = self._database.update_edge_weight(source, target, weight)
+            else:
+                with self._tracer.span("apply_update", kind="insert"):
+                    owner = self._database.insert_edge(
+                        source, target, weight, symmetric=symmetric
+                    )
+            root.set("owner", owner)
+            with self._tracer.span("auto_refragment_check"):
+                self._maybe_auto_refragment()
+            return owner
 
     # -------------------------------------------------------- refragmentation
 
@@ -614,28 +791,36 @@ class QueryService:
         the advisor path found no worthwhile candidate and left the layout
         untouched (distinguish via ``stats.refragments``).
         """
-        self._refresh_engine()
-        database = self._database
-        if fragmenter is None:
-            chooser = advisor or self._refragment_advisor or RefragmentationAdvisor()
-            advice = chooser.recommend(
-                database.fragmentation(), fragment_count=fragment_count
-            )
-            if not advice.worthwhile:
-                # The advisor's contract: a redraw is a measured improvement.
-                # A candidate that does not shrink the border set is not
-                # executed — the deployed layout stays.
-                return None
-            return self._apply_advice(advice)
-        if isinstance(fragmenter, str):
-            count = fragment_count or database.fragmentation().fragment_count()
-            chosen: Fragmenter = fragmenter_for(fragmenter, count, graph=database.graph)
-        else:
-            chosen = fragmenter
-        database.refragment(chosen)  # the update listener evicts and re-pins
-        result = database.last_refragment
-        self._refresh_engine()  # full-rebuild path: rebuild (and restart the pool) now
-        return result
+        with self._tracer.span("refragment") as root:
+            self._refresh_engine()
+            database = self._database
+            if fragmenter is None:
+                chooser = advisor or self._refragment_advisor or RefragmentationAdvisor()
+                with self._tracer.span("recommend"):
+                    advice = chooser.recommend(
+                        database.fragmentation(), fragment_count=fragment_count
+                    )
+                if not advice.worthwhile:
+                    # The advisor's contract: a redraw is a measured improvement.
+                    # A candidate that does not shrink the border set is not
+                    # executed — the deployed layout stays.
+                    root.set("outcome", "rejected")
+                    return None
+                root.set("outcome", "applied")
+                return self._apply_advice(advice)
+            if isinstance(fragmenter, str):
+                count = fragment_count or database.fragmentation().fragment_count()
+                chosen: Fragmenter = fragmenter_for(fragmenter, count, graph=database.graph)
+            else:
+                chosen = fragmenter
+            with self._tracer.span("redraw"):
+                database.refragment(chosen)  # the update listener evicts and re-pins
+            result = database.last_refragment
+            with self._tracer.span("rebuild"):
+                # Full-rebuild path: rebuild (and restart the pool) now.
+                self._refresh_engine()
+            root.set("outcome", "applied")
+            return result
 
     def _apply_advice(self, advice) -> Optional[RefragmentResult]:
         """Execute exactly the layout an advisor judged worthwhile.
@@ -671,6 +856,7 @@ class QueryService:
             fragmentation,
             version_vector=self._database.version_vector,
             delta_log=self._database.delta_log,
+            query_log=self._query_log,
         )
         if not assessment.triggered:
             return
@@ -724,6 +910,7 @@ class QueryService:
             pool.plan,
             dict(self._stats.per_site_load),
             delta_log=self._database.delta_log,
+            query_log=self._query_log,
         )
         if apply:
             for migration in migrations:
@@ -796,6 +983,32 @@ class QueryService:
             chain=chain,
             epoch=vector.epoch,
             fragment_versions=vector.snapshot_of(fragments),
+        )
+
+    def _log_query(
+        self,
+        source: Node,
+        target: Node,
+        *,
+        fragments,
+        latency: float,
+        cached: bool,
+        batched: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one answered (or failed) query in the workload log."""
+        if not self._query_log.enabled:
+            return
+        self._query_log.push(
+            source,
+            target,
+            self._semiring.name,
+            tuple(fragments),
+            latency,
+            cached,
+            batched,
+            self._tracer.current_trace_id,
+            error,
         )
 
     def _lookup(self, key: CacheKey) -> Optional[CachedAnswer]:
@@ -988,33 +1201,101 @@ class QueryService:
     ) -> Dict[TaskKey, LocalQueryResult]:
         engine = self._current_engine
         assert engine is not None
-        if self._workers:
-            pool = self._ensure_pool()
-            if isinstance(pool, PlacedWorkerPool):
-                refreshes_before = pool.replica_refreshes
-                results = pool.evaluate(tasks, owner_groups=owner_groups)
-                self._stats.replica_refreshes += pool.replica_refreshes - refreshes_before
-                # Per-owner load comes from the pool's actual routing (which
-                # may differ from plan ownership when a replica or respawned
-                # worker ran a task), accumulated here so it survives pool
-                # restarts.
-                for worker, count in pool.last_route_counts.items():
-                    self._stats.per_owner_dispatch[worker] = (
-                        self._stats.per_owner_dispatch.get(worker, 0) + count
+        with self._tracer.span("evaluate", tasks=len(tasks)) as espan:
+            if self._workers:
+                pool = self._ensure_pool()
+                if isinstance(pool, PlacedWorkerPool):
+                    espan.set("pool", "placed")
+                    refreshes_before = pool.replica_refreshes
+                    results = pool.evaluate(tasks, owner_groups=owner_groups)
+                    self._stats.replica_refreshes += (
+                        pool.replica_refreshes - refreshes_before
                     )
-                self._stats.observe_owner_queues(
-                    owner_count=pool.worker_count, queue_depth_peak=pool.queue_depth_peak
-                )
+                    # Per-owner load comes from the pool's actual routing
+                    # (which may differ from plan ownership when a replica or
+                    # respawned worker ran a task), accumulated here so it
+                    # survives pool restarts.
+                    for worker, count in pool.last_route_counts.items():
+                        self._stats.per_owner_dispatch[worker] = (
+                            self._stats.per_owner_dispatch.get(worker, 0) + count
+                        )
+                    self._stats.observe_owner_queues(
+                        owner_count=pool.worker_count,
+                        queue_depth_peak=pool.queue_depth_peak,
+                    )
+                    # Fold the workers' drained in-process registries into the
+                    # service registry (kernel time/tuples per worker+fragment)
+                    # and attach worker-side spans: one worker_evaluate span
+                    # per owner that ran tasks, parenting one kernel span per
+                    # task it evaluated.  Durations were timed inside the
+                    # worker processes and shipped back with the results.
+                    for payload in pool.last_worker_metrics:
+                        self._registry.merge_dict(payload)
+                    by_worker: Dict[int, List[TaskKey]] = {}
+                    for key, worker in pool.last_task_workers.items():
+                        by_worker.setdefault(worker, []).append(key)
+                    for worker, keys in sorted(by_worker.items()):
+                        worker_span = self._tracer.remote_span(
+                            "worker_evaluate",
+                            sum(results[k].statistics.elapsed_seconds for k in keys),
+                            worker=worker,
+                            tasks=len(keys),
+                        )
+                        for key in keys:
+                            self._tracer.remote_span(
+                                "kernel",
+                                results[key].statistics.elapsed_seconds,
+                                parent=worker_span,
+                                worker=worker,
+                                fragment=key[0],
+                            )
+                else:
+                    espan.set("pool", "replicated")
+                    results = pool.evaluate(tasks)
+                    for key in tasks:
+                        self._tracer.remote_span(
+                            "kernel",
+                            results[key].statistics.elapsed_seconds,
+                            fragment=key[0],
+                        )
             else:
-                results = pool.evaluate(tasks)
-        else:
-            results = {}
-            for key in tasks:
-                fragment_id, entry_nodes, exit_nodes = key
-                spec = LocalQuerySpec(
-                    fragment_id=fragment_id, entry_nodes=entry_nodes, exit_nodes=exit_nodes
-                )
-                results[key] = self._evaluator.evaluate(engine.catalog.site(fragment_id), spec)
+                espan.set("pool", "in-process")
+                results = {}
+                # The evaluator already timed each kernel; aggregate the
+                # durations per fragment and attach one kernel span per
+                # fragment, so trace size (and hot-path span cost) is
+                # bounded by the layout rather than the batch's task count.
+                tracing = self._tracer.current_span is not None
+                kernel_seconds: Dict[int, float] = {}
+                kernel_tasks: Dict[int, int] = {}
+                for key in tasks:
+                    fragment_id, entry_nodes, exit_nodes = key
+                    spec = LocalQuerySpec(
+                        fragment_id=fragment_id,
+                        entry_nodes=entry_nodes,
+                        exit_nodes=exit_nodes,
+                    )
+                    result = self._evaluator.evaluate(
+                        engine.catalog.site(fragment_id), spec
+                    )
+                    results[key] = result
+                    if tracing:
+                        kernel_seconds[fragment_id] = (
+                            kernel_seconds.get(fragment_id, 0.0)
+                            + result.statistics.elapsed_seconds
+                        )
+                        kernel_tasks[fragment_id] = (
+                            kernel_tasks.get(fragment_id, 0) + 1
+                        )
+                if tracing:
+                    attach = self._tracer.attach_span
+                    for fragment_id, seconds in kernel_seconds.items():
+                        attach(
+                            "kernel",
+                            seconds,
+                            fragment=fragment_id,
+                            tasks=kernel_tasks[fragment_id],
+                        )
         # One dispatch per *task*: a batch of n shared subqueries records n
         # site dispatches, never one per batch.
         for key in tasks:

@@ -4,113 +4,278 @@ The paper's economics only work when the preparation cost (fragmentation +
 complementary information) is amortised over many queries; these counters make
 the amortisation observable: cache hit rate, per-site dispatch load, the
 subqueries a batch shared instead of recomputing, and the invalidations that
-updates caused.  :meth:`ServiceStatistics.as_dict` is the flat form the CLI's
-``stats`` command and the throughput benchmark print.
+updates caused.
+
+:class:`ServiceStatistics` is now a thin **compatibility view** over a
+:class:`~repro.observability.metrics.MetricsRegistry`: every field read or
+written here is a labeled metric in the registry (see the ``_INT_COUNTERS``
+/ ``_FLOAT_COUNTERS`` / ``_GAUGES`` tables for the field -> metric-name
+mapping), so the flat counter bag, the Prometheus exposition, and the JSON
+export can never disagree — they are one store.  On top of the flat view the
+registry holds what a counter bag cannot express: the
+``repro_query_latency_seconds`` histogram (split by ``outcome`` into
+``cached`` vs ``evaluated`` series, so a hit-rate change cannot distort the
+evaluated mean) with :meth:`latency_quantiles` p50/p90/p99 estimation.
+
+:meth:`ServiceStatistics.as_dict` / :meth:`ServiceStatistics.from_dict`
+round-trip the raw counters (snapshot checkpointing), and
+:meth:`ServiceStatistics.reset` clears them in place — the serve loop's
+counter checkpoint/clear, without poking fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator, Mapping, Optional
+
+from ..observability import MetricsRegistry
+from ..observability.metrics import Counter
+
+# field -> (metric name, help).  Integer counters: monotone event totals.
+_INT_COUNTERS: Dict[str, tuple] = {
+    "queries": ("repro_queries_total", "Queries answered, single and batched (cache hits included)."),
+    "batches": ("repro_batches_total", "query_batch calls served."),
+    "batched_queries": ("repro_batched_queries_total", "Queries submitted through batches."),
+    "cache_hits": ("repro_cache_hits_total", "Result-cache hits (batch duplicates included)."),
+    "cache_misses": ("repro_cache_misses_total", "Result-cache misses."),
+    "local_evaluations": ("repro_local_evaluations_total", "Per-fragment subqueries actually evaluated."),
+    "shared_subqueries_saved": ("repro_shared_subqueries_saved_total", "Subquery evaluations avoided by sharing."),
+    "duplicate_queries_saved": ("repro_duplicate_queries_saved_total", "Batch queries answered by deduplication."),
+    "invalidations": ("repro_invalidations_total", "Cache invalidation passes triggered by updates."),
+    "scoped_invalidations": ("repro_scoped_invalidations_total", "Invalidation passes that were fragment-scoped."),
+    "cache_entries_evicted": ("repro_cache_entries_evicted_total", "Answers dropped by update invalidation."),
+    "updates_applied": ("repro_updates_applied_total", "Edge insertions/deletions/reweights applied."),
+    "replayed_records": ("repro_replayed_records_total", "Delta-log records replayed into a restored snapshot."),
+    "snapshots_saved": ("repro_snapshots_saved_total", "Snapshot-store writes."),
+    "snapshots_loaded": ("repro_snapshots_loaded_total", "Snapshot-store restores."),
+    "migrations": ("repro_migrations_total", "Live fragment migrations applied."),
+    "placement_aware_batches": ("repro_placement_aware_batches_total", "Batches pre-grouped per owner by the planner."),
+    "batch_owner_rounds": ("repro_batch_owner_rounds_total", "Per-owner messages those groupings shipped."),
+    "refragments": ("repro_refragments_total", "Boundary redraws applied through the service."),
+    "scoped_refragments": ("repro_scoped_refragments_total", "Redraws absorbed in place (workers kept alive)."),
+    "refragment_fragments_rebuilt": ("repro_refragment_fragments_rebuilt_total", "Fragments rebuilt across scoped redraws."),
+    "refragment_fragments_kept": ("repro_refragment_fragments_kept_total", "Fragments kept object-identical across scoped redraws."),
+    "refragment_moved_edges": ("repro_refragment_moved_edges_total", "Edges re-shipped by scoped redraws."),
+    "replica_refreshes": ("repro_replica_refreshes_total", "Fenced replicas lazily refreshed on first routed read."),
+    "replica_repins_deferred": ("repro_replica_repins_deferred_total", "Eager replica re-pins the fencing avoided."),
+}
+
+# Float counters: monotone wall-clock accumulators.
+_FLOAT_COUNTERS: Dict[str, tuple] = {
+    "total_latency": ("repro_latency_seconds_total", "Wall-clock seconds answering queries (cached + evaluated)."),
+    "cached_latency": ("repro_cached_latency_seconds_total", "Wall-clock seconds spent serving cache hits."),
+    "evaluated_latency": ("repro_evaluated_latency_seconds_total", "Wall-clock seconds spent on full evaluations."),
+}
+
+# Gauges: last-written / high-water values, and the one signed accumulator
+# (border_nodes_recovered counts negative contributions too).
+_GAUGES: Dict[str, tuple] = {
+    "owner_count": ("repro_owner_count", "Worker slots behind the per-owner dispatch series."),
+    "queue_depth_peak": ("repro_queue_depth_peak", "Largest per-owner task batch observed."),
+    "border_nodes_recovered": ("repro_border_nodes_recovered", "Cumulative border-node reduction across redraws (signed)."),
+    "max_latency": ("repro_max_latency_seconds", "Slowest answer observed (cached or evaluated)."),
+    "max_cached_latency": ("repro_max_cached_latency_seconds", "Slowest cache hit observed."),
+    "max_evaluated_latency": ("repro_max_evaluated_latency_seconds", "Slowest full evaluation observed."),
+}
+
+# Fields whose compatibility view should read as int.
+_INT_GAUGES = frozenset({"owner_count", "queue_depth_peak", "border_nodes_recovered"})
+
+LATENCY_HISTOGRAM = "repro_query_latency_seconds"
+SITE_DISPATCH_COUNTER = "repro_site_dispatch_total"
+OWNER_DISPATCH_COUNTER = "repro_owner_dispatch_total"
+
+# as_dict keys that are derived (recomputed on read) and ignored by from_dict.
+_DERIVED_KEYS = frozenset(
+    {
+        "hit_rate",
+        "dispatch_skew",
+        "average_latency",
+        "average_cached_latency",
+        "average_evaluated_latency",
+    }
+)
 
 
-@dataclass
+class _LabeledCounterDict:
+    """A dict-of-int view over one labeled counter family (int-keyed).
+
+    Keeps the historical ``stats.per_site_load[fragment] += n`` idiom working
+    while the registry's labeled series stay the single store: reads convert
+    the counter's label values back to int keys, writes go straight to the
+    series.
+    """
+
+    __slots__ = ("_counter", "_label")
+
+    def __init__(self, counter: Counter, label: str) -> None:
+        self._counter = counter
+        self._label = label
+
+    def _snapshot(self) -> Dict[int, int]:
+        return {int(key[0]): int(value) for key, value in self._counter.series().items()}
+
+    def __getitem__(self, key: int) -> int:
+        return int(self._counter.value(**{self._label: key}))
+
+    def __setitem__(self, key: int, value: int) -> None:
+        self._counter.set_value(float(value), **{self._label: key})
+
+    def get(self, key: int, default: int = 0) -> int:
+        snapshot = self._snapshot()
+        return snapshot.get(int(key), default)
+
+    def keys(self):
+        return self._snapshot().keys()
+
+    def values(self):
+        return self._snapshot().values()
+
+    def items(self):
+        return self._snapshot().items()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._snapshot())
+
+    def __len__(self) -> int:
+        return len(self._counter.series())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._snapshot()
+
+    def __bool__(self) -> bool:
+        return bool(self._counter.series())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _LabeledCounterDict):
+            return self._snapshot() == other._snapshot()
+        if isinstance(other, Mapping):
+            return self._snapshot() == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(self._snapshot())
+
+
 class ServiceStatistics:
     """Counters accumulated by a :class:`~repro.service.server.QueryService`.
 
-    Attributes:
-        queries: queries answered, single and batched (including cache hits).
-        batches: ``query_batch`` calls served.
-        batched_queries: queries submitted through batches.
-        cache_hits / cache_misses: result-cache outcomes; duplicates within
-            one batch count as hits (they are served without work of their
-            own).
-        local_evaluations: per-fragment subqueries actually evaluated.
-        shared_subqueries_saved: subquery evaluations avoided because another
-            chain (or another query of the same batch) already needed the same
-            ``(fragment, entry, exit)`` work.
-        duplicate_queries_saved: batch queries answered by deduplication.
-        invalidations: cache invalidation passes triggered by updates.
-        scoped_invalidations: invalidation passes that were fragment-scoped
-            (incremental updates) rather than whole-cache flushes.
-        cache_entries_evicted: answers dropped by update invalidation (scoped
-            and full).
-        updates_applied: edge insertions/deletions/reweights applied.
-        replayed_records: delta-log records replayed into a restored
-            snapshot (``QueryService.from_snapshot(..., replay_log=...)``).
-        snapshots_saved / snapshots_loaded: snapshot-store round trips.
-        per_site_load: subqueries dispatched to each fragment site.
-        per_owner_dispatch: subqueries routed to each owner *worker* under a
-            placement plan (counts tasks, never routed messages: one owner
-            message may batch many subqueries).
-        owner_count: worker slots behind ``per_owner_dispatch`` — workers
-            that never received a task still count in the skew denominator.
-        queue_depth_peak: the largest per-owner task batch observed (the
-            routed pool's queue-depth high-water mark).
-        migrations: live fragment migrations applied (rebalancing).
-        placement_aware_batches: batches whose tasks were pre-grouped per
-            owner by the batch planner (one routed message per owner).
-        batch_owner_rounds: total per-owner messages those groupings shipped.
-        refragments: boundary redraws applied through the service (scoped
-            and full-rebuild alike).
-        scoped_refragments: redraws absorbed in place — only changed
-            fragments rebuilt, workers kept alive.
-        refragment_fragments_rebuilt / refragment_fragments_kept: fragments
-            rebuilt vs kept object-identical across all scoped redraws.
-        refragment_moved_edges: edges re-shipped by scoped redraws (what a
-            full rebuild would multiply by every fragment).
-        border_nodes_recovered: cumulative reduction in distinct border
-            nodes across redraws — the locality the advisor's redraws won
-            back (negative contributions count too).
-        replica_refreshes: fenced replicas lazily refreshed on first routed
-            read (replica version fencing).
-        replica_repins_deferred: eager replica re-pins the fencing avoided.
-        total_latency / max_latency: wall-clock seconds spent answering
-            queries (cache hits included — they are what the cache buys).
+    The attribute API is unchanged from the original dataclass (every field
+    documented in the module tables reads and writes like a plain int/float
+    attribute, ``per_site_load`` / ``per_owner_dispatch`` like plain dicts)
+    — but the storage is the given
+    :class:`~repro.observability.metrics.MetricsRegistry`, which other
+    components (result cache, tracer, worker metrics merges) share.
+
+    Latency accounting is asymmetric on purpose: cached hits and full
+    evaluations accumulate into *separate* series (``cached_latency`` /
+    ``evaluated_latency`` and the two-outcome latency histogram), because a
+    hit-rate shift would otherwise distort the evaluated mean — the figure
+    capacity planning actually needs.  ``total_latency`` / ``max_latency``
+    remain as the combined view.
+
+    Args:
+        registry: the metrics registry to back the counters (a private one
+            is created when not given — every counter still works, it is
+            just not shared).
     """
 
-    queries: int = 0
-    batches: int = 0
-    batched_queries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    local_evaluations: int = 0
-    shared_subqueries_saved: int = 0
-    duplicate_queries_saved: int = 0
-    invalidations: int = 0
-    scoped_invalidations: int = 0
-    cache_entries_evicted: int = 0
-    updates_applied: int = 0
-    replayed_records: int = 0
-    snapshots_saved: int = 0
-    snapshots_loaded: int = 0
-    per_site_load: Dict[int, int] = field(default_factory=dict)
-    per_owner_dispatch: Dict[int, int] = field(default_factory=dict)
-    owner_count: int = 0
-    queue_depth_peak: int = 0
-    migrations: int = 0
-    placement_aware_batches: int = 0
-    batch_owner_rounds: int = 0
-    refragments: int = 0
-    scoped_refragments: int = 0
-    refragment_fragments_rebuilt: int = 0
-    refragment_fragments_kept: int = 0
-    refragment_moved_edges: int = 0
-    border_nodes_recovered: int = 0
-    replica_refreshes: int = 0
-    replica_repins_deferred: int = 0
-    total_latency: float = 0.0
-    max_latency: float = 0.0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        object.__setattr__(self, "_registry", reg)
+        metrics: Dict[str, object] = {}
+        for field, (name, help_text) in _INT_COUNTERS.items():
+            metrics[field] = reg.counter(name, help_text)
+        for field, (name, help_text) in _FLOAT_COUNTERS.items():
+            metrics[field] = reg.counter(name, help_text)
+        for field, (name, help_text) in _GAUGES.items():
+            metrics[field] = reg.gauge(name, help_text)
+        object.__setattr__(self, "_metrics", metrics)
+        object.__setattr__(
+            self,
+            "_latency",
+            reg.histogram(
+                LATENCY_HISTOGRAM,
+                "Per-query wall-clock latency, split by cache outcome.",
+                labelnames=("outcome",),
+            ),
+        )
+        object.__setattr__(
+            self,
+            "per_site_load",
+            _LabeledCounterDict(
+                reg.counter(
+                    SITE_DISPATCH_COUNTER,
+                    "Subqueries dispatched to each fragment site.",
+                    labelnames=("fragment",),
+                ),
+                "fragment",
+            ),
+        )
+        object.__setattr__(
+            self,
+            "per_owner_dispatch",
+            _LabeledCounterDict(
+                reg.counter(
+                    OWNER_DISPATCH_COUNTER,
+                    "Subqueries routed to each owner worker (tasks, not messages).",
+                    labelnames=("worker",),
+                ),
+                "worker",
+            ),
+        )
+
+    # ----------------------------------------------------- attribute routing
+
+    def __getattr__(self, name: str):
+        # Only called when normal lookup fails: the registry-backed fields.
+        metrics = object.__getattribute__(self, "_metrics")
+        metric = metrics.get(name)
+        if metric is None:
+            raise AttributeError(name)
+        value = metric.value()
+        if name in _FLOAT_COUNTERS or (name in _GAUGES and name not in _INT_GAUGES):
+            return value
+        return int(value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        metrics = object.__getattribute__(self, "_metrics")
+        metric = metrics.get(name)
+        if metric is None:
+            object.__setattr__(self, name, value)
+        elif name in _GAUGES:
+            metric.set(float(value))  # type: ignore[union-attr, arg-type]
+        else:
+            # Counters arrive as absolute values (the += idiom reads first);
+            # set_value keeps the view exact, including from_dict restores.
+            metric.set_value(float(value))  # type: ignore[union-attr, arg-type]
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry backing (and superseding) these counters."""
+        return self._registry
 
     # ------------------------------------------------------------- recording
 
     def record_query(self, latency: float, *, cached: bool) -> None:
-        """Record one answered query and its wall-clock latency."""
+        """Record one answered query and its wall-clock latency.
+
+        Cached hits and full evaluations land in separate latency series
+        (and separate histogram outcomes); the combined ``total_latency`` /
+        ``max_latency`` aggregates are kept for the historical view.
+        """
         self.queries += 1
         if cached:
             self.cache_hits += 1
+            self.cached_latency += latency
+            if latency > self.max_cached_latency:
+                self.max_cached_latency = latency
+            self._latency.observe(latency, outcome="cached")
         else:
             self.cache_misses += 1
+            self.evaluated_latency += latency
+            if latency > self.max_evaluated_latency:
+                self.max_evaluated_latency = latency
+            self._latency.observe(latency, outcome="evaluated")
         self.total_latency += latency
         self.max_latency = max(self.max_latency, latency)
 
@@ -145,6 +310,31 @@ class ServiceStatistics:
         """Return the mean per-query latency in seconds (0.0 when idle)."""
         return self.total_latency / self.queries if self.queries else 0.0
 
+    def average_cached_latency(self) -> float:
+        """Return the mean cache-hit latency (0.0 when no hit was served)."""
+        return self.cached_latency / self.cache_hits if self.cache_hits else 0.0
+
+    def average_evaluated_latency(self) -> float:
+        """Return the mean full-evaluation latency (0.0 when none ran).
+
+        This is the series :meth:`average_latency` used to distort: a rising
+        hit rate pulls the combined mean down without a single evaluation
+        getting faster.
+        """
+        return self.evaluated_latency / self.cache_misses if self.cache_misses else 0.0
+
+    def latency_quantiles(self, outcome: str = "evaluated") -> Dict[str, float]:
+        """Return p50/p90/p99 latency estimates from the histogram registry.
+
+        ``outcome`` selects the series: ``"evaluated"`` (default) or
+        ``"cached"``.  All zeros when the series has no observations.
+        """
+        return {
+            "p50": self._latency.quantile(0.50, outcome=outcome),
+            "p90": self._latency.quantile(0.90, outcome=outcome),
+            "p99": self._latency.quantile(0.99, outcome=outcome),
+        }
+
     def dispatch_skew(self) -> float:
         """Return max/mean per-owner dispatch load (1.0 = balanced, 0.0 = idle).
 
@@ -159,7 +349,12 @@ class ServiceStatistics:
         return max(self.per_owner_dispatch.values()) / mean if mean else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        """Return the counters as a flat dictionary (for reporting)."""
+        """Return the counters as a flat dictionary (for reporting).
+
+        Raw counters round-trip through :meth:`from_dict`; the derived
+        figures (``hit_rate``, ``dispatch_skew``, the averages) are
+        recomputed on restore and ignored by ``from_dict``.
+        """
         return {
             "queries": self.queries,
             "batches": self.batches,
@@ -179,6 +374,7 @@ class ServiceStatistics:
             "snapshots_loaded": self.snapshots_loaded,
             "per_site_load": dict(sorted(self.per_site_load.items())),
             "per_owner_dispatch": dict(sorted(self.per_owner_dispatch.items())),
+            "owner_count": self.owner_count,
             "dispatch_skew": round(self.dispatch_skew(), 4),
             "queue_depth_peak": self.queue_depth_peak,
             "migrations": self.migrations,
@@ -192,6 +388,52 @@ class ServiceStatistics:
             "border_nodes_recovered": self.border_nodes_recovered,
             "replica_refreshes": self.replica_refreshes,
             "replica_repins_deferred": self.replica_repins_deferred,
+            "total_latency": self.total_latency,
+            "cached_latency": self.cached_latency,
+            "evaluated_latency": self.evaluated_latency,
             "average_latency": self.average_latency(),
+            "average_cached_latency": self.average_cached_latency(),
+            "average_evaluated_latency": self.average_evaluated_latency(),
             "max_latency": self.max_latency,
+            "max_cached_latency": self.max_cached_latency,
+            "max_evaluated_latency": self.max_evaluated_latency,
         }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], *, registry: Optional[MetricsRegistry] = None
+    ) -> "ServiceStatistics":
+        """Rebuild statistics from an :meth:`as_dict` snapshot.
+
+        Derived keys (``hit_rate``, the averages, ``dispatch_skew``) are
+        ignored — they recompute from the restored raw counters — as are
+        unknown keys, so snapshots survive future counter additions.  Dict
+        keys arriving as strings (a JSON round trip) are coerced back to
+        int.  The latency *distribution* is not part of the flat snapshot:
+        the histogram restarts empty; only its totals are restored.
+        """
+        stats = cls(registry)
+        for field in list(_INT_COUNTERS) + list(_FLOAT_COUNTERS) + list(_GAUGES):
+            if field in data and field not in _DERIVED_KEYS:
+                setattr(stats, field, data[field])
+        for field in ("per_site_load", "per_owner_dispatch"):
+            mapping = data.get(field)
+            if isinstance(mapping, Mapping):
+                view = getattr(stats, field)
+                for key, value in mapping.items():
+                    view[int(key)] = int(value)  # type: ignore[call-overload]
+        return stats
+
+    def reset(self) -> None:
+        """Zero every counter, gauge, series, and histogram in the registry.
+
+        The serve loop's checkpoint/clear: snapshot :meth:`as_dict` first if
+        the window matters.  Resets the *whole* backing registry — including
+        metrics other components registered on it (cache counters, worker
+        kernel series); a reset is a registry-wide epoch, not a per-field
+        poke.
+        """
+        self._registry.reset()
+
+    def __repr__(self) -> str:
+        return f"ServiceStatistics({self.as_dict()!r})"

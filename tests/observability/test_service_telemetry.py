@@ -1,0 +1,272 @@
+"""Service-level telemetry: traces across the placed pool, exporters, advisors."""
+
+import json
+import random
+
+import pytest
+
+from repro.fragmentation import GroundTruthFragmenter
+from repro.graph import DiGraph
+from repro.observability import MetricsRegistry, QueryLog
+from repro.placement import RebalanceAdvisor
+from repro.refragmentation import RefragmentationAdvisor
+from repro.service import QueryService
+from repro.service.pool import WORKER_KERNEL_HISTOGRAM, WORKER_TUPLES_COUNTER
+from repro.service.stats import ServiceStatistics
+
+
+def clique_line_fragmentation(blocks=3, block_size=4, seed=7):
+    rng = random.Random(seed)
+    graph = DiGraph()
+    node_blocks = [
+        list(range(index * block_size, (index + 1) * block_size))
+        for index in range(blocks)
+    ]
+    for block in node_blocks:
+        for i, a in enumerate(block):
+            for b in block[i + 1:]:
+                weight = rng.uniform(0.5, 3.0)
+                graph.add_edge(a, b, weight)
+                graph.add_edge(b, a, weight)
+    for index in range(blocks - 1):
+        left = node_blocks[index][-1]
+        right = node_blocks[index + 1][0]
+        graph.add_edge(left, right, 1.0)
+        graph.add_edge(right, left, 1.0)
+    return GroundTruthFragmenter([set(block) for block in node_blocks]).fragment(graph)
+
+
+def cross_fragment_queries(blocks=3, block_size=4):
+    """Queries whose chains traverse every fragment of the clique line."""
+    return [(0, blocks * block_size - 1), (blocks * block_size - 1, 0), (1, 9), (2, 10)]
+
+
+class TestTracedBatchAcrossPlacedPool:
+    def test_spans_cover_cache_planning_and_every_owner_kernel(self):
+        fragmentation = clique_line_fragmentation()
+        queries = cross_fragment_queries()
+        with QueryService(
+            fragmentation, placement="round_robin", workers=3
+        ) as service:
+            service.query_batch(queries)
+            trace = service.tracer.recent(1)[0]
+
+            # One trace id covers the whole call, rooted at query_batch.
+            assert trace.root_name == "query_batch"
+            assert all(span.trace_id == trace.trace_id for span in trace.spans)
+            names = trace.span_names()
+            assert "cache_lookup" in names
+            assert "batch_plan" in names
+            assert "evaluate" in names
+
+            # Every owner that actually ran tasks appears as a remote
+            # worker_evaluate span, parenting one kernel span per task it
+            # evaluated — durations timed inside the worker processes.
+            ran_tasks = service._pool.last_task_workers
+            assert ran_tasks, "the batch must have dispatched routed tasks"
+            owners_that_ran = set(ran_tasks.values())
+            worker_spans = trace.find("worker_evaluate")
+            assert {
+                span.attributes["worker"] for span in worker_spans
+            } == owners_that_ran
+            assert all(span.remote for span in worker_spans)
+            kernel_spans = trace.find("kernel")
+            assert len(kernel_spans) == len(ran_tasks)
+            worker_span_ids = {span.span_id for span in worker_spans}
+            assert all(span.parent_id in worker_span_ids for span in kernel_spans)
+            by_task = {
+                (span.attributes["worker"], span.attributes["fragment"])
+                for span in kernel_spans
+            }
+            assert by_task == {
+                (worker, key[0]) for key, worker in ran_tasks.items()
+            }
+
+    def test_worker_metrics_merge_into_the_service_registry(self):
+        fragmentation = clique_line_fragmentation()
+        with QueryService(
+            fragmentation, placement="round_robin", workers=3
+        ) as service:
+            service.query_batch(cross_fragment_queries())
+            registry = service.stats.registry
+            hist = registry.get(WORKER_KERNEL_HISTOGRAM)
+            assert hist is not None
+            total_kernels = sum(
+                series["count"] for series in hist.series_dicts()
+            )
+            assert total_kernels == len(service._pool.last_task_workers)
+            tuples = registry.get(WORKER_TUPLES_COUNTER)
+            assert sum(tuples.series().values()) > 0
+
+
+class TestSingleQueryTracing:
+    def test_query_trace_covers_plan_evaluate_and_kernels(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        trace = service.tracer.recent(1)[0]
+        assert trace.root_name == "query"
+        names = trace.span_names()
+        assert "plan" in names
+        assert "evaluate" in names
+        assert "kernel" in names
+        # In-process kernels aggregate per fragment, durations attached from
+        # the evaluator's own timer.
+        for span in trace.find("kernel"):
+            assert span.duration >= 0
+            assert "fragment" in span.attributes
+
+    def test_query_log_links_to_traces(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        [entry] = service.query_log.entries()
+        assert entry.trace_id == service.tracer.recent(1)[0].trace_id
+        assert entry.fragments  # the chain's fragments were attributed
+        assert not entry.cached
+        service.query(0, 11)
+        assert service.query_log.entries()[-1].cached
+
+    def test_tracing_off_service_produces_no_traces(self):
+        service = QueryService(clique_line_fragmentation(), tracing=False)
+        service.query(0, 11)
+        assert service.tracer.traces_finished == 0
+        assert service.query(0, 11).value is not None  # still answers
+
+
+class TestExporters:
+    def test_metrics_json_has_all_sections(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        payload = service.metrics()
+        json.dumps(payload, default=str)
+        assert set(payload) >= {
+            "stats",
+            "metrics",
+            "latency_quantiles",
+            "tracing",
+            "query_log",
+        }
+        assert payload["stats"]["queries"] == 1
+        quantiles = payload["latency_quantiles"]["evaluated"]
+        assert quantiles["p50"] > 0
+        assert quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+
+    def test_metrics_prometheus_parses_and_counts_queries(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        service.query(0, 11)
+        text = service.metrics("prometheus")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name
+            float(value)
+        assert "repro_queries_total 2" in text
+        assert "repro_query_latency_seconds_bucket" in text
+
+    def test_metrics_rejects_unknown_format(self):
+        service = QueryService(clique_line_fragmentation())
+        with pytest.raises(ValueError):
+            service.metrics("xml")
+
+
+class TestAdvisorsConsumeQueryLog:
+    def test_rebalance_advisor_accepts_query_log(self):
+        fragmentation = clique_line_fragmentation()
+        with QueryService(
+            fragmentation, placement="round_robin", workers=3
+        ) as service:
+            for _ in range(3):
+                service.cache.clear()
+                service.query_batch(cross_fragment_queries())
+            advisor = RebalanceAdvisor()
+            dispatch = dict(service.stats.per_site_load)
+            plain = advisor.fragment_loads(service.placement_plan, dispatch)
+            informed = advisor.fragment_loads(
+                service.placement_plan, dispatch, query_log=service.query_log
+            )
+            # The workload-informed load model must at least not lose signal.
+            assert sum(informed.values()) >= sum(plain.values())
+            skew = advisor.skew(
+                service.placement_plan, dispatch, query_log=service.query_log
+            )
+            assert skew >= 0.0
+
+    def test_refragmentation_advisor_accepts_query_log(self):
+        fragmentation = clique_line_fragmentation()
+        service = QueryService(fragmentation)
+        service.query(0, 11)
+        advisor = RefragmentationAdvisor(min_query_sample=1)
+        assessment = advisor.assess(fragmentation, query_log=service.query_log)
+        assert assessment is not None
+
+    def test_skewed_workload_is_visible_to_advisors(self):
+        service = QueryService(clique_line_fragmentation())
+        for _ in range(5):
+            service.cache.clear()
+            service.query(0, 3)  # stays inside fragment 0
+        assert service.query_log.query_skew() >= 1.0
+        assert 0 in service.query_log.fragment_frequencies()
+
+
+class TestStatisticsCompatibilityView:
+    def test_reset_zeroes_every_counter_and_histogram(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        assert service.stats.queries == 1
+        service.stats.reset()
+        assert service.stats.queries == 0
+        assert service.stats.latency_quantiles()["p99"] == 0.0
+        service.query(0, 5)
+        assert service.stats.queries == 1  # counting resumes
+
+    def test_as_dict_from_dict_round_trip(self):
+        service = QueryService(clique_line_fragmentation())
+        for pair in ((0, 11), (1, 9), (0, 11)):
+            service.query(*pair)
+        snapshot = service.stats.as_dict()
+        restored = ServiceStatistics.from_dict(snapshot)
+        again = restored.as_dict()
+        for key, value in snapshot.items():
+            assert again[key] == pytest.approx(value), key
+
+    def test_from_dict_coerces_json_string_keys(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        snapshot = json.loads(json.dumps(service.stats.as_dict()))
+        restored = ServiceStatistics.from_dict(snapshot)
+        assert dict(restored.per_site_load) == dict(service.stats.per_site_load)
+
+    def test_cached_and_evaluated_latency_series_are_split(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)  # evaluated
+        service.query(0, 11)  # cached
+        stats = service.stats
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.evaluated_latency > 0
+        assert stats.cached_latency > 0
+        assert stats.average_evaluated_latency() > stats.average_cached_latency()
+        assert stats.latency_quantiles("evaluated")["p50"] > 0
+        assert stats.latency_quantiles("cached")["p50"] > 0
+
+    def test_stats_share_the_service_registry(self):
+        service = QueryService(clique_line_fragmentation())
+        service.query(0, 11)
+        assert isinstance(service.stats.registry, MetricsRegistry)
+        counter = service.stats.registry.get("repro_queries_total")
+        assert counter.value() == 1
+
+
+class TestQueryLogConstructionOptions:
+    def test_query_log_size_zero_disables_logging(self):
+        service = QueryService(clique_line_fragmentation(), query_log_size=0)
+        service.query(0, 11)
+        assert service.query_log.recorded == 0
+        assert isinstance(service.query_log, QueryLog)
+
+    def test_slow_query_threshold_is_wired_through(self):
+        service = QueryService(
+            clique_line_fragmentation(), slow_query_threshold=0.0
+        )
+        service.query(0, 11)
+        assert service.query_log.slow_count == 1

@@ -1,0 +1,160 @@
+"""Tracer: span parenting, trace identity, remote spans, toggling, bounding."""
+
+import pytest
+
+from repro.observability import NULL_SPAN, Tracer
+
+
+class TestSpanParenting:
+    def test_nested_spans_share_one_trace_and_parent_correctly(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        [trace] = tracer.recent(1)
+        assert trace.trace_id == root.trace_id == child.trace_id == grandchild.trace_id
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert trace.span_names() == ["root", "child", "grandchild"]
+        assert trace.children_of(root) == [child]
+        assert trace.children_of(child) == [grandchild]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        [trace] = tracer.recent(1)
+        assert [span.name for span in trace.children_of(root)] == ["first", "second"]
+
+    def test_consecutive_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        second, first = tracer.recent(2)
+        assert first.trace_id != second.trace_id
+        assert tracer.traces_finished == 2
+
+    def test_durations_are_positive_and_nested_within_root(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        [trace] = tracer.recent(1)
+        root, child = trace.spans
+        assert 0 < child.duration <= root.duration
+        assert trace.duration == root.duration
+
+
+class TestRemoteAndAttachedSpans:
+    def test_attach_span_parents_under_current(self):
+        tracer = Tracer()
+        with tracer.span("evaluate") as parent:
+            attached = tracer.attach_span("kernel", 0.25, fragment=3)
+        [trace] = tracer.recent(1)
+        assert attached.parent_id == parent.span_id
+        assert attached.duration == 0.25
+        assert attached.attributes["fragment"] == 3
+        assert not attached.remote
+        assert trace.find("kernel") == [attached]
+
+    def test_remote_span_under_explicit_parent(self):
+        tracer = Tracer()
+        with tracer.span("evaluate"):
+            worker = tracer.remote_span("worker_evaluate", 0.5, worker=1)
+            kernel = tracer.remote_span("kernel", 0.2, parent=worker, worker=1)
+        assert worker.remote and kernel.remote
+        assert kernel.parent_id == worker.span_id
+        [trace] = tracer.recent(1)
+        assert trace.children_of(worker) == [kernel]
+
+    def test_attach_outside_any_trace_returns_none(self):
+        tracer = Tracer()
+        assert tracer.attach_span("kernel", 0.1) is None
+        assert tracer.traces_finished == 0
+
+
+class TestToggling:
+    def test_disabled_tracer_yields_null_span_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("root") as span:
+            span.set("key", "value")  # the null span absorbs attributes
+            assert span is NULL_SPAN
+        assert tracer.traces_finished == 0
+        assert tracer.recent() == []
+
+    def test_enable_disable_round_trip(self):
+        tracer = Tracer()
+        assert tracer.enabled
+        tracer.disable()
+        with tracer.span("off"):
+            pass
+        tracer.enable()
+        with tracer.span("on"):
+            pass
+        assert tracer.traces_finished == 1
+        assert tracer.recent(1)[0].root_name == "on"
+
+    def test_current_trace_id_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_trace_id is None
+        with tracer.span("root") as root:
+            assert tracer.current_trace_id == root.trace_id
+            assert tracer.current_span is root
+        assert tracer.current_trace_id is None
+
+
+class TestBoundedRing:
+    def test_oldest_traces_are_evicted(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"call_{index}"):
+                pass
+        retained = tracer.recent(10)
+        assert [trace.root_name for trace in retained] == [
+            "call_4",
+            "call_3",
+            "call_2",
+        ]
+        assert tracer.traces_finished == 5
+        assert tracer.traces_dropped == 2
+
+    def test_find_by_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("wanted") as span:
+            pass
+        assert tracer.find(span.trace_id).root_name == "wanted"
+        assert tracer.find("no-such-trace") is None
+
+    def test_clear_drops_retained_traces(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.clear() == 1
+        assert tracer.recent() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSerialization:
+    def test_trace_as_dict_round_trips_span_fields(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("root", queries=4):
+            tracer.remote_span("kernel", 0.1, worker=0, fragment=1)
+        payload = tracer.recent(1)[0].as_dict()
+        json.dumps(payload)  # plain data
+        names = [span["name"] for span in payload["spans"]]
+        assert names == ["root", "kernel"]
+        kernel = payload["spans"][1]
+        assert kernel["remote"] is True
+        assert kernel["attributes"] == {"worker": 0, "fragment": 1}
