@@ -5,7 +5,23 @@ the centralised baselines the parallel disconnection set strategy is compared
 against.
 """
 
+from .backends import (
+    BACKEND_BIGINT,
+    BACKEND_CHAIN,
+    BACKEND_NUMPY,
+    KERNEL_BACKENDS,
+    KERNEL_SELECTIONS_COUNTER,
+    chain_index,
+    graph_shape,
+    merge_selection_metrics,
+    numpy_available,
+    packed_matrix,
+    record_selection,
+    select_kernel,
+    selection_counts,
+)
 from .base import ClosureResult, ClosureStatistics
+from .chain import ChainIndex, strongly_connected_components
 from .kernels import (
     array_dijkstra,
     bitset_levels,
@@ -15,9 +31,11 @@ from .kernels import (
     compact_shortest_path_closure,
     ids_to_mask,
     mask_to_ids,
+    reachability_rows,
     reconstruct_id_path,
     seminaive_closure_ids,
 )
+from .packed import PackedBitMatrix
 from .iterative import (
     naive_transitive_closure,
     seminaive_transitive_closure,
@@ -43,10 +61,27 @@ from .semiring import (
 from .warshall import bfs_closure, dijkstra_closure, warshall_closure
 
 __all__ = [
+    "BACKEND_BIGINT",
+    "BACKEND_CHAIN",
+    "BACKEND_NUMPY",
+    "ChainIndex",
     "ClosureResult",
     "ClosureStatistics",
+    "KERNEL_BACKENDS",
+    "KERNEL_SELECTIONS_COUNTER",
+    "PackedBitMatrix",
     "Semiring",
     "array_dijkstra",
+    "chain_index",
+    "graph_shape",
+    "merge_selection_metrics",
+    "numpy_available",
+    "packed_matrix",
+    "reachability_rows",
+    "record_selection",
+    "select_kernel",
+    "selection_counts",
+    "strongly_connected_components",
     "bfs_closure",
     "bill_of_materials",
     "bitset_levels",

@@ -1,0 +1,224 @@
+"""Pluggable reachability kernel backends and the shape-based dispatcher.
+
+Three interchangeable backends answer the same question — "which ids does
+this source reach?" — with bit-identical int-as-bitset rows:
+
+* ``bigint``: the original pure-Python bitset BFS of
+  :mod:`repro.closure.kernels` (always available, the fallback),
+* ``numpy``: the packed ``uint64`` bit matrix of
+  :mod:`repro.closure.packed` — word-parallel OR across whole row blocks,
+  multi-source sweeps, squaring for whole-graph closures (optional, gated on
+  the ``numpy`` import and :data:`ENV_DISABLE_NUMPY`),
+* ``chain``: the SCC condensation + chain decomposition index of
+  :mod:`repro.closure.chain` — O(k)-word labels, chosen when the
+  condensation is small relative to the graph.
+
+:func:`select_kernel` picks per call from the graph's *shape* (node count,
+density, condensation ratio) and the query's fan-out; callers never change.
+Each decision increments the ``repro_kernel_selections_total`` counter on a
+module-level registry that services and resident workers fold into their own
+metrics (:func:`merge_selection_metrics`), so traces and scrapes show which
+kernel served each span.
+
+Derived structures (packed matrix, chain index, condensation stats) cache on
+the :class:`~repro.graph.compact.CompactGraph` itself and persist through its
+plain ``state()`` — a warm service or resident worker reloads them instead of
+re-deriving.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from ..graph.compact import CompactGraph
+from ..observability.metrics import MetricsRegistry
+from .chain import ChainIndex, strongly_connected_components
+from .packed import PackedBitMatrix, numpy_loaded
+
+BACKEND_BIGINT = "bigint"
+BACKEND_NUMPY = "numpy"
+BACKEND_CHAIN = "chain"
+
+KERNEL_BACKENDS = (BACKEND_BIGINT, BACKEND_NUMPY, BACKEND_CHAIN)
+
+ENV_BACKEND_OVERRIDE = "REPRO_KERNEL_BACKEND"
+ENV_DISABLE_NUMPY = "REPRO_DISABLE_NUMPY"
+
+# Derived-cache keys on CompactGraph (also the snapshot wire keys).
+PACKED_KEY = "packed_matrix"
+CHAIN_KEY = "chain_index"
+SHAPE_KEY = "shape"
+
+SHAPE_STATE_FORMAT = "graph-shape-v1"
+
+# Selection thresholds.  Below SMALL_GRAPH_NODES a visited set is one or two
+# machine words and the big-int kernel is unbeatable; the chain index wins
+# once the condensation collapses at least half the graph; the packed matrix
+# wins on wide fan-out or large node counts where Python's per-bit frontier
+# scan dominates.
+SMALL_GRAPH_NODES = 48
+CHAIN_MAX_CONDENSATION_RATIO = 0.5
+NUMPY_MIN_NODES = 192
+NUMPY_MIN_FANOUT = 4
+
+KERNEL_SELECTIONS_COUNTER = "repro_kernel_selections_total"
+
+_selection_registry = MetricsRegistry()
+_selections = _selection_registry.counter(
+    KERNEL_SELECTIONS_COUNTER,
+    "Closure kernel backend selections by dispatch context.",
+    labelnames=("backend", "context"),
+)
+
+
+# ------------------------------------------------------------- availability
+
+
+def numpy_available() -> bool:
+    """Return ``True`` when the numpy backend may be used.
+
+    Requires a successful ``numpy`` import *and* the
+    :data:`ENV_DISABLE_NUMPY` escape hatch to be unset — the latter is how
+    the CI matrix proves the fallback path on machines that do have numpy.
+    """
+    if os.environ.get(ENV_DISABLE_NUMPY, "") not in ("", "0"):
+        return False
+    return numpy_loaded()
+
+
+def backend_override() -> Optional[str]:
+    """Return the process-wide backend pin from :data:`ENV_BACKEND_OVERRIDE`."""
+    name = os.environ.get(ENV_BACKEND_OVERRIDE, "").strip().lower()
+    return name if name in KERNEL_BACKENDS else None
+
+
+# ------------------------------------------------------- derived structures
+
+
+def graph_shape(graph: CompactGraph) -> Dict[str, object]:
+    """Return (and cache) the shape facts the dispatcher keys on.
+
+    The condensation size comes from one Tarjan pass, run at most once per
+    graph lifetime and persisted with the graph's state, so dispatch cost
+    amortises to a dict lookup.
+    """
+    shape = graph.derived_get(SHAPE_KEY)
+    if shape is not None:
+        return shape
+    state = graph.derived_state(SHAPE_KEY)
+    if isinstance(state, dict) and state.get("format") == SHAPE_STATE_FORMAT:
+        graph.derived_set(SHAPE_KEY, dict(state))
+        return graph.derived_get(SHAPE_KEY)
+    n = graph.node_count()
+    m = graph.edge_count()
+    _, comp_count = strongly_connected_components(graph)
+    shape = {
+        "format": SHAPE_STATE_FORMAT,
+        "node_count": n,
+        "edge_count": m,
+        "density": (m / (n * n)) if n else 0.0,
+        "scc_count": comp_count,
+        "condensation_ratio": (comp_count / n) if n else 1.0,
+    }
+    graph.derived_set(SHAPE_KEY, shape)
+    return shape
+
+
+def packed_matrix(graph: CompactGraph) -> PackedBitMatrix:
+    """Return (and cache) the graph's packed bit matrix, reloading persisted state."""
+    matrix = graph.derived_get(PACKED_KEY)
+    if matrix is not None:
+        return matrix
+    state = graph.derived_state(PACKED_KEY)
+    if state is not None:
+        try:
+            matrix = PackedBitMatrix.from_state(state)
+        except (ValueError, RuntimeError):
+            matrix = None  # stale format or numpy missing: rebuild below
+    if matrix is None:
+        matrix = PackedBitMatrix.from_graph(graph)
+    graph.derived_set(PACKED_KEY, matrix)
+    return matrix
+
+
+def chain_index(graph: CompactGraph) -> ChainIndex:
+    """Return (and cache) the graph's chain index, reloading persisted state."""
+    index = graph.derived_get(CHAIN_KEY)
+    if index is not None:
+        return index
+    state = graph.derived_state(CHAIN_KEY)
+    if state is not None:
+        try:
+            index = ChainIndex.from_state(state)
+        except ValueError:
+            index = None
+    if index is None:
+        index = ChainIndex.from_graph(graph)
+    graph.derived_set(CHAIN_KEY, index)
+    return index
+
+
+# ------------------------------------------------------------- the dispatch
+
+
+def select_kernel(
+    graph: CompactGraph,
+    *,
+    sources: int = 1,
+    whole_graph: bool = False,
+    override: Optional[str] = None,
+) -> str:
+    """Choose the reachability backend for one kernel invocation.
+
+    Args:
+        graph: the compact graph the kernel will run on.
+        sources: the query fan-out (how many rows will be requested).
+        whole_graph: ``True`` for an all-pairs closure, where per-row set-up
+            cost amortises completely.
+        override: pin a backend explicitly (callers' ``backend=`` knobs);
+            falls back to :data:`ENV_BACKEND_OVERRIDE`, then the heuristic.
+            A pinned ``numpy`` degrades to ``bigint`` when numpy is absent,
+            so pins are safe to persist in configs.
+
+    Returns:
+        One of :data:`KERNEL_BACKENDS`.
+    """
+    pinned = override if override in KERNEL_BACKENDS else backend_override()
+    if pinned is not None:
+        if pinned == BACKEND_NUMPY and not numpy_available():
+            return BACKEND_BIGINT
+        return pinned
+    n = graph.node_count()
+    if n < SMALL_GRAPH_NODES:
+        return BACKEND_BIGINT
+    shape = graph_shape(graph)
+    if shape["condensation_ratio"] <= CHAIN_MAX_CONDENSATION_RATIO:
+        return BACKEND_CHAIN
+    if numpy_available() and (
+        whole_graph or n >= NUMPY_MIN_NODES or sources >= NUMPY_MIN_FANOUT
+    ):
+        return BACKEND_NUMPY
+    return BACKEND_BIGINT
+
+
+def record_selection(backend: str, context: str) -> None:
+    """Count one dispatch decision (folded into service/worker registries)."""
+    _selections.inc(backend=backend, context=context)
+
+
+def selection_counts() -> Dict[Tuple[str, str], int]:
+    """Return the current ``(backend, context) -> count`` series (tests, benchmarks)."""
+    return {key: int(value) for key, value in _selections.series().items()}
+
+
+def merge_selection_metrics(registry: MetricsRegistry) -> None:
+    """Drain the module-level selection counters into ``registry``.
+
+    Drain-and-merge keeps the delta semantics of the worker metric pipeline:
+    a resident worker folds before shipping its own drained registry, the
+    coordinator folds before serving a scrape, and nothing double-counts.
+    """
+    payload = _selection_registry.drain()
+    if payload:
+        registry.merge_dict(payload)

@@ -173,9 +173,9 @@ def _compact_seminaive(
     from .kernels import (
         _resolve_source_ids,
         array_dijkstra,
-        bitset_reachable,
         compact_closure,
         mask_to_ids,
+        reachability_rows,
     )
 
     compact = CompactGraph.from_digraph(graph)
@@ -185,11 +185,17 @@ def _compact_seminaive(
         )
     values: Dict[Pair, object] = {}
     stats = ClosureStatistics()
-    for source_id in _resolve_source_ids(compact, sources):
+    source_ids = _resolve_source_ids(compact, sources)
+    rows: Dict[int, int] = {}
+    if semiring.name == "reachability":
+        rows, _ = reachability_rows(
+            compact, source_ids, whole_graph=sources is None, context="seminaive"
+        )
+    for source_id in source_ids:
         source = compact.node_of(source_id)
         produced = 0
         if semiring.name == "reachability":
-            visited = bitset_reachable(compact, source_id)
+            visited = rows[source_id]
             for target_id in mask_to_ids(visited):
                 if target_id != source_id:
                     values[(source, compact.node_of(target_id))] = True

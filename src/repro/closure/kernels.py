@@ -27,6 +27,15 @@ from math import inf
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..graph.compact import CompactGraph
+from .backends import (
+    BACKEND_BIGINT,
+    BACKEND_CHAIN,
+    BACKEND_NUMPY,
+    chain_index,
+    packed_matrix,
+    record_selection,
+    select_kernel,
+)
 from .base import ClosureResult, ClosureStatistics, Pair
 from .semiring import Semiring, reachability_semiring, shortest_path_semiring
 
@@ -114,6 +123,67 @@ def ids_to_mask(ids: Iterable[int]) -> int:
     for node_id in ids:
         mask |= 1 << node_id
     return mask
+
+
+# ------------------------------------------------------- backend dispatch
+
+
+def reachability_rows(
+    graph: CompactGraph,
+    source_ids: Sequence[int],
+    *,
+    whole_graph: bool = False,
+    backend: Optional[str] = None,
+    context: str = "closure",
+    stop_mask: int = 0,
+) -> Tuple[Dict[int, int], str]:
+    """Return visited bitsets for ``source_ids`` via the selected backend.
+
+    The single dispatch point of the reachability kernels: every caller —
+    per-source closures, local queries, complementary sweeps — funnels
+    through here, gets ``{source_id: visited_mask}`` rows whose bits are
+    identical across backends (source always included, exactly like
+    :func:`bitset_reachable`), and shows up in the
+    ``repro_kernel_selections_total`` counter under ``context``.
+
+    Args:
+        graph: the compact graph.
+        source_ids: the dense ids whose rows are requested.
+        whole_graph: hint that the caller wants an all-pairs closure (the
+            numpy backend then squares the whole matrix instead of sweeping).
+        backend: explicit pin, overriding the shape heuristic.
+        context: selection-counter label (``closure``, ``local_query``, …).
+        stop_mask: keyhole bitset for the big-int BFS — each row's expansion
+            stops once every target bit is covered.  The indexed backends
+            ignore it (their rows are already materialised), so it only ever
+            trims work, never answers.
+
+    Returns:
+        ``(rows, chosen_backend)``.
+    """
+    chosen = select_kernel(
+        graph, sources=len(source_ids), whole_graph=whole_graph, override=backend
+    )
+    record_selection(chosen, context)
+    if chosen == BACKEND_NUMPY:
+        matrix = packed_matrix(graph)
+        if whole_graph and len(source_ids) == graph.node_count():
+            packed_rows = matrix.closure_rows()
+            rows = {sid: matrix.row_to_mask(packed_rows[sid]) for sid in source_ids}
+        else:
+            packed_rows = matrix.multi_source_rows(source_ids)
+            rows = {
+                sid: matrix.row_to_mask(packed_rows[index])
+                for index, sid in enumerate(source_ids)
+            }
+        return rows, chosen
+    if chosen == BACKEND_CHAIN:
+        index = chain_index(graph)
+        return {sid: index.reachable_mask(sid) for sid in source_ids}, chosen
+    return (
+        {sid: bitset_reachable(graph, sid, stop_mask=stop_mask) for sid in source_ids},
+        BACKEND_BIGINT,
+    )
 
 
 # ------------------------------------------------------------ dijkstra kernel
@@ -260,18 +330,24 @@ def compact_reachability_closure(
     graph: CompactGraph,
     *,
     sources: Optional[Iterable[Node]] = None,
+    backend: Optional[str] = None,
 ) -> ClosureResult:
-    """Reachability closure rows via the bitset BFS kernel (node-keyed result).
+    """Reachability closure rows via the dispatched kernel (node-keyed result).
 
     Matches :func:`repro.closure.warshall.bfs_closure` exactly: per-source
     search semantics, where the trivial ``(source, source)`` fact is never
-    reported (the source is its own BFS root at hop distance zero).
+    reported (the source is its own BFS root at hop distance zero).  The
+    backend — bitset BFS, packed bit matrix, or chain index — is chosen by
+    shape unless ``backend`` pins one; answers are identical either way.
     """
     source_ids = _resolve_source_ids(graph, sources)
+    rows, _ = reachability_rows(
+        graph, source_ids, whole_graph=sources is None, backend=backend
+    )
     values: Dict[Pair, object] = {}
     stats = ClosureStatistics()
     for source_id in source_ids:
-        visited = bitset_reachable(graph, source_id)
+        visited = rows[source_id]
         source = graph.node_of(source_id)
         produced = 0
         for target_id in mask_to_ids(visited):

@@ -1,0 +1,217 @@
+"""uint64-packed bit-matrix reachability kernels (optional numpy backend).
+
+The pure-Python bitset BFS absorbs one adjacency row per big-int OR; this
+module stores the whole adjacency as an ``(n, ceil(n / 64))`` ``uint64``
+matrix so numpy does the same work word-parallel across *many* rows at once:
+
+* single-source frontiers gather the frontier's rows and fold them with one
+  vectorised OR-reduce per round,
+* the multi-source variant keeps one packed visited row per source and sweeps
+  the union frontier once per round, so complementary precomputation expands
+  all border sources together instead of one BFS per border node,
+* the whole-graph closure runs identity-augmented repeated squaring — paths
+  of length up to ``2^r`` covered after ``r`` rounds.
+
+Rows convert losslessly to the int-as-bitset masks of
+:mod:`repro.closure.kernels` (little-endian byte order both sides), so every
+caller sees bit-identical answers regardless of backend.  numpy itself stays
+an *optional* dependency: this module imports lazily and the dispatcher in
+:mod:`repro.closure.backends` falls back to the big-int path when it is
+absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..graph.compact import CompactGraph
+
+PACKED_STATE_FORMAT = "packed-bit-matrix-v1"
+
+
+def numpy_loaded() -> bool:
+    """Return ``True`` when the numpy import succeeded (no env policy applied)."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised on the no-numpy CI leg
+        raise RuntimeError("the packed bit-matrix backend requires numpy")
+    return _np
+
+
+class PackedBitMatrix:
+    """The adjacency of one :class:`CompactGraph` as packed ``uint64`` rows.
+
+    ``rows[i]`` packs the successor bitset of node id ``i``: bit ``j`` lives
+    in word ``j >> 6`` at position ``j & 63`` — the little-endian layout of a
+    Python int's ``to_bytes``, which is what makes mask interop a straight
+    ``tobytes``/``from_bytes`` round-trip.
+    """
+
+    __slots__ = ("rows", "node_count", "words")
+
+    def __init__(self, rows, node_count: int) -> None:
+        self.rows = rows
+        self.node_count = node_count
+        self.words = rows.shape[1] if node_count else 0
+
+    @classmethod
+    def from_graph(cls, graph: CompactGraph) -> "PackedBitMatrix":
+        """Pack the graph's forward CSR into the bit matrix (vectorised)."""
+        np = _require_numpy()
+        n = graph.node_count()
+        words = max(1, (n + 63) >> 6)
+        rows = np.zeros((n, words), dtype=np.uint64)
+        if n:
+            offsets, targets, _ = graph.forward_csr
+            if len(targets):
+                degrees = np.diff(np.asarray(offsets, dtype=np.int64))
+                sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+                target_ids = np.asarray(targets, dtype=np.int64)
+                bits = np.uint64(1) << (target_ids & 63).astype(np.uint64)
+                np.bitwise_or.at(rows, (sources, target_ids >> 6), bits)
+        return cls(rows, n)
+
+    # ------------------------------------------------------------- traversal
+
+    def reachable_row(self, source_id: int, stop_row=None):
+        """Return the packed visited row from ``source_id`` (itself included).
+
+        ``stop_row`` mirrors the big-int kernel's ``stop_mask`` keyhole: the
+        expansion halts once every target bit is covered.
+        """
+        np = _require_numpy()
+        visited = np.zeros(self.words, dtype=np.uint64)
+        visited[source_id >> 6] = np.uint64(1) << np.uint64(source_id & 63)
+        frontier_ids: List[int] = [source_id]
+        rows = self.rows
+        while frontier_ids:
+            if stop_row is not None and not bool((stop_row & ~visited).any()):
+                break
+            reached = np.bitwise_or.reduce(rows[frontier_ids], axis=0)
+            fresh = reached & ~visited
+            if not fresh.any():
+                break
+            visited |= fresh
+            frontier_ids = _row_ids(fresh)
+        return visited
+
+    def multi_source_rows(self, source_ids: Sequence[int]):
+        """Return one packed visited row per source, expanded in one sweep.
+
+        Each round takes the union of all per-source frontiers, and every
+        union member broadcasts its adjacency row into exactly the sources
+        whose frontier contains it — one vectorised OR per active node
+        instead of one BFS per source.
+        """
+        np = _require_numpy()
+        count = len(source_ids)
+        visited = np.zeros((count, self.words), dtype=np.uint64)
+        if count == 0:
+            return visited
+        ids = np.asarray(source_ids, dtype=np.int64)
+        visited[np.arange(count), ids >> 6] = np.uint64(1) << (ids & 63).astype(np.uint64)
+        frontier = visited.copy()
+        rows = self.rows
+        while True:
+            union = np.bitwise_or.reduce(frontier, axis=0)
+            active = _row_ids(union)
+            if not active:
+                break
+            reached = np.zeros_like(visited)
+            for node_id in active:
+                holders = (
+                    (frontier[:, node_id >> 6] >> np.uint64(node_id & 63)) & np.uint64(1)
+                ).astype(bool)
+                reached[holders] |= rows[node_id]
+            frontier = reached & ~visited
+            if not frontier.any():
+                break
+            visited |= frontier
+        return visited
+
+    def closure_rows(self):
+        """Return all-pairs packed visited rows via repeated squaring.
+
+        The reflexive diagonal is added first so composing the matrix with
+        itself covers paths of every length ``<= 2^r`` after ``r`` rounds;
+        the diagonal itself matches visited-set semantics (a source always
+        sees itself) without fabricating cycle facts.
+        """
+        np = _require_numpy()
+        n = self.node_count
+        reach = self.rows.copy()
+        if n == 0:
+            return reach
+        ids = np.arange(n, dtype=np.int64)
+        reach[ids, ids >> 6] |= np.uint64(1) << (ids & 63).astype(np.uint64)
+        while True:
+            squared = reach.copy()
+            for node_id in range(n):
+                holders = (
+                    (reach[:, node_id >> 6] >> np.uint64(node_id & 63)) & np.uint64(1)
+                ).astype(bool)
+                squared[holders] |= reach[node_id]
+            if np.array_equal(squared, reach):
+                return reach
+            reach = squared
+
+    # ---------------------------------------------------------- mask interop
+
+    def row_to_mask(self, row) -> int:
+        """Convert one packed row to the kernels' int-as-bitset form."""
+        return int.from_bytes(row.tobytes(), "little")
+
+    def mask_to_row(self, mask: int):
+        """Convert an int-as-bitset into a packed row (e.g. a stop mask)."""
+        np = _require_numpy()
+        data = mask.to_bytes(self.words * 8, "little")
+        return np.frombuffer(data, dtype=np.uint64).copy()
+
+    # ----------------------------------------------------------- plain state
+
+    def to_state(self) -> Dict[str, object]:
+        """Return the matrix as a plain-data dictionary (snapshot wire format)."""
+        return {
+            "format": PACKED_STATE_FORMAT,
+            "node_count": self.node_count,
+            "words": self.words,
+            "rows": self.rows.tobytes(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "PackedBitMatrix":
+        """Rebuild a matrix from :meth:`to_state` output.
+
+        Raises:
+            ValueError: when the state's format tag is not understood.
+        """
+        np = _require_numpy()
+        if state.get("format") != PACKED_STATE_FORMAT:
+            raise ValueError(
+                f"packed bit-matrix state format {state.get('format')!r} is not supported"
+            )
+        node_count = int(state["node_count"])  # type: ignore[arg-type]
+        words = int(state["words"])  # type: ignore[arg-type]
+        rows = np.frombuffer(state["rows"], dtype=np.uint64).reshape(node_count, words).copy()
+        return cls(rows, node_count)
+
+    def __repr__(self) -> str:
+        return f"PackedBitMatrix(nodes={self.node_count}, words={self.words})"
+
+
+def _row_ids(row) -> List[int]:
+    """Expand one packed row into the list of set bit positions.
+
+    ``unpackbits`` over the row's little-endian byte view yields bit ``i`` of
+    the stream at stream position ``i``, exactly the dense node id.
+    """
+    np = _require_numpy()
+    bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits).tolist()

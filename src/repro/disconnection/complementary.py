@@ -23,6 +23,7 @@ from ..closure import (
     Semiring,
     array_dijkstra,
     bitset_reachable,
+    reachability_rows,
     reconstruct_id_path,
     seminaive_closure_ids,
     shortest_path_semiring,
@@ -122,22 +123,61 @@ def precompute_complementary_information(
         pair_values: Dict[BorderPair, object] = {}
         pair_paths: Dict[BorderPair, List[Node]] = {}
         border_set: Set[Node] = set(border)
-        for source in sorted(border_set, key=repr):
-            values, work, predecessors = border_values_from(graph, source, border_set, semiring)
+        if semiring.name == "reachability":
+            values_by_source, work = border_values_multi(graph, border_set)
             info.precompute_work += work
-            for target, value in values.items():
-                if target == source:
-                    continue
-                pair_values[(source, target)] = value
-                if store_paths and predecessors is not None:
-                    path_ids = reconstruct_id_path(
-                        predecessors, graph.node_id(source), graph.node_id(target)
-                    )
-                    pair_paths[(source, target)] = [graph.node_of(p) for p in path_ids]
+            for source, values in values_by_source.items():
+                for target, value in values.items():
+                    if target != source:
+                        pair_values[(source, target)] = value
+        else:
+            for source in sorted(border_set, key=repr):
+                values, work, predecessors = border_values_from(
+                    graph, source, border_set, semiring
+                )
+                info.precompute_work += work
+                for target, value in values.items():
+                    if target == source:
+                        continue
+                    pair_values[(source, target)] = value
+                    if store_paths and predecessors is not None:
+                        path_ids = reconstruct_id_path(
+                            predecessors, graph.node_id(source), graph.node_id(target)
+                        )
+                        pair_paths[(source, target)] = [graph.node_of(p) for p in path_ids]
         info.values[(i, j)] = pair_values
         if store_paths:
             info.paths[(i, j)] = pair_paths
     return info
+
+
+def border_values_multi(
+    graph: CompactGraph,
+    border_set: Set[Node],
+) -> Tuple[Dict[Node, Dict[Node, object]], int]:
+    """Return reachability border-to-border values for *all* sources in one sweep.
+
+    The vectorised counterpart of calling :func:`border_values_from` once per
+    border node: the dispatched kernel expands every border source together
+    (the packed bit-matrix backend advances all frontiers per round; the
+    chain index answers each row from its labels), producing value-identical
+    rows at a fraction of the traversal cost.  Work is counted exactly like
+    the per-source path — one visited popcount per source — so the
+    ``precompute_work`` figure stays comparable across backends.
+    """
+    sources = sorted((node for node in border_set if graph.has_node(node)), key=repr)
+    source_ids = [graph.node_id(node) for node in sources]
+    target_ids = {graph.try_node_id(t): t for t in border_set if graph.has_node(t)}
+    rows, _ = reachability_rows(graph, source_ids, context="complementary")
+    values_by_source: Dict[Node, Dict[Node, object]] = {}
+    work = 0
+    for source, source_id in zip(sources, source_ids):
+        visited = rows[source_id]
+        work += visited.bit_count()
+        values_by_source[source] = {
+            node: True for node_id, node in target_ids.items() if (visited >> node_id) & 1
+        }
+    return values_by_source, work
 
 
 def border_values_from(

@@ -29,7 +29,7 @@ from ..closure import (
     ClosureStatistics,
     Semiring,
     array_dijkstra,
-    bitset_reachable,
+    reachability_rows,
     shortest_path_semiring,
 )
 from ..graph import DiGraph, bfs_levels, dijkstra, hop_diameter
@@ -56,6 +56,9 @@ class LocalQueryResult:
         semiring: the path problem the values belong to; threads the correct
             ``plus`` into :meth:`exit_values` (set by the evaluator, absent
             on hand-built results).
+        backend: which kernel backend served the evaluation (``bigint``,
+            ``numpy``, ``chain``, or ``dijkstra``/``dict`` for the non-bitset
+            paths); surfaces in worker payloads and trace spans.
     """
 
     fragment_id: int
@@ -63,6 +66,7 @@ class LocalQueryResult:
     statistics: ClosureStatistics = field(default_factory=ClosureStatistics)
     estimated_iterations: int = 0
     semiring: Optional[Semiring] = field(default=None, repr=False, compare=False)
+    backend: Optional[str] = field(default=None, compare=False)
 
     def exit_values(self, semiring: Optional[Semiring] = None) -> Dict[Node, PathValue]:
         """Return the best value per exit node over all entry nodes (for reporting).
@@ -101,6 +105,9 @@ class LocalQueryEvaluator:
             ``False`` forces the original dict-based per-source searches —
             kept as the benchmark baseline and for sites without a compact
             form.  Custom semirings always use the dict-based fixpoint.
+        backend: pin a reachability kernel backend (``bigint``, ``numpy`` or
+            ``chain``) instead of letting :func:`repro.closure.select_kernel`
+            choose by shape; answers are identical either way.
 
     The evaluator accepts either a full :class:`FragmentSite` or the
     plain-data :class:`CompactFragmentSite` a resident worker holds; the
@@ -113,10 +120,12 @@ class LocalQueryEvaluator:
         semiring: Optional[Semiring] = None,
         use_shortcuts: bool = True,
         use_compact: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self._semiring = semiring or shortest_path_semiring()
         self._use_shortcuts = use_shortcuts
         self._use_compact = use_compact
+        self._backend = backend
 
     @property
     def semiring(self) -> Semiring:
@@ -175,8 +184,16 @@ class LocalQueryEvaluator:
             exit_mask = 0
             for _, exit_id in exits:
                 exit_mask |= 1 << exit_id
+            rows, chosen = reachability_rows(
+                graph,
+                [entry_id for _, entry_id in entries],
+                backend=self._backend,
+                context="local_query",
+                stop_mask=exit_mask,
+            )
+            result.backend = chosen
             for entry, entry_id in entries:
-                visited = bitset_reachable(graph, entry_id, stop_mask=exit_mask)
+                visited = rows[entry_id]
                 produced = 0
                 for exit_node, exit_id in exits:
                     if (visited >> exit_id) & 1:
@@ -184,6 +201,7 @@ class LocalQueryEvaluator:
                         produced += 1
                 result.statistics.record_round(visited.bit_count(), produced)
         else:
+            result.backend = "dijkstra"
             target_ids = [exit_id for _, exit_id in exits]
             for entry, entry_id in entries:
                 distances, _, settled = array_dijkstra(graph, entry_id, target_ids=target_ids)
@@ -201,6 +219,7 @@ class LocalQueryEvaluator:
         self, site: FragmentSite, spec: LocalQuerySpec, result: LocalQueryResult
     ) -> LocalQueryResult:
         graph = site.augmented_subgraph() if self._use_shortcuts else site.subgraph
+        result.backend = "dict"
         entry_nodes = [node for node in spec.entry_nodes if graph.has_node(node)]
         exit_nodes = {node for node in spec.exit_nodes if graph.has_node(node)}
         result.estimated_iterations = hop_diameter(site.subgraph) + 1

@@ -92,6 +92,8 @@ class CompactGraph:
         "_bwd_weights",
         "_succ_masks",
         "_pred_masks",
+        "_derived",
+        "_derived_states",
     )
 
     def __init__(
@@ -114,6 +116,8 @@ class CompactGraph:
         self._bwd_weights = bwd_weights
         self._succ_masks: Optional[List[int]] = None
         self._pred_masks: Optional[List[int]] = None
+        self._derived: Dict[str, object] = {}
+        self._derived_states: Dict[str, object] = {}
 
     # ---------------------------------------------------------- construction
 
@@ -294,11 +298,42 @@ class CompactGraph:
             graph.add_edge(source, target, weight)
         return graph
 
+    # ------------------------------------------------------- derived caches
+
+    def derived_get(self, key: str) -> Optional[object]:
+        """Return a cached derived structure (packed matrix, chain index, …)."""
+        return self._derived.get(key)
+
+    def derived_set(self, key: str, value: object) -> None:
+        """Cache a derived structure under ``key``.
+
+        The value persists through :meth:`state` — via its ``to_state()``
+        when it has one, verbatim when it is already plain data — so warm
+        reloads skip the derivation.
+        """
+        self._derived[key] = value
+        self._derived_states.pop(key, None)
+
+    def derived_state(self, key: str) -> Optional[object]:
+        """Return the reloaded plain-data state for ``key``, if any.
+
+        States arrive through :meth:`from_state` and stay raw until a
+        backend hydrates them (a loader without the backend's optional
+        dependency passes them through untouched).
+        """
+        return self._derived_states.get(key)
+
     # ---------------------------------------------------------- plain state
 
     def state(self) -> Dict[str, object]:
-        """Return the graph as a plain-data dictionary (snapshot wire format)."""
-        return {
+        """Return the graph as a plain-data dictionary (snapshot wire format).
+
+        Derived kernel structures ride along under ``"derived"``: hydrated
+        objects are serialised through their ``to_state()``, unhydrated
+        reloaded states pass through as-is, so the caches survive any number
+        of ship/reload hops.
+        """
+        state: Dict[str, object] = {
             "format": COMPACT_STATE_FORMAT,
             "nodes": list(self._nodes),
             "fwd_offsets": self._fwd_offsets,
@@ -308,6 +343,13 @@ class CompactGraph:
             "bwd_sources": self._bwd_sources,
             "bwd_weights": self._bwd_weights,
         }
+        derived: Dict[str, object] = dict(self._derived_states)
+        for key, value in self._derived.items():
+            to_state = getattr(value, "to_state", None)
+            derived[key] = to_state() if callable(to_state) else value
+        if derived:
+            state["derived"] = derived
+        return state
 
     @classmethod
     def from_state(cls, state: Dict[str, object]) -> "CompactGraph":
@@ -320,7 +362,7 @@ class CompactGraph:
             raise ValueError(
                 f"compact graph state format {state.get('format')!r} is not supported"
             )
-        return cls(
+        graph = cls(
             state["nodes"],  # type: ignore[arg-type]
             state["fwd_offsets"],  # type: ignore[arg-type]
             state["fwd_targets"],  # type: ignore[arg-type]
@@ -329,6 +371,8 @@ class CompactGraph:
             state["bwd_sources"],  # type: ignore[arg-type]
             state["bwd_weights"],  # type: ignore[arg-type]
         )
+        graph._derived_states = dict(state.get("derived") or {})  # type: ignore[arg-type]
+        return graph
 
     # ------------------------------------------------------- in-place delta
 
@@ -343,8 +387,10 @@ class CompactGraph:
         kernels never reach them, and node membership questions are answered
         by the mutable front-end, not by this substrate.
 
-        Lazy successor/predecessor masks are invalidated and rebuilt on next
-        use.
+        Lazy successor/predecessor masks and every derived kernel structure
+        (packed bit matrices, chain indexes, shape stats — hydrated or still
+        in reloaded-state form) are invalidated and rebuilt on next use: a
+        kernel query after a delta can never observe pre-delta caches.
         """
         if delta.is_empty():
             return
@@ -389,6 +435,8 @@ class CompactGraph:
         )
         self._succ_masks = None
         self._pred_masks = None
+        self._derived = {}
+        self._derived_states = {}
 
     def _intern(self, node: Node) -> int:
         """Return the dense id of ``node``, interning it when new."""

@@ -43,7 +43,13 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
-from ..closure import ClosureStatistics, Semiring, reachability_semiring, shortest_path_semiring
+from ..closure import (
+    ClosureStatistics,
+    Semiring,
+    merge_selection_metrics,
+    reachability_semiring,
+    shortest_path_semiring,
+)
 from ..disconnection import LocalQueryEvaluator, LocalQueryResult
 from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
@@ -191,6 +197,7 @@ def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
         "iterations": result.estimated_iterations,
         "tuples": result.statistics.tuples_produced,
         "elapsed": result.statistics.elapsed_seconds,
+        "backend": result.backend,
     }
 
 
@@ -211,6 +218,7 @@ def result_from_payload(
         statistics=statistics,
         estimated_iterations=payload["iterations"],
         semiring=semiring,
+        backend=payload.get("backend"),
     )
 
 
@@ -436,9 +444,14 @@ def _routed_worker_loop(
                                 "iterations": result.estimated_iterations,
                                 "tuples": result.statistics.tuples_produced,
                                 "elapsed": result.statistics.elapsed_seconds,
+                                "backend": result.backend,
                             },
                         )
                     )
+                # Fold this worker's kernel-selection counters into its local
+                # registry so the drained delta carries them to the
+                # coordinator alongside the timing series.
+                merge_selection_metrics(registry)
                 result_conn.send(
                     (
                         request_id,

@@ -48,7 +48,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-from ..closure import Semiring, shortest_path_semiring
+from ..closure import (
+    KERNEL_BACKENDS,
+    KERNEL_SELECTIONS_COUNTER,
+    Semiring,
+    merge_selection_metrics,
+    shortest_path_semiring,
+)
 from ..disconnection import (
     CompactFragmentSite,
     ComplementaryInformation,
@@ -431,6 +437,11 @@ class QueryService:
         ``format="prometheus"`` returns the registry in Prometheus text
         exposition format, ready for a scrape endpoint.
         """
+        # Fold any kernel-selection counts recorded in this process (engine
+        # builds, in-process evaluation, complementary precompute) into the
+        # registry before exporting; worker-side selections arrive through
+        # the drained worker registries instead.
+        merge_selection_metrics(self._registry)
         if format == "prometheus":
             return self._registry.to_prometheus()
         if format != "json":
@@ -1248,15 +1259,30 @@ class QueryService:
                                 parent=worker_span,
                                 worker=worker,
                                 fragment=key[0],
+                                backend=results[key].backend,
                             )
                 else:
                     espan.set("pool", "replicated")
                     results = pool.evaluate(tasks)
+                    # Replicated workers keep no persistent registry, so
+                    # their dispatch decisions are re-counted here from the
+                    # backend each payload reports (exactly one kernel
+                    # selection happens per reachability task).
+                    selections = self._registry.counter(
+                        KERNEL_SELECTIONS_COUNTER,
+                        "Closure kernel backend selections by dispatch context.",
+                        labelnames=("backend", "context"),
+                    )
                     for key in tasks:
+                        if results[key].backend in KERNEL_BACKENDS:
+                            selections.inc(
+                                backend=results[key].backend, context="local_query"
+                            )
                         self._tracer.remote_span(
                             "kernel",
                             results[key].statistics.elapsed_seconds,
                             fragment=key[0],
+                            backend=results[key].backend,
                         )
             else:
                 espan.set("pool", "in-process")
@@ -1268,6 +1294,7 @@ class QueryService:
                 tracing = self._tracer.current_span is not None
                 kernel_seconds: Dict[int, float] = {}
                 kernel_tasks: Dict[int, int] = {}
+                kernel_backends: Dict[int, Optional[str]] = {}
                 for key in tasks:
                     fragment_id, entry_nodes, exit_nodes = key
                     spec = LocalQuerySpec(
@@ -1287,6 +1314,7 @@ class QueryService:
                         kernel_tasks[fragment_id] = (
                             kernel_tasks.get(fragment_id, 0) + 1
                         )
+                        kernel_backends[fragment_id] = result.backend
                 if tracing:
                     attach = self._tracer.attach_span
                     for fragment_id, seconds in kernel_seconds.items():
@@ -1295,7 +1323,11 @@ class QueryService:
                             seconds,
                             fragment=fragment_id,
                             tasks=kernel_tasks[fragment_id],
+                            backend=kernel_backends[fragment_id],
                         )
+                # In-process selections land on the module-level registry;
+                # fold the delta here so scrapes between queries stay fresh.
+                merge_selection_metrics(self._registry)
         # One dispatch per *task*: a batch of n shared subqueries records n
         # site dispatches, never one per batch.
         for key in tasks:

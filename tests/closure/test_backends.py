@@ -1,0 +1,304 @@
+"""Kernel backend layer: dispatch, equivalence, caching, persistence."""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.closure import (
+    BACKEND_BIGINT,
+    BACKEND_CHAIN,
+    BACKEND_NUMPY,
+    ChainIndex,
+    bitset_reachable,
+    chain_index,
+    compact_reachability_closure,
+    graph_shape,
+    numpy_available,
+    packed_matrix,
+    reachability_rows,
+    reachability_semiring,
+    seminaive_transitive_closure,
+    select_kernel,
+    selection_counts,
+    strongly_connected_components,
+)
+from repro.closure.backends import (
+    CHAIN_KEY,
+    ENV_BACKEND_OVERRIDE,
+    ENV_DISABLE_NUMPY,
+    PACKED_KEY,
+    SHAPE_KEY,
+)
+from repro.graph import CompactGraph, DiGraph
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+ALL_BACKENDS = (BACKEND_BIGINT, BACKEND_NUMPY, BACKEND_CHAIN)
+
+
+def random_compact(seed: int, n: int = 90, edges: int = 320) -> CompactGraph:
+    rng = random.Random(seed)
+    return CompactGraph.from_edges(
+        [(rng.randrange(n), rng.randrange(n), 1.0) for _ in range(edges)],
+        nodes=range(n),
+    )
+
+
+def bigint_rows(graph: CompactGraph) -> dict:
+    return {i: bitset_reachable(graph, i) for i in range(graph.node_count())}
+
+
+class TestChainIndex:
+    def test_scc_numbering_is_reverse_topological(self):
+        graph = CompactGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+        )
+        comp_of, comp_count = strongly_connected_components(graph)
+        assert comp_count == 3
+        # The 0-1-2 cycle is one component; every cross edge points to a
+        # smaller component id.
+        assert comp_of[0] == comp_of[1] == comp_of[2]
+        assert comp_of[2] > comp_of[3] > comp_of[4]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_reachable_masks_match_bitset_bfs(self, seed):
+        graph = random_compact(seed)
+        index = ChainIndex.from_graph(graph)
+        expected = bigint_rows(graph)
+        for source_id in range(graph.node_count()):
+            assert index.reachable_mask(source_id) == expected[source_id]
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_pairwise_queries_match_masks(self, seed):
+        graph = random_compact(seed, n=40, edges=100)
+        index = ChainIndex.from_graph(graph)
+        expected = bigint_rows(graph)
+        for u in range(graph.node_count()):
+            for v in range(graph.node_count()):
+                assert index.reaches_visited(u, v) == bool((expected[u] >> v) & 1)
+
+    def test_cycle_facts(self):
+        graph = CompactGraph.from_edges(
+            [(0, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 4, 1.0)], nodes=range(5)
+        )
+        index = ChainIndex.from_graph(graph)
+        assert index.is_cyclic(0)  # self-loop
+        assert index.is_cyclic(1) and index.is_cyclic(2)  # 2-cycle
+        assert not index.is_cyclic(3) and not index.is_cyclic(4)
+
+    def test_state_round_trip(self):
+        graph = random_compact(9)
+        index = ChainIndex.from_graph(graph)
+        reloaded = ChainIndex.from_state(index.to_state())
+        for source_id in range(graph.node_count()):
+            assert reloaded.reachable_mask(source_id) == index.reachable_mask(source_id)
+
+    def test_unknown_state_format_rejected(self):
+        with pytest.raises(ValueError):
+            ChainIndex.from_state({"format": "something-else"})
+
+
+@needs_numpy
+class TestPackedBitMatrix:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_single_source_rows_match_bitset_bfs(self, seed):
+        from repro.closure import PackedBitMatrix
+
+        graph = random_compact(seed, n=130, edges=420)
+        matrix = PackedBitMatrix.from_graph(graph)
+        expected = bigint_rows(graph)
+        for source_id in range(graph.node_count()):
+            row = matrix.reachable_row(source_id)
+            assert matrix.row_to_mask(row) == expected[source_id]
+
+    def test_multi_source_sweep_matches_per_source(self):
+        from repro.closure import PackedBitMatrix
+
+        graph = random_compact(21, n=100, edges=300)
+        matrix = PackedBitMatrix.from_graph(graph)
+        sources = [3, 17, 42, 42, 99]  # duplicates must be fine
+        rows = matrix.multi_source_rows(sources)
+        for index, source_id in enumerate(sources):
+            assert matrix.row_to_mask(rows[index]) == bitset_reachable(graph, source_id)
+
+    def test_closure_rows_match_per_source(self):
+        from repro.closure import PackedBitMatrix
+
+        graph = random_compact(22, n=90, edges=270)
+        matrix = PackedBitMatrix.from_graph(graph)
+        rows = matrix.closure_rows()
+        for source_id in range(graph.node_count()):
+            assert matrix.row_to_mask(rows[source_id]) == bitset_reachable(graph, source_id)
+
+    def test_stop_row_keyhole_covers_targets(self):
+        from repro.closure import PackedBitMatrix
+
+        graph = CompactGraph.from_edges([(i, i + 1, 1.0) for i in range(70)])
+        matrix = PackedBitMatrix.from_graph(graph)
+        stop = matrix.mask_to_row(1 << 5)
+        visited = matrix.row_to_mask(matrix.reachable_row(0, stop_row=stop))
+        assert (visited >> 5) & 1  # the target is covered even when stopping early
+
+    def test_state_round_trip(self):
+        from repro.closure import PackedBitMatrix
+
+        graph = random_compact(23)
+        matrix = PackedBitMatrix.from_graph(graph)
+        reloaded = PackedBitMatrix.from_state(matrix.to_state())
+        for source_id in range(graph.node_count()):
+            assert reloaded.row_to_mask(
+                reloaded.reachable_row(source_id)
+            ) == matrix.row_to_mask(matrix.reachable_row(source_id))
+
+
+class TestSelectKernel:
+    def test_small_graphs_stay_bigint(self):
+        graph = CompactGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert select_kernel(graph) == BACKEND_BIGINT
+
+    def test_small_condensation_prefers_chain(self):
+        # A big cyclic blob: the condensation collapses to a handful of SCCs.
+        rng = random.Random(3)
+        edges = [(i, (i + 1) % 100, 1.0) for i in range(100)]
+        edges += [(rng.randrange(100), rng.randrange(100), 1.0) for _ in range(200)]
+        graph = CompactGraph.from_edges(edges)
+        assert graph_shape(graph)["condensation_ratio"] <= 0.5
+        assert select_kernel(graph) == BACKEND_CHAIN
+
+    @needs_numpy
+    def test_dag_shapes_prefer_numpy_for_wide_fanout(self):
+        # A long chain is its own condensation (ratio 1.0): chain labels
+        # cannot compress it, so wide fan-outs go to the packed matrix.
+        graph = CompactGraph.from_edges([(i, i + 1, 1.0) for i in range(120)])
+        assert graph_shape(graph)["condensation_ratio"] == 1.0
+        assert select_kernel(graph, sources=8) == BACKEND_NUMPY
+        assert select_kernel(graph, whole_graph=True) == BACKEND_NUMPY
+
+    def test_explicit_override_wins(self):
+        graph = random_compact(31)
+        assert select_kernel(graph, override=BACKEND_BIGINT) == BACKEND_BIGINT
+        assert select_kernel(graph, override=BACKEND_CHAIN) == BACKEND_CHAIN
+
+    def test_env_override_and_numpy_disable(self, monkeypatch):
+        graph = random_compact(32)
+        monkeypatch.setenv(ENV_BACKEND_OVERRIDE, BACKEND_CHAIN)
+        assert select_kernel(graph) == BACKEND_CHAIN
+        monkeypatch.setenv(ENV_BACKEND_OVERRIDE, BACKEND_NUMPY)
+        monkeypatch.setenv(ENV_DISABLE_NUMPY, "1")
+        assert select_kernel(graph) == BACKEND_BIGINT  # pinned numpy degrades
+        monkeypatch.delenv(ENV_BACKEND_OVERRIDE)
+        assert not numpy_available()
+
+    def test_selection_counter_increments(self):
+        graph = random_compact(33)
+        before = selection_counts().get((BACKEND_BIGINT, "test-context"), 0)
+        reachability_rows(
+            graph, [0, 1], backend=BACKEND_BIGINT, context="test-context"
+        )
+        after = selection_counts()[(BACKEND_BIGINT, "test-context")]
+        assert after == before + 1
+
+
+class TestReachabilityRows:
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    def test_all_backends_identical(self, seed):
+        graph = random_compact(seed)
+        expected = bigint_rows(graph)
+        ids = list(range(graph.node_count()))
+        for backend in ALL_BACKENDS:
+            rows, chosen = reachability_rows(graph, ids, whole_graph=True, backend=backend)
+            assert rows == expected
+            if backend == BACKEND_NUMPY and not numpy_available():
+                assert chosen == BACKEND_BIGINT
+            else:
+                assert chosen == backend
+
+    def test_partial_sources(self):
+        graph = random_compact(44, n=120, edges=360)
+        sources = [5, 60, 119]
+        expected = {i: bitset_reachable(graph, i) for i in sources}
+        for backend in ALL_BACKENDS:
+            rows, _ = reachability_rows(graph, sources, backend=backend)
+            assert rows == expected
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_closure_facade_matches_baseline(self, backend):
+        rng = random.Random(45)
+        graph = DiGraph()
+        for i in range(80):
+            graph.add_node(i)
+        for _ in range(250):
+            graph.add_edge(rng.randrange(80), rng.randrange(80), 1.0)
+        compact = CompactGraph.from_digraph(graph)
+        baseline = compact_reachability_closure(compact, backend=BACKEND_BIGINT)
+        assert compact_reachability_closure(compact, backend=backend).values == baseline.values
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_seminaive_cycle_facts_survive_dispatch(self, backend, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND_OVERRIDE, backend)
+        rng = random.Random(46)
+        graph = DiGraph()
+        for i in range(70):
+            graph.add_node(i)
+        for _ in range(210):
+            graph.add_edge(rng.randrange(70), rng.randrange(70), 1.0)
+        dict_result = seminaive_transitive_closure(
+            graph, semiring=reachability_semiring(), use_compact=False
+        )
+        compact_result = seminaive_transitive_closure(
+            graph, semiring=reachability_semiring(), use_compact=True
+        )
+        assert compact_result.values == dict_result.values
+
+
+class TestDerivedPersistence:
+    def test_state_carries_warm_caches(self):
+        graph = random_compact(51)
+        packed = numpy_available()
+        if packed:
+            packed_matrix(graph)
+        chain_index(graph)
+        graph_shape(graph)
+        state = graph.state()
+        derived = state.get("derived", {})
+        assert CHAIN_KEY in derived and SHAPE_KEY in derived
+        if packed:
+            assert PACKED_KEY in derived
+
+    def test_reload_answers_without_rebuilding(self):
+        graph = random_compact(52)
+        index = chain_index(graph)
+        reloaded = CompactGraph.from_state(graph.state())
+        # The reloaded graph hydrates the persisted labels: identical masks,
+        # and the raw state is present before any hydration happens.
+        assert reloaded.derived_state(CHAIN_KEY) is not None
+        hydrated = chain_index(reloaded)
+        for source_id in range(graph.node_count()):
+            assert hydrated.reachable_mask(source_id) == index.reachable_mask(source_id)
+
+    def test_pickle_round_trip_keeps_derived(self):
+        graph = random_compact(53)
+        chain_index(graph)
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.derived_state(CHAIN_KEY) is not None
+        rows, chosen = reachability_rows(
+            graph, list(range(graph.node_count())), whole_graph=True
+        )
+        clone_rows, _ = reachability_rows(
+            clone, list(range(clone.node_count())), whole_graph=True, backend=chosen
+        )
+        assert clone_rows == rows
+
+    def test_unhydrated_state_passes_through_reship(self):
+        # A coordinator that never touches a backend must still forward the
+        # derived payload to the next hop (e.g. numpy rows through a
+        # numpy-less relay).
+        graph = random_compact(54)
+        chain_index(graph)
+        hop1 = CompactGraph.from_state(graph.state())
+        hop2 = CompactGraph.from_state(hop1.state())
+        assert hop2.derived_state(CHAIN_KEY) is not None

@@ -89,3 +89,36 @@ class TestDiameterInIterations:
 
     def test_smaller_graph_needs_fewer_iterations(self):
         assert diameter_in_iterations(chain_graph(4)) < diameter_in_iterations(chain_graph(12))
+
+    def test_compact_matches_literal_measurement(self):
+        """The kernel-computed round count equals the dict fixpoint's count.
+
+        This is the regression for the old hardcoded ``use_compact=False``:
+        the compact path must be an *equivalent* fast path, not a different
+        definition.
+        """
+        import random
+
+        cases = [chain_graph(6, symmetric=False), chain_graph(9), layered_dag(3, 3)]
+        ring = DiGraph()
+        for i in range(7):
+            ring.add_edge(i, (i + 1) % 7, 1.0)
+        cases.append(ring)
+        looped = DiGraph()
+        looped.add_edge(0, 0, 1.0)
+        looped.add_edge(0, 1, 1.0)
+        cases.append(looped)
+        empty = DiGraph()
+        empty.add_node("only")
+        cases.append(empty)
+        rng = random.Random(77)
+        for _ in range(3):
+            g = DiGraph()
+            for i in range(30):
+                g.add_node(i)
+            for _ in range(70):
+                g.add_edge(rng.randrange(30), rng.randrange(30), 1.0)
+            cases.append(g)
+        for graph in cases:
+            literal = diameter_in_iterations(graph, use_compact=False)
+            assert diameter_in_iterations(graph, use_compact=True) == literal

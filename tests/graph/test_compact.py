@@ -198,3 +198,54 @@ class TestApplyDelta:
         offsets_before = compact.forward_csr[0]
         compact.apply_delta(CompactDelta())
         assert compact.forward_csr[0] is offsets_before
+
+    def test_derived_caches_are_invalidated(self, sample_graph):
+        """Update-then-query must never serve pre-delta kernel caches."""
+        from repro.closure import (
+            KERNEL_BACKENDS,
+            chain_index,
+            graph_shape,
+            numpy_available,
+            packed_matrix,
+            reachability_rows,
+        )
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        # Warm every derived structure the backends cache.
+        chain_index(compact)
+        graph_shape(compact)
+        if numpy_available():
+            packed_matrix(compact)
+        compact.apply_delta(
+            CompactDelta(inserts=(("d", "a", 2.0),), deletes=(("a", "b"),))
+        )
+        fresh = CompactGraph.from_state(
+            {k: v for k, v in compact.state().items() if k != "derived"}
+        )
+        ids = list(range(compact.node_count()))
+        for backend in KERNEL_BACKENDS:
+            stale_rows, _ = reachability_rows(
+                compact, ids, whole_graph=True, backend=backend
+            )
+            fresh_rows, _ = reachability_rows(
+                fresh, ids, whole_graph=True, backend=backend
+            )
+            assert stale_rows == fresh_rows, backend
+
+    def test_state_round_trip_preserves_derived_caches(self, sample_graph):
+        from repro.closure import chain_index
+        from repro.closure.backends import CHAIN_KEY
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        index = chain_index(compact)
+        reloaded = CompactGraph.from_state(compact.state())
+        assert reloaded.derived_state(CHAIN_KEY) is not None
+        for source_id in range(compact.node_count()):
+            assert chain_index(reloaded).reachable_mask(source_id) == index.reachable_mask(
+                source_id
+            )
+
+    def test_state_without_derived_matches_legacy_format(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert "derived" not in compact.state()

@@ -270,3 +270,60 @@ class TestQueryLogConstructionOptions:
         )
         service.query(0, 11)
         assert service.query_log.slow_count == 1
+
+
+class TestKernelSelectionTelemetry:
+    def test_selection_counters_and_span_backends_in_process(self):
+        from repro.closure import (
+            KERNEL_BACKENDS,
+            KERNEL_SELECTIONS_COUNTER,
+            reachability_semiring,
+        )
+
+        fragmentation = clique_line_fragmentation(blocks=3, block_size=4)
+        with QueryService(fragmentation, semiring=reachability_semiring()) as service:
+            service.query_batch(cross_fragment_queries())
+            payload = service.metrics("json")["metrics"]
+            series = payload[KERNEL_SELECTIONS_COUNTER]["series"]
+            assert series, "no kernel selections were recorded"
+            backends = set()
+            for entry in series:
+                backend = entry["labels"]["backend"]
+                assert backend in KERNEL_BACKENDS
+                assert entry["labels"]["context"] in (
+                    "local_query", "complementary", "closure", "seminaive"
+                )
+                assert entry["value"] > 0
+                backends.add(backend)
+            trace = service.tracer.recent(1)[0]
+            kernel_spans = [s for s in trace.spans if s.name == "kernel"]
+            assert kernel_spans
+            for span in kernel_spans:
+                assert span.attributes.get("backend") in backends
+
+    def test_selection_counters_flow_back_from_placed_workers(self):
+        from repro.closure import KERNEL_SELECTIONS_COUNTER, reachability_semiring
+
+        fragmentation = clique_line_fragmentation(blocks=3, block_size=4)
+        with QueryService(
+            fragmentation,
+            semiring=reachability_semiring(),
+            placement="round_robin",
+            workers=3,
+        ) as service:
+            service.query_batch(cross_fragment_queries())
+            payload = service.metrics("json")["metrics"]
+            series = payload[KERNEL_SELECTIONS_COUNTER]["series"]
+            assert any(
+                entry["labels"]["context"] == "local_query" and entry["value"] > 0
+                for entry in series
+            )
+
+    def test_prometheus_export_includes_selections(self):
+        from repro.closure import KERNEL_SELECTIONS_COUNTER, reachability_semiring
+
+        fragmentation = clique_line_fragmentation(blocks=2, block_size=4)
+        with QueryService(fragmentation, semiring=reachability_semiring()) as service:
+            service.query_batch([(0, 7)])
+            text = service.metrics("prometheus")
+            assert KERNEL_SELECTIONS_COUNTER in text
