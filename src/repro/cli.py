@@ -19,8 +19,14 @@ Python:
 * ``serve``     — run a long-lived query service reading a line protocol
   (``query A B`` / ``update A B W`` / ``stats`` / ``trace on|off`` /
   ``slowlog N`` / ...) from stdin,
+* ``net-serve`` — run the network serving tier: an asyncio TCP server
+  speaking newline-delimited JSON over the same grammar, with preemptable
+  closure streaming, continuation tokens, and admission control,
 * ``stats``     — run a query workload and render the telemetry it produced
   (text with latency percentiles, JSON, or Prometheus text exposition).
+
+Both serving front-ends parse commands through the one shared grammar in
+:mod:`repro.serving.protocol`, so the surfaces cannot drift apart.
 """
 
 from __future__ import annotations
@@ -56,6 +62,15 @@ from .service import (
     save_snapshot,
     semiring_from_name,
 )
+from .serving import (
+    AdmissionConfig,
+    ClosureServer,
+    Request,
+    ServingConfig,
+    commands_for,
+    decode_node,
+    parse_line,
+)
 
 # The one name -> algorithm set, shared with the serving layer's refragment
 # strings so the two surfaces can never drift apart.
@@ -80,7 +95,7 @@ def _make_fragmenter(name: str, fragment_count: int, graph: DiGraph, seed: int) 
 
 def _decode_node(value: str):
     """Interpret a CLI node argument: integers stay integers, the rest are strings."""
-    return int(value) if value.lstrip("-").isdigit() else value
+    return decode_node(value)
 
 
 # ----------------------------------------------------------------- commands
@@ -166,6 +181,8 @@ def _build_service(args: argparse.Namespace) -> QueryService:
     options = {"cache_size": args.cache_size, "workers": args.workers}
     if getattr(args, "auto_refragment", False):
         options["auto_refragment"] = True
+    if getattr(args, "refragment_cadence", None):
+        options["refragment_cadence"] = args.refragment_cadence
     placement = getattr(args, "placement", None)
     if placement is not None:
         # An explicit "none" forces the replicated pool even when a snapshot
@@ -314,109 +331,160 @@ def _print_placement(service: QueryService) -> None:
         print(f"worker {worker}: owns {owned}{suffix}")
 
 
+def _execute_console_command(service: QueryService, request: Request) -> bool:
+    """Execute one validated console command; returns ``False`` on quit/exit.
+
+    Arity and choices were already checked by the shared grammar
+    (:func:`repro.serving.protocol.parse_line`), so the dispatch below only
+    interprets arguments — exactly what the network server does with the
+    same :class:`~repro.serving.protocol.Request` objects.
+    """
+    op = request.op
+    if op in ("quit", "exit"):
+        return False
+    if op == "query":
+        _print_answer(service.query(request.node(0), request.node(1)))
+    elif op == "batch":
+        for answer in service.query_batch(request.pairs()):
+            _print_answer(answer)
+    elif op == "update":
+        owner = service.update_edge(
+            request.node(0), request.node(1), request.number(2, 1.0)
+        )
+        print(f"updated; fragment {owner}, catalog version {service.catalog_version}")
+    elif op == "delete":
+        owner = service.update_edge(request.node(0), request.node(1), delete=True)
+        print(f"deleted; fragment {owner}, catalog version {service.catalog_version}")
+    elif op == "stats":
+        _render_metrics(service, (request.text(0, "text") or "text").lower())
+    elif op == "trace":
+        toggle = (request.text(0) or "").lower()
+        if toggle == "on":
+            service.tracer.enable()
+        else:
+            service.tracer.disable()
+        print(f"tracing {toggle}")
+    elif op == "slowlog":
+        _print_slowlog(service, request.integer(0, 10) or 10)
+    elif op == "placement":
+        _print_placement(service)
+    elif op == "migrate":
+        fragment, worker = request.integer(0), request.integer(1)
+        moved = service.migrate(fragment, worker)
+        print(
+            f"migrated fragment {fragment} to worker {worker}"
+            if moved
+            else f"fragment {fragment} already lives on worker {worker}"
+        )
+    elif op == "rebalance":
+        migrations = service.rebalance()
+        if not migrations:
+            print("balanced; no migrations recommended")
+        for migration in migrations:
+            print(
+                f"migrated fragment {migration.fragment_id}: worker "
+                f"{migration.from_worker} -> {migration.to_worker} "
+                f"({migration.reason})"
+            )
+    elif op == "refragment":
+        redraws_before = service.stats.refragments
+        result = service.refragment(request.text(0))
+        if result is not None:
+            print(
+                f"refragmented live: rebuilt {len(result.changed)} "
+                f"fragment(s), kept {len(result.unchanged)}, "
+                f"recovered {result.border_nodes_recovered()} border "
+                f"node(s); catalog version {service.catalog_version}"
+            )
+        elif service.stats.refragments > redraws_before:
+            print(
+                "refragmented (full rebuild); catalog version "
+                f"{service.catalog_version}"
+            )
+        else:
+            print("advisor found no worthwhile redraw; layout unchanged")
+    elif op == "advise":
+        advisor = service.refragment_advisor or RefragmentationAdvisor()
+        fragmentation = service.database.fragmentation()
+        assessment = advisor.assess(
+            fragmentation,
+            version_vector=service.version_vector,
+            delta_log=service.database.delta_log,
+            query_log=service.query_log,
+        )
+        for key, value in assessment.signals.as_dict().items():
+            print(f"{key}: {value}")
+        print(f"update_skew: {assessment.update_skew:.2f}")
+        for line in advisor.recommend(fragmentation).rationale:
+            print(f"# {line}")
+    elif op == "snapshot":
+        directory = request.text(0)
+        manifest = service.snapshot(directory)
+        print(f"wrote snapshot to {directory} (version {manifest.version})")
+    return True
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     with _build_service(args) as service:
-        print("# ready; commands: query A B | batch A B [C D ...] | update A B [W] | "
-              "delete A B | stats [json|prometheus] | trace on|off | slowlog [N] | "
-              "placement | migrate F W | rebalance | "
-              "refragment [ALGO] | advise | snapshot DIR | quit")
+        print("# ready; commands: " + " | ".join(commands_for("console")))
         for line in sys.stdin:
-            words = line.split()
-            if not words:
-                continue
-            command, rest = words[0].lower(), words[1:]
             try:
-                if command in ("quit", "exit"):
+                # One grammar, one error path: parse_line validates against
+                # the same specs the network server enforces, and every
+                # grammar/service failure renders as the same "error: ...".
+                request = parse_line(line, surface="console")
+                if request is None:
+                    continue
+                if not _execute_console_command(service, request):
                     break
-                elif command == "query" and len(rest) == 2:
-                    _print_answer(service.query(_decode_node(rest[0]), _decode_node(rest[1])))
-                elif command == "batch" and rest and len(rest) % 2 == 0:
-                    pairs = [
-                        (_decode_node(rest[i]), _decode_node(rest[i + 1]))
-                        for i in range(0, len(rest), 2)
-                    ]
-                    for answer in service.query_batch(pairs):
-                        _print_answer(answer)
-                elif command == "update" and len(rest) in (2, 3):
-                    weight = float(rest[2]) if len(rest) == 3 else 1.0
-                    owner = service.update_edge(
-                        _decode_node(rest[0]), _decode_node(rest[1]), weight
-                    )
-                    print(f"updated; fragment {owner}, catalog version {service.catalog_version}")
-                elif command == "delete" and len(rest) == 2:
-                    owner = service.update_edge(
-                        _decode_node(rest[0]), _decode_node(rest[1]), delete=True
-                    )
-                    print(f"deleted; fragment {owner}, catalog version {service.catalog_version}")
-                elif command == "stats" and len(rest) <= 1:
-                    _render_metrics(service, rest[0].lower() if rest else "text")
-                elif command == "trace" and len(rest) == 1 and rest[0] in ("on", "off"):
-                    if rest[0] == "on":
-                        service.tracer.enable()
-                    else:
-                        service.tracer.disable()
-                    print(f"tracing {rest[0]}")
-                elif command == "slowlog" and len(rest) <= 1:
-                    _print_slowlog(service, int(rest[0]) if rest else 10)
-                elif command == "placement":
-                    _print_placement(service)
-                elif command == "migrate" and len(rest) == 2:
-                    moved = service.migrate(int(rest[0]), int(rest[1]))
-                    print(
-                        f"migrated fragment {rest[0]} to worker {rest[1]}"
-                        if moved
-                        else f"fragment {rest[0]} already lives on worker {rest[1]}"
-                    )
-                elif command == "rebalance":
-                    migrations = service.rebalance()
-                    if not migrations:
-                        print("balanced; no migrations recommended")
-                    for migration in migrations:
-                        print(
-                            f"migrated fragment {migration.fragment_id}: worker "
-                            f"{migration.from_worker} -> {migration.to_worker} "
-                            f"({migration.reason})"
-                        )
-                elif command == "refragment" and len(rest) <= 1:
-                    redraws_before = service.stats.refragments
-                    result = service.refragment(rest[0] if rest else None)
-                    if result is not None:
-                        print(
-                            f"refragmented live: rebuilt {len(result.changed)} "
-                            f"fragment(s), kept {len(result.unchanged)}, "
-                            f"recovered {result.border_nodes_recovered()} border "
-                            f"node(s); catalog version {service.catalog_version}"
-                        )
-                    elif service.stats.refragments > redraws_before:
-                        print(
-                            "refragmented (full rebuild); catalog version "
-                            f"{service.catalog_version}"
-                        )
-                    else:
-                        print("advisor found no worthwhile redraw; layout unchanged")
-                elif command == "advise":
-                    advisor = service.refragment_advisor or RefragmentationAdvisor()
-                    fragmentation = service.database.fragmentation()
-                    assessment = advisor.assess(
-                        fragmentation,
-                        version_vector=service.version_vector,
-                        delta_log=service.database.delta_log,
-                        query_log=service.query_log,
-                    )
-                    for key, value in assessment.signals.as_dict().items():
-                        print(f"{key}: {value}")
-                    print(f"update_skew: {assessment.update_skew:.2f}")
-                    for line in advisor.recommend(fragmentation).rationale:
-                        print(f"# {line}")
-                elif command == "snapshot" and len(rest) == 1:
-                    manifest = service.snapshot(rest[0])
-                    print(f"wrote snapshot to {rest[0]} (version {manifest.version})")
-                else:
-                    print(f"error: unrecognised command {line.strip()!r}")
             except (ReproError, ValueError, OSError, WorkerPoolError) as error:
                 # A bad line must not take the server down — nor must a
                 # routed-pool failure (worker error reply, reply timeout).
                 print(f"error: {error}")
+        print("# bye")
+    return 0
+
+
+def _cmd_net_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.idle_assess is not None and getattr(args, "auto_refragment", False):
+        # The whole point of the idle task: assessment leaves the update
+        # hot path and runs between requests instead.
+        args.refragment_cadence = "background"
+    with _build_service(args) as service:
+        config = ServingConfig(
+            host=args.host,
+            port=args.port,
+            quantum_seconds=args.quantum,
+            page_size=args.page_size,
+            quanta_per_call=args.quanta_per_call,
+            preemption=not args.no_preemption,
+            idle_assess_seconds=args.idle_assess,
+            admission=AdmissionConfig(
+                max_concurrent=args.max_concurrent,
+                max_queue=args.max_queue,
+            ),
+        )
+
+        async def _run() -> None:
+            server = ClosureServer(service, config)
+            host, port = await server.start()
+            print(
+                f"# serving on {host}:{port}; newline-delimited JSON "
+                '({"op": "query", "args": [...]}); commands: '
+                + " | ".join(commands_for("network"))
+            )
+            sys.stdout.flush()
+            try:
+                await server.serve_forever()
+            finally:
+                await server.aclose()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
         print("# bye")
     return 0
 
@@ -516,6 +584,38 @@ def build_parser() -> argparse.ArgumentParser:
     batch_query.add_argument("--queries", help="JSON file with a list of [source, target] pairs")
     batch_query.add_argument("--stats", action="store_true", help="also print service statistics")
     batch_query.set_defaults(handler=_cmd_batch_query)
+
+    net_serve = subparsers.add_parser(
+        "net-serve",
+        help="run the network serving tier: asyncio TCP, newline-delimited "
+             "JSON, preemptable closure streaming with continuation tokens, "
+             "admission control",
+    )
+    add_service_options(net_serve)
+    net_serve.add_argument("--host", default="127.0.0.1")
+    net_serve.add_argument("--port", type=int, default=7432,
+                           help="TCP port (0 picks an ephemeral port)")
+    net_serve.add_argument("--quantum", type=float, default=0.02,
+                           help="seconds one evaluation quantum may run before "
+                                "yielding the event loop")
+    net_serve.add_argument("--page-size", type=int, default=256,
+                           help="maximum closure result rows per streamed page")
+    net_serve.add_argument("--quanta-per-call", type=int, default=2,
+                           help="quanta one closure/resume call runs before "
+                                "suspending into a continuation token")
+    net_serve.add_argument("--no-preemption", action="store_true",
+                           help="disable quanta: closures run to completion in "
+                                "one event-loop turn (benchmark baseline only)")
+    net_serve.add_argument("--max-concurrent", type=int, default=8,
+                           help="requests evaluating at once (admission slots)")
+    net_serve.add_argument("--max-queue", type=int, default=64,
+                           help="requests allowed to wait for a slot before "
+                                "reject-with-retry-after")
+    net_serve.add_argument("--idle-assess", type=float, default=None,
+                           help="with --auto-refragment: assess the layout on "
+                                "this idle cadence (seconds) instead of on the "
+                                "update hot path")
+    net_serve.set_defaults(handler=_cmd_net_serve)
 
     serve = subparsers.add_parser(
         "serve", help="serve queries from stdin against a prepared catalog"

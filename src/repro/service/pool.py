@@ -551,6 +551,7 @@ class PlacedWorkerPool:
         # and the drained worker-registry payloads for the service to merge.
         self.last_task_workers: Dict[TaskKey, int] = {}
         self.last_worker_metrics: List[Dict] = []
+        self.queue_depth = 0
         self.queue_depth_peak = 0
         self.repins = 0
         self.repinned_fragments = 0
@@ -776,6 +777,9 @@ class PlacedWorkerPool:
         # Per-owner accounting counts *tasks* (the unit of local work), never
         # messages: one routed message may batch many subqueries.
         self.last_route_counts = {w: len(ts) for w, ts in groups.items()}
+        # The live queue depth is this round's largest per-owner batch
+        # (overwritten every round); the peak is its high-water mark.
+        self.queue_depth = max((len(ts) for ts in groups.values()), default=0)
         for worker_index, worker_tasks in groups.items():
             # Fenced replicas refresh from the mirror before the read; queue
             # order guarantees the pin applies before the evaluate.

@@ -191,6 +191,14 @@ class QueryService:
             update skew, captured query skew) and — when triggered and a
             measured improvement exists — executes :meth:`refragment` live.
         refragment_check_interval: applied updates between advisor checks.
+        refragment_cadence: when the advisor assessment runs.  ``"update"``
+            (the default) checks inline every ``refragment_check_interval``
+            applied updates — simple, but the assessment (and any redraw)
+            rides on the update hot path.  ``"background"`` never assesses
+            inside :meth:`update_edge`; a host loop (the network server's
+            idle task, a cron) calls :meth:`auto_refragment_now` in quiet
+            moments instead, so updates stay uniformly fast and redraws land
+            when nothing is waiting.
         tracing: produce a request trace per service call (cache lookup,
             planning, routing, per-worker evaluation, kernel execution
             spans).  Toggle live via ``service.tracer``.
@@ -217,6 +225,7 @@ class QueryService:
         delta_sequence: int = 0,
         auto_refragment: Union[bool, RefragmentationAdvisor] = False,
         refragment_check_interval: int = 32,
+        refragment_cadence: str = "update",
         tracing: bool = True,
         query_log_size: int = DEFAULT_QUERY_LOG_CAPACITY,
         slow_query_threshold: float = DEFAULT_SLOW_THRESHOLD_SECONDS,
@@ -290,7 +299,13 @@ class QueryService:
             raise ValueError(
                 f"refragment_check_interval must be positive, got {refragment_check_interval}"
             )
+        if refragment_cadence not in ("update", "background"):
+            raise ValueError(
+                f"refragment_cadence must be 'update' or 'background', "
+                f"got {refragment_cadence!r}"
+            )
         self._refragment_check_interval = refragment_check_interval
+        self._refragment_cadence = refragment_cadence
         self._updates_at_last_check = 0
         self._refragment_backoff_until = 0
         if auto_refragment is True:
@@ -850,18 +865,48 @@ class QueryService:
         return result
 
     def _maybe_auto_refragment(self) -> None:
-        advisor = self._refragment_advisor
-        if advisor is None:
+        if self._refragment_cadence != "update":
+            # Background cadence: the update hot path never assesses; a host
+            # loop calls :meth:`auto_refragment_now` in quiet moments.
+            return
+        if self._refragment_advisor is None:
             return
         applied = self._stats.updates_applied
         if applied - self._updates_at_last_check < self._refragment_check_interval:
             return
         self._updates_at_last_check = applied
+        self._assess_and_maybe_redraw(applied)
+
+    def auto_refragment_now(self) -> str:
+        """Run one advisor assessment immediately; returns the outcome.
+
+        This is the ``refragment_cadence="background"`` entry point: the
+        network server's idle task (or any host scheduler) calls it between
+        requests, so assessment and redraw cost land in quiet moments
+        instead of on the update hot path.  Callable under either cadence.
+
+        Returns:
+            ``"disabled"`` (no advisor), ``"unchanged"`` (no updates since
+            the last assessment), ``"backoff"`` (recently rejected),
+            ``"not_triggered"``, ``"rejected"`` (triggered but no worthwhile
+            candidate), or ``"redrawn"``.
+        """
+        if self._refragment_advisor is None:
+            return "disabled"
+        applied = self._stats.updates_applied
+        if applied == self._updates_at_last_check:
+            return "unchanged"
+        self._updates_at_last_check = applied
+        return self._assess_and_maybe_redraw(applied)
+
+    def _assess_and_maybe_redraw(self, applied: int) -> str:
+        advisor = self._refragment_advisor
+        assert advisor is not None
         if applied < self._refragment_backoff_until:
             # A persistently-triggered assessment whose candidates keep
             # failing the worthwhile bar must not pay the trial-run
             # recommendation on every interval: back off after a rejection.
-            return
+            return "backoff"
         fragmentation = self._database.fragmentation()
         assessment = advisor.assess(
             fragmentation,
@@ -870,15 +915,16 @@ class QueryService:
             query_log=self._query_log,
         )
         if not assessment.triggered:
-            return
+            return "not_triggered"
         advice = advisor.recommend(fragmentation, current_signals=assessment.signals)
         if advice.worthwhile:
             self._refragment_backoff_until = 0
             self._apply_advice(advice)
-        else:
-            self._refragment_backoff_until = (
-                applied + _REFRAGMENT_REJECTION_BACKOFF * self._refragment_check_interval
-            )
+            return "redrawn"
+        self._refragment_backoff_until = (
+            applied + _REFRAGMENT_REJECTION_BACKOFF * self._refragment_check_interval
+        )
+        return "rejected"
 
     # ------------------------------------------------------------- placement
 
@@ -1233,6 +1279,7 @@ class QueryService:
                     self._stats.observe_owner_queues(
                         owner_count=pool.worker_count,
                         queue_depth_peak=pool.queue_depth_peak,
+                        queue_depth=pool.queue_depth,
                     )
                     # Fold the workers' drained in-process registries into the
                     # service registry (kernel time/tuples per worker+fragment)

@@ -70,6 +70,7 @@ _FLOAT_COUNTERS: Dict[str, tuple] = {
 # (border_nodes_recovered counts negative contributions too).
 _GAUGES: Dict[str, tuple] = {
     "owner_count": ("repro_owner_count", "Worker slots behind the per-owner dispatch series."),
+    "queue_depth": ("repro_queue_depth", "Tasks enqueued to owner workers in the latest dispatch round (live view)."),
     "queue_depth_peak": ("repro_queue_depth_peak", "Largest per-owner task batch observed."),
     "border_nodes_recovered": ("repro_border_nodes_recovered", "Cumulative border-node reduction across redraws (signed)."),
     "max_latency": ("repro_max_latency_seconds", "Slowest answer observed (cached or evaluated)."),
@@ -78,7 +79,9 @@ _GAUGES: Dict[str, tuple] = {
 }
 
 # Fields whose compatibility view should read as int.
-_INT_GAUGES = frozenset({"owner_count", "queue_depth_peak", "border_nodes_recovered"})
+_INT_GAUGES = frozenset(
+    {"owner_count", "queue_depth", "queue_depth_peak", "border_nodes_recovered"}
+)
 
 LATENCY_HISTOGRAM = "repro_query_latency_seconds"
 SITE_DISPATCH_COUNTER = "repro_site_dispatch_total"
@@ -294,10 +297,23 @@ class ServiceStatistics:
         self.local_evaluations += count
         self.per_site_load[fragment_id] = self.per_site_load.get(fragment_id, 0) + count
 
-    def observe_owner_queues(self, *, owner_count: int, queue_depth_peak: int) -> None:
-        """Fold the routed pool's queue observability into the counters."""
+    def observe_owner_queues(
+        self,
+        *,
+        owner_count: int,
+        queue_depth_peak: int,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        """Fold the routed pool's queue observability into the counters.
+
+        ``queue_depth`` is the *live* view — the largest per-owner task
+        batch of the most recent dispatch round, overwritten every round —
+        while ``queue_depth_peak`` is its monotone high-water mark.
+        """
         self.owner_count = max(self.owner_count, owner_count)
         self.queue_depth_peak = max(self.queue_depth_peak, queue_depth_peak)
+        if queue_depth is not None:
+            self.queue_depth = queue_depth
 
     # ------------------------------------------------------------- reporting
 
@@ -376,6 +392,7 @@ class ServiceStatistics:
             "per_owner_dispatch": dict(sorted(self.per_owner_dispatch.items())),
             "owner_count": self.owner_count,
             "dispatch_skew": round(self.dispatch_skew(), 4),
+            "queue_depth": self.queue_depth,
             "queue_depth_peak": self.queue_depth_peak,
             "migrations": self.migrations,
             "placement_aware_batches": self.placement_aware_batches,

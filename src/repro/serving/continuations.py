@@ -1,0 +1,117 @@
+"""Continuation tokens: suspended queries that survive across connections.
+
+When the serving tier preempts a long-running closure it must park the
+query's :class:`~repro.serving.preemption.SavedQueryState` somewhere a later
+request — possibly on a *different* connection — can find it.  The
+:class:`ContinuationStore` is that somewhere: a bounded, client-owned map
+from opaque tokens to **pickled** saved states.
+
+Pickling on ``put`` (rather than keeping the live object) is deliberate:
+
+* it proves, on the production path, that every saved state honours the
+  plain-data contract — a state that cannot pickle fails at suspension time,
+  not in some later deployment that moves states between processes;
+* it makes the stored state immune to aliasing — the iterator that produced
+  it can keep running (or be garbage) without corrupting the parked copy.
+
+Ownership follows the *client identity*, not the connection: a client that
+identified itself (``hello NAME``) can reconnect and resume its tokens,
+while dropping a client (disconnect of an anonymous connection, explicit
+``cancel``) frees every state it parked — saved state can never leak from
+clients that walked away.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .preemption import SavedQueryState
+from .protocol import ProtocolError
+
+__all__ = ["ContinuationStore"]
+
+
+class ContinuationStore:
+    """A bounded map of continuation tokens to pickled saved query states.
+
+    Args:
+        capacity: maximum parked states; inserting past it evicts the oldest
+            (their clients must re-issue, which is the correct failure mode
+            for a server that is out of suspension memory).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"continuation capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._states: "OrderedDict[str, Tuple[str, bytes]]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def put(self, state: SavedQueryState, *, client: str) -> str:
+        """Park a saved state for ``client``; returns its opaque token."""
+        token = secrets.token_hex(8)
+        self._states[token] = (client, pickle.dumps(state))
+        while len(self._states) > self._capacity:
+            self._states.popitem(last=False)
+            self.evictions += 1
+        return token
+
+    def take(self, token: str, *, client: Optional[str] = None) -> SavedQueryState:
+        """Remove and return the state behind ``token``.
+
+        Args:
+            token: the continuation token a suspension handed out.
+            client: when given, the caller's identity must match the owner —
+                tokens are not transferable between clients.
+
+        Raises:
+            ProtocolError: unknown/expired token, or a different owner.
+        """
+        entry = self._states.get(token)
+        if entry is None:
+            raise ProtocolError(
+                f"unknown continuation token {token!r} (expired, cancelled, or "
+                "freed when its client disconnected)"
+            )
+        owner, payload = entry
+        if client is not None and owner != client:
+            raise ProtocolError(
+                f"continuation token {token!r} belongs to another client"
+            )
+        del self._states[token]
+        return pickle.loads(payload)
+
+    def discard(self, token: str, *, client: Optional[str] = None) -> bool:
+        """Drop one token (``cancel``); returns whether it existed and matched."""
+        entry = self._states.get(token)
+        if entry is None or (client is not None and entry[0] != client):
+            return False
+        del self._states[token]
+        return True
+
+    def adopt(self, old_client: str, new_client: str) -> int:
+        """Transfer every state of ``old_client`` to ``new_client``.
+
+        The ``hello`` handler calls this so a suspension parked before the
+        client identified itself follows the client to its durable identity
+        instead of dying with the connection.
+        """
+        moved = 0
+        for token, (owner, payload) in self._states.items():
+            if owner == old_client:
+                self._states[token] = (new_client, payload)
+                moved += 1
+        return moved
+
+    def drop_client(self, client: str) -> int:
+        """Free every state ``client`` parked; returns how many were freed."""
+        stale = [token for token, (owner, _) in self._states.items() if owner == client]
+        for token in stale:
+            del self._states[token]
+        return len(stale)

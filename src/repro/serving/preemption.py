@@ -1,0 +1,357 @@
+"""Web-preemption for closure queries: bounded quanta, resumable saved state.
+
+A whole-graph transitive closure is the one query shape this system serves
+that is *minutes* of kernel work on a large graph — run naively inside a
+single-threaded serving loop it starves every point query behind it.  This
+module applies the SaGe preemptable-iterator pattern to the closure kernels:
+
+* :class:`PreemptableClosureIterator` evaluates a closure (one source, or
+  every source for the whole-graph/all-pairs case) **incrementally**, a
+  time-bounded quantum at a time, emitting ``(source, target, value)`` rows
+  in a deterministic order;
+* between quanta the iterator's whole progress — pending sources, frontier
+  masks, visited sets, the Dijkstra heap, partially-emitted pages — can be
+  captured into a :class:`SavedQueryState`: a **plain-data, picklable**
+  snapshot that survives process-internal storage, a pickle round-trip, and
+  (via the serving tier's continuation tokens) reconnecting clients;
+* :meth:`PreemptableClosureIterator.from_state` resumes from such a snapshot
+  and produces **exactly** the rows the uninterrupted run would have produced
+  from that point — suspension is invisible in the concatenated output.
+
+Determinism is what makes that resume contract cheap to keep: sources are
+processed in ascending dense-id order, the reachability expansion pops
+frontier bits lowest-first and emits each BFS level in id order, and the
+shortest-path evaluation settles nodes in exact ``(distance, id)`` heap
+order.  Every piece of state is already plain data (ints as bitsets, flat
+float lists, heap tuples), so saving is a shallow copy, not a serialisation
+scheme.
+
+The saved state stamps the catalog version it was taken under; resuming
+against a database whose version moved raises :class:`StaleStateError` —
+a suspended query never silently mixes rows from two graph versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+from ..graph.compact import CompactGraph
+
+__all__ = [
+    "ALL_SOURCES",
+    "PreemptableClosureIterator",
+    "QuantumReport",
+    "SavedQueryState",
+    "StaleStateError",
+]
+
+Row = Tuple[object, object, object]
+
+# The wire spelling of "every source": ``closure *`` asks for the whole-graph
+# (all-pairs) closure.
+ALL_SOURCES = "*"
+
+_KINDS = ("shortest_path", "reachability")
+
+
+class StaleStateError(ReproError):
+    """A saved query state whose catalog version no longer matches the live one."""
+
+
+@dataclass
+class SavedQueryState:
+    """A suspended closure query, as plain picklable data.
+
+    Attributes:
+        kind: the evaluation ("shortest_path" or "reachability").
+        catalog_version: the service catalog version the state was taken
+            under; resume refuses any other version.
+        pending_sources: dense source ids not yet started (ascending).
+        current: the in-flight source's sub-state (masks / dist / heap), or
+            ``None`` between sources.
+        produced: rows already emitted before the suspension.
+        whole_graph: whether the query asked for every source (``closure *``).
+    """
+
+    kind: str
+    catalog_version: str
+    pending_sources: List[int] = field(default_factory=list)
+    current: Optional[Dict[str, object]] = None
+    produced: int = 0
+    whole_graph: bool = False
+
+
+@dataclass(frozen=True)
+class QuantumReport:
+    """What one quantum produced: the rows, and whether the query finished."""
+
+    rows: List[Row]
+    exhausted: bool
+    seconds: float
+
+
+class PreemptableClosureIterator:
+    """Evaluate a closure query in time-bounded, suspendable quanta.
+
+    Args:
+        graph: the whole-graph compact mirror to evaluate over.
+        sources: the requested source node keys, or :data:`ALL_SOURCES` for
+            the whole-graph closure.
+        kind: ``"shortest_path"`` or ``"reachability"`` (the picklable
+            semiring pair the serving stack supports).
+        catalog_version: the catalog version the evaluation is pinned to;
+            stamped into every saved state.
+
+    Raises:
+        ReproError: unsupported kind, or an unknown source node.
+    """
+
+    def __init__(
+        self,
+        graph: CompactGraph,
+        sources: object,
+        *,
+        kind: str = "shortest_path",
+        catalog_version: str = "live",
+    ) -> None:
+        if kind not in _KINDS:
+            raise ReproError(
+                f"preemptable closure supports kinds {_KINDS}, not {kind!r}"
+            )
+        self._graph = graph
+        self.kind = kind
+        self.catalog_version = catalog_version
+        self.produced = 0
+        self._current: Optional[Dict[str, object]] = None
+        if sources == ALL_SOURCES:
+            self.whole_graph = True
+            self._pending: List[int] = list(range(graph.node_count()))
+        else:
+            self.whole_graph = False
+            requested = sources if isinstance(sources, (list, tuple)) else [sources]
+            ids: List[int] = []
+            for node in requested:
+                node_id = graph.try_node_id(node)
+                if node_id < 0:
+                    raise ReproError(f"unknown closure source {node!r}")
+                ids.append(node_id)
+            self._pending = sorted(set(ids))
+
+    # ------------------------------------------------------------ suspension
+
+    @classmethod
+    def from_state(
+        cls,
+        graph: CompactGraph,
+        state: SavedQueryState,
+        *,
+        catalog_version: str,
+    ) -> "PreemptableClosureIterator":
+        """Resume an iterator from a saved state (same catalog version only).
+
+        Raises:
+            StaleStateError: the state was saved under a different catalog
+                version — the graph underneath it has moved, so its masks and
+                distances no longer mean anything.
+        """
+        if state.catalog_version != catalog_version:
+            raise StaleStateError(
+                f"saved query state is stale: saved under catalog version "
+                f"{state.catalog_version!r}, the service is now at "
+                f"{catalog_version!r}; re-issue the query"
+            )
+        iterator = cls.__new__(cls)
+        iterator._graph = graph
+        iterator.kind = state.kind
+        iterator.catalog_version = catalog_version
+        iterator.produced = state.produced
+        iterator.whole_graph = state.whole_graph
+        iterator._pending = list(state.pending_sources)
+        iterator._current = dict(state.current) if state.current is not None else None
+        return iterator
+
+    def save(self) -> SavedQueryState:
+        """Capture the whole progress as plain picklable data.
+
+        The copies are shallow-but-sufficient: every container in the
+        sub-state is rebuilt (lists copied, the heap list copied) so the
+        saved state is immune to this iterator running further quanta.
+        """
+        current: Optional[Dict[str, object]] = None
+        if self._current is not None:
+            current = {
+                key: (list(value) if isinstance(value, list) else value)
+                for key, value in self._current.items()
+            }
+            done = self._current.get("done")
+            if isinstance(done, bytearray):
+                current["done"] = bytearray(done)
+        return SavedQueryState(
+            kind=self.kind,
+            catalog_version=self.catalog_version,
+            pending_sources=list(self._pending),
+            current=current,
+            produced=self.produced,
+            whole_graph=self.whole_graph,
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every requested source has been fully evaluated."""
+        return self._current is None and not self._pending
+
+    # --------------------------------------------------------------- running
+
+    def run_quantum(
+        self,
+        budget_seconds: float,
+        *,
+        max_rows: Optional[int] = None,
+    ) -> QuantumReport:
+        """Run until the time budget, the row cap, or the end of the query.
+
+        Args:
+            budget_seconds: wall-clock budget for this quantum (``inf`` runs
+                to completion — the preemption-disabled baseline).
+            max_rows: optional cap on rows emitted this quantum (one result
+                page); the iterator suspends cleanly at the cap.
+
+        Returns:
+            A :class:`QuantumReport` with the emitted rows (in the global
+            deterministic order) and whether the query is exhausted.
+        """
+        started = perf_counter()
+        deadline = inf if budget_seconds == inf else started + budget_seconds
+        rows: List[Row] = []
+        cap = inf if max_rows is None else max_rows
+        while True:
+            if self._current is None:
+                if not self._pending:
+                    break
+                self._begin_source(self._pending.pop(0))
+            if len(rows) >= cap:
+                break
+            stepped = (
+                self._step_shortest_path(rows)
+                if self.kind == "shortest_path"
+                else self._step_reachability(rows)
+            )
+            if not stepped:
+                self._current = None
+                continue
+            if perf_counter() >= deadline:
+                break
+        self.produced += len(rows)
+        return QuantumReport(
+            rows=rows, exhausted=self.exhausted, seconds=perf_counter() - started
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _begin_source(self, source_id: int) -> None:
+        if self.kind == "shortest_path":
+            n = self._graph.node_count()
+            dist = [inf] * n
+            dist[source_id] = 0.0
+            self._current = {
+                "source_id": source_id,
+                "dist": dist,
+                "done": bytearray(n),
+                "heap": [(0.0, source_id)],
+            }
+        else:
+            self._current = {
+                "source_id": source_id,
+                "visited": 1 << source_id,
+                "scan": 1 << source_id,
+                "reached": 0,
+                "emit": [],
+            }
+
+    def _step_shortest_path(self, rows: List[Row]) -> bool:
+        """Settle one node and emit its row; ``False`` when the source is done.
+
+        Exactly :func:`~repro.closure.kernels.array_dijkstra`'s relaxation,
+        restructured so the heap *is* the suspendable state: ``heapq`` on a
+        plain list of ``(distance, id)`` tuples pops deterministically
+        (distance, then id), so a pickled heap resumes in the same order.
+        """
+        import heapq
+
+        state = self._current
+        assert state is not None
+        heap: List[Tuple[float, int]] = state["heap"]  # type: ignore[assignment]
+        dist: List[float] = state["dist"]  # type: ignore[assignment]
+        done: bytearray = state["done"]  # type: ignore[assignment]
+        source_id: int = state["source_id"]  # type: ignore[assignment]
+        offsets, targets, weights = self._graph.forward_csr
+        while heap:
+            distance, node_id = heapq.heappop(heap)
+            if done[node_id]:
+                continue
+            done[node_id] = 1
+            for index in range(offsets[node_id], offsets[node_id + 1]):
+                target_id = targets[index]
+                if done[target_id]:
+                    continue
+                candidate = distance + weights[index]
+                if candidate < dist[target_id]:
+                    dist[target_id] = candidate
+                    heapq.heappush(heap, (candidate, target_id))
+            if node_id != source_id:
+                rows.append(
+                    (
+                        self._graph.node_of(source_id),
+                        self._graph.node_of(node_id),
+                        distance,
+                    )
+                )
+                return True
+            return True  # the source settles without a row but is one step
+        return False
+
+    def _step_reachability(self, rows: List[Row]) -> bool:
+        """Advance the bitset BFS by one unit; ``False`` when the source is done.
+
+        A unit is: emit one buffered row, or absorb one frontier node's
+        successor mask, or roll the completed level into the next frontier.
+        Each is O(words) work, so quantum deadlines are honoured to a fine
+        grain even on wide graphs.
+        """
+        state = self._current
+        assert state is not None
+        emit: List[int] = state["emit"]  # type: ignore[assignment]
+        if emit:
+            target_id = emit.pop(0)
+            rows.append(
+                (
+                    self._graph.node_of(state["source_id"]),  # type: ignore[arg-type]
+                    self._graph.node_of(target_id),
+                    True,
+                )
+            )
+            return True
+        scan: int = state["scan"]  # type: ignore[assignment]
+        if scan:
+            masks = self._graph.successor_masks()
+            low = scan & -scan
+            state["reached"] = state["reached"] | masks[low.bit_length() - 1]  # type: ignore[operator]
+            state["scan"] = scan ^ low
+            return True
+        newly = state["reached"] & ~state["visited"]  # type: ignore[operator]
+        if not newly:
+            return False
+        state["visited"] = state["visited"] | newly  # type: ignore[operator]
+        state["scan"] = newly
+        state["reached"] = 0
+        ids: List[int] = []
+        while newly:
+            low = newly & -newly
+            ids.append(low.bit_length() - 1)
+            newly ^= low
+        state["emit"] = ids
+        return True

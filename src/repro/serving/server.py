@@ -1,0 +1,677 @@
+"""The preemptive network serving tier: asyncio TCP over ``QueryService``.
+
+:class:`ClosureServer` is the network front-end ROADMAP item 1 asks for.  It
+speaks a newline-delimited JSON protocol (one request object in, one or more
+response objects out, every object on its own line) over plain TCP, and
+composes the serving subsystem's parts:
+
+* the shared grammar of :mod:`repro.serving.protocol` — the same command
+  set the ``repro serve`` stdin loop validates against;
+* :class:`~repro.serving.admission.AdmissionController` — bounded quantum
+  slots, a bounded wait queue with deadline enforcement, and per-client
+  token buckets, so saturation answers *reject with retry-after* instead of
+  collapsing, and one heavy client throttles only itself;
+* :class:`~repro.serving.preemption.PreemptableClosureIterator` — ``closure``
+  requests (single-source or whole-graph ``closure *``) run in bounded
+  quanta over the whole-graph compact mirror, stream result pages as they
+  are produced, and after the per-call quantum budget (or the request
+  deadline) suspend into a :class:`~repro.serving.preemption.SavedQueryState`
+  parked in the :class:`~repro.serving.continuations.ContinuationStore`;
+  the client resumes with the returned continuation token — possibly on a
+  new connection — and the concatenated pages are identical to an
+  uninterrupted run;
+* the existing :class:`~repro.service.server.QueryService` — point queries,
+  batches and updates go through the service untouched, so they keep the
+  result cache, the batch planner, and placement-aware dispatch through the
+  routed :class:`~repro.service.pool.PlacedWorkerPool`.
+
+Because the server is a single cooperative event loop, the quantum *is* the
+fairness mechanism: a whole-graph closure occupies the loop for at most one
+quantum before control returns to waiting point queries — exactly the
+web-preemption contract (SaGe) that keeps tail latency bounded under a mixed
+heavy/light workload.  ``ServingConfig(preemption=False)`` disables the
+quantum (closures run to completion in one turn); the latency benchmark uses
+it as the degraded baseline.
+
+Everything observable lands in the service's shared metrics registry under
+``repro_serving_*`` (request/quanta/page counters, quantum-duration and
+quanta-per-call histograms, live queue-depth and active-request gauges,
+per-client dispatch counters) and every quantum runs under a tracer span.
+
+With ``idle_assess_seconds`` set, the server also moves auto-refragmentation
+assessment off the update hot path: a background task calls
+:meth:`QueryService.auto_refragment_now` only while no request is active —
+redraws happen in quiet moments, never inside an update.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..exceptions import NoChainError, ReproError
+from ..graph.compact import CompactGraph
+from ..service import QueryService, WorkerPoolError
+from .admission import AdmissionConfig, AdmissionController
+from .continuations import ContinuationStore
+from .preemption import (
+    ALL_SOURCES,
+    PreemptableClosureIterator,
+    SavedQueryState,
+    StaleStateError,
+)
+from .protocol import NETWORK, ProtocolError, Request, parse_json_request
+
+__all__ = ["ClosureServer", "ServingConfig"]
+
+# The shared serve-loop error path: everything a bad request may legitimately
+# raise.  Both front-ends catch exactly this set; anything else is a bug and
+# must surface.
+SERVICE_ERRORS = (ReproError, ValueError, OSError, WorkerPoolError)
+
+_QUANTA_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the network serving tier.
+
+    Attributes:
+        host / port: bind address (port 0 picks an ephemeral port).
+        quantum_seconds: wall-clock budget of one evaluation quantum.
+        page_size: maximum result rows per streamed page.
+        quanta_per_call: quanta one ``closure``/``resume`` call may run
+            before suspending into a continuation token (the web-preemption
+            unit of work).
+        preemption: ``False`` disables quanta entirely — closures run to
+            completion in one event-loop turn (the benchmark's degraded
+            baseline, never a production setting).
+        continuation_capacity: suspended states parked at once.
+        idle_assess_seconds: when set, run the auto-refragmentation
+            assessment on this background cadence while the server is idle
+            (pair with ``QueryService(refragment_cadence="background")``).
+        admission: the admission-control knobs.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    quantum_seconds: float = 0.02
+    page_size: int = 256
+    quanta_per_call: int = 2
+    preemption: bool = True
+    continuation_capacity: int = 256
+    idle_assess_seconds: Optional[float] = None
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+    def __post_init__(self) -> None:
+        if self.quantum_seconds <= 0:
+            raise ValueError(f"quantum_seconds must be positive, got {self.quantum_seconds}")
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {self.page_size}")
+        if self.quanta_per_call <= 0:
+            raise ValueError(f"quanta_per_call must be positive, got {self.quanta_per_call}")
+
+
+class _Connection:
+    """Per-connection state: the client identity continuations follow."""
+
+    __slots__ = ("identity", "identified")
+
+    def __init__(self, identity: str) -> None:
+        self.identity = identity
+        self.identified = False
+
+
+class ClosureServer:
+    """An asyncio TCP front-end serving one :class:`QueryService`.
+
+    Args:
+        service: the prepared query service to serve.
+        config: the :class:`ServingConfig` knobs.
+    """
+
+    def __init__(self, service: QueryService, config: Optional[ServingConfig] = None) -> None:
+        self.service = service
+        self.config = config or ServingConfig()
+        registry = service.registry
+        self.admission = AdmissionController(self.config.admission, registry=registry)
+        self.continuations = ContinuationStore(self.config.continuation_capacity)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._idle_task: Optional[asyncio.Task] = None
+        self._waiters: Deque[Tuple[asyncio.Future, str]] = deque()
+        self._connection_tasks: set = set()
+        self._connection_seq = 0
+        # ------------------------------------------------------- telemetry
+        self._requests = registry.counter(
+            "repro_serving_requests_total",
+            "Network requests served, by op and outcome.",
+            labelnames=("op", "outcome"),
+        )
+        self._connections = registry.counter(
+            "repro_serving_connections_total", "TCP connections accepted."
+        )
+        self._disconnects = registry.counter(
+            "repro_serving_disconnects_total",
+            "Connections that dropped mid-request or mid-stream.",
+        )
+        self._active_connections = registry.gauge(
+            "repro_serving_active_connections", "Connections currently open."
+        )
+        self._quanta = registry.counter(
+            "repro_serving_quanta_total", "Evaluation quanta executed."
+        )
+        self._quantum_seconds = registry.histogram(
+            "repro_serving_quantum_seconds",
+            "Wall-clock duration of each evaluation quantum.",
+        )
+        self._call_quanta = registry.histogram(
+            "repro_serving_call_quanta",
+            "Quanta one closure/resume call ran before finishing or suspending.",
+            buckets=_QUANTA_BUCKETS,
+        )
+        self._pages = registry.counter(
+            "repro_serving_pages_total", "Result pages streamed to clients."
+        )
+        self._rows = registry.counter(
+            "repro_serving_rows_total", "Closure result rows streamed to clients."
+        )
+        self._suspends = registry.counter(
+            "repro_serving_suspends_total",
+            "Closure calls suspended into a continuation token, by reason.",
+            labelnames=("reason",),
+        )
+        self._resumes = registry.counter(
+            "repro_serving_resumes_total", "Suspended queries resumed from a token."
+        )
+        self._stale = registry.counter(
+            "repro_serving_stale_continuations_total",
+            "Resume attempts rejected because the catalog version moved.",
+        )
+        self._saved_states = registry.gauge(
+            "repro_serving_saved_states", "Suspended query states currently parked."
+        )
+        self._idle_assessments = registry.counter(
+            "repro_serving_idle_assessments_total",
+            "Background auto-refragmentation assessments run while idle, by outcome.",
+            labelnames=("outcome",),
+        )
+        # Whole-graph compact mirror, rebuilt lazily per catalog version.
+        self._mirror: Optional[CompactGraph] = None
+        self._mirror_version: Optional[str] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("the server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.config.idle_assess_seconds is not None:
+            self._idle_task = asyncio.get_running_loop().create_task(self._idle_loop())
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises before :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("the server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (:meth:`start` first when not yet started)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def aclose(self) -> None:
+        """Stop accepting and shut the listener down (idempotent)."""
+        if self._idle_task is not None:
+            self._idle_task.cancel()
+            try:
+                await self._idle_task
+            except asyncio.CancelledError:
+                pass
+            self._idle_task = None
+        if self._server is not None:
+            self._server.close()
+            # Reap live connection handlers: without this, shutting the loop
+            # down mid-conversation leaves cancelled handler tasks whose
+            # exceptions the streams machinery logs as noise.
+            for task in list(self._connection_tasks):
+                task.cancel()
+            if self._connection_tasks:
+                await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ClosureServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connection_seq += 1
+        peer = writer.get_extra_info("peername")
+        identity = (
+            f"{peer[0]}:{peer[1]}"
+            if isinstance(peer, tuple) and len(peer) >= 2
+            else f"conn-{self._connection_seq}"
+        )
+        connection = _Connection(identity)
+        self._connection_tasks.add(asyncio.current_task())
+        self._connections.inc()
+        self._active_connections.set(self._active_connections.value() + 1)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    request = parse_json_request(json.loads(text), surface=NETWORK)
+                except json.JSONDecodeError as error:
+                    await self._send(writer, {"ok": False, "error": f"bad JSON: {error}"})
+                    continue
+                except ProtocolError as error:
+                    await self._send(writer, {"ok": False, "error": str(error)})
+                    continue
+                if request.op in ("closure", "resume"):
+                    await self._serve_closure(request, connection, writer)
+                else:
+                    response = await self._serve_simple(request, connection)
+                    response.setdefault("id", request.option("id"))
+                    await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            self._disconnects.inc()
+        except asyncio.CancelledError:
+            # Server shutdown while this connection was live: swallow the
+            # cancellation so the streams machinery's completion callback
+            # finds a cleanly-finished task, and fall through to cleanup.
+            pass
+        finally:
+            if not connection.identified:
+                # An anonymous client's parked suspensions die with its
+                # connection — saved state never outlives a client the
+                # server cannot recognise again.
+                self.continuations.drop_client(connection.identity)
+                self._saved_states.set(float(len(self.continuations)))
+            self._active_connections.set(
+                max(0.0, self._active_connections.value() - 1)
+            )
+            self._connection_tasks.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: Dict[str, object]) -> None:
+        writer.write(json.dumps(payload, default=str).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    # -------------------------------------------------------------- admission
+
+    async def _acquire_slot(
+        self, connection: _Connection, *, cost: float, deadline: float
+    ) -> Optional[Dict[str, object]]:
+        """Take an evaluation slot; returns a rejection response, or ``None``.
+
+        A queued request waits on a future the next :meth:`_release_slot`
+        resolves; waiting past the request deadline rejects with reason
+        ``deadline`` (the queue spot is freed either way).
+        """
+        decision = self.admission.admit(connection.identity, cost=cost)
+        if decision.status == "run":
+            return None
+        if decision.status == "reject":
+            return {
+                "ok": False,
+                "rejected": True,
+                "reason": decision.reason,
+                "retry_after": round(decision.retry_after, 4),
+                "error": f"admission rejected ({decision.reason}); "
+                f"retry after {decision.retry_after:.3f}s",
+            }
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append((future, connection.identity))
+        try:
+            await asyncio.wait_for(future, timeout=max(0.0, deadline - time.monotonic()))
+        except asyncio.TimeoutError:
+            self.admission.abandon_queued(connection.identity, reason="deadline")
+            return {
+                "ok": False,
+                "rejected": True,
+                "reason": "deadline",
+                "retry_after": self.config.admission.retry_after,
+                "error": "deadline expired while waiting for an evaluation slot",
+            }
+        return None
+
+    def _release_slot(self, connection: _Connection) -> None:
+        self.admission.finish(connection.identity)
+        while self._waiters and self.admission.free_slots > 0:
+            future, identity = self._waiters.popleft()
+            if future.done():
+                continue
+            self.admission.start_queued(identity)
+            future.set_result(None)
+            break
+
+    def _deadline_of(self, request: Request) -> float:
+        timeout = request.option("timeout")
+        seconds = (
+            float(timeout)
+            if isinstance(timeout, (int, float)) and float(timeout) > 0
+            else self.config.admission.default_deadline
+        )
+        return time.monotonic() + seconds
+
+    # ---------------------------------------------------------- simple verbs
+
+    async def _serve_simple(
+        self, request: Request, connection: _Connection
+    ) -> Dict[str, object]:
+        op = request.op
+        try:
+            if op == "hello":
+                previous = connection.identity
+                connection.identity = str(request.args[0])
+                connection.identified = True
+                # States parked before the hello follow the client to its
+                # durable identity, so an early suspension is not orphaned.
+                if previous != connection.identity:
+                    self.continuations.adopt(previous, connection.identity)
+                self._requests.inc(op=op, outcome="ok")
+                return {"ok": True, "client": connection.identity}
+            if op == "ping":
+                self._requests.inc(op=op, outcome="ok")
+                return {"ok": True, "pong": True}
+            if op == "stats":
+                self._requests.inc(op=op, outcome="ok")
+                return self._stats_response(request.text(0, "json") or "json")
+            if op == "cancel":
+                token = str(request.args[0])
+                dropped = self.continuations.discard(token, client=connection.identity)
+                self._saved_states.set(float(len(self.continuations)))
+                self._requests.inc(op=op, outcome="ok")
+                return {"ok": True, "cancelled": dropped}
+            if op == "trace":
+                if request.text(0) == "on":
+                    self.service.tracer.enable()
+                else:
+                    self.service.tracer.disable()
+                self._requests.inc(op=op, outcome="ok")
+                return {"ok": True, "tracing": self.service.tracer.enabled}
+            if op == "slowlog":
+                count = request.integer(0, 10) or 10
+                entries = [
+                    {
+                        "source": entry.source,
+                        "target": entry.target,
+                        "latency": entry.latency,
+                        "fragments": list(entry.fragments),
+                        "cached": entry.cached,
+                        "error": entry.error,
+                    }
+                    for entry in self.service.query_log.slowest(count)
+                ]
+                self._requests.inc(op=op, outcome="ok")
+                return {"ok": True, "slowlog": entries}
+            # The evaluating verbs pay admission.
+            deadline = self._deadline_of(request)
+            rejection = await self._acquire_slot(
+                connection, cost=self.config.admission.light_cost, deadline=deadline
+            )
+            if rejection is not None:
+                self._requests.inc(op=op, outcome="rejected")
+                return rejection
+            try:
+                return self._serve_light(request)
+            finally:
+                self._release_slot(connection)
+        except SERVICE_ERRORS as error:
+            self._requests.inc(op=op, outcome="error")
+            return {"ok": False, "error": str(error)}
+
+    def _serve_light(self, request: Request) -> Dict[str, object]:
+        op = request.op
+        service = self.service
+        if op == "query":
+            try:
+                answer = service.query(request.node(0), request.node(1))
+            except NoChainError as error:
+                self._requests.inc(op=op, outcome="error")
+                return {"ok": False, "error": str(error)}
+            self._requests.inc(op=op, outcome="ok")
+            return {"ok": True, "answer": self._answer_dict(answer)}
+        if op == "batch":
+            answers = service.query_batch(request.pairs())
+            self._requests.inc(op=op, outcome="ok")
+            return {"ok": True, "answers": [self._answer_dict(a) for a in answers]}
+        if op == "update":
+            owner = service.update_edge(
+                request.node(0), request.node(1), request.number(2, 1.0) or 1.0
+            )
+            self._requests.inc(op=op, outcome="ok")
+            return {"ok": True, "fragment": owner, "version": service.catalog_version}
+        if op == "delete":
+            owner = service.update_edge(request.node(0), request.node(1), delete=True)
+            self._requests.inc(op=op, outcome="ok")
+            return {"ok": True, "fragment": owner, "version": service.catalog_version}
+        raise ProtocolError(f"unrecognised command {op!r}")
+
+    @staticmethod
+    def _answer_dict(answer) -> Dict[str, object]:
+        return {
+            "source": answer.source,
+            "target": answer.target,
+            "value": answer.value,
+            "chain": list(answer.chain) if answer.chain is not None else None,
+            "cached": answer.cached,
+            "error": answer.error,
+        }
+
+    def _stats_response(self, fmt: str) -> Dict[str, object]:
+        if fmt == "prometheus":
+            return {"ok": True, "prometheus": self.service.metrics("prometheus")}
+        return {
+            "ok": True,
+            "stats": self.service.stats.as_dict(),
+            "serving": {
+                "active_requests": self.admission.active,
+                "queue_depth": self.admission.queued,
+                "saved_states": len(self.continuations),
+                "clients": self.admission.client_stats(),
+            },
+        }
+
+    # ------------------------------------------------------- closure streaming
+
+    def _mirror_for(self, version: str) -> CompactGraph:
+        """The whole-graph compact mirror, rebuilt only when the version moves."""
+        if self._mirror is None or self._mirror_version != version:
+            self._mirror = CompactGraph.from_digraph(self.service.database.graph)
+            self._mirror_version = version
+        return self._mirror
+
+    async def _serve_closure(
+        self, request: Request, connection: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        op = request.op
+        request_id = request.option("id")
+        deadline = self._deadline_of(request)
+        rejection = await self._acquire_slot(
+            connection, cost=self.config.admission.heavy_cost, deadline=deadline
+        )
+        if rejection is not None:
+            rejection.setdefault("id", request_id)
+            self._requests.inc(op=op, outcome="rejected")
+            await self._send(writer, rejection)
+            return
+        try:
+            version = self.service.catalog_version
+            mirror = self._mirror_for(version)
+            try:
+                iterator = self._open_iterator(request, connection, mirror, version)
+            except StaleStateError as error:
+                self._stale.inc()
+                self._requests.inc(op=op, outcome="stale")
+                await self._send(
+                    writer,
+                    {"id": request_id, "ok": False, "stale": True, "error": str(error)},
+                )
+                return
+            except SERVICE_ERRORS as error:
+                self._requests.inc(op=op, outcome="error")
+                await self._send(writer, {"id": request_id, "ok": False, "error": str(error)})
+                return
+            await self._stream(iterator, request, connection, writer, deadline)
+        finally:
+            self._release_slot(connection)
+
+    def _open_iterator(
+        self,
+        request: Request,
+        connection: _Connection,
+        mirror: CompactGraph,
+        version: str,
+    ) -> PreemptableClosureIterator:
+        if request.op == "resume":
+            state = self.continuations.take(
+                str(request.args[0]), client=connection.identity
+            )
+            self._saved_states.set(float(len(self.continuations)))
+            iterator = PreemptableClosureIterator.from_state(
+                mirror, state, catalog_version=version
+            )
+            self._resumes.inc()
+            return iterator
+        source = request.args[0]
+        sources: object = ALL_SOURCES if source == ALL_SOURCES else request.node(0)
+        return PreemptableClosureIterator(
+            mirror,
+            sources,
+            kind=self.service.semiring.name,
+            catalog_version=version,
+        )
+
+    async def _stream(
+        self,
+        iterator: PreemptableClosureIterator,
+        request: Request,
+        connection: _Connection,
+        writer: asyncio.StreamWriter,
+        deadline: float,
+    ) -> None:
+        config = self.config
+        tracer = self.service.tracer
+        request_id = request.option("id")
+        quanta_run = 0
+        seq = 0
+        suspend_reason: Optional[str] = None
+        while not iterator.exhausted:
+            if config.preemption and quanta_run >= config.quanta_per_call:
+                suspend_reason = "quanta_budget"
+                break
+            if time.monotonic() >= deadline:
+                suspend_reason = "deadline"
+                break
+            if config.preemption:
+                with tracer.span(
+                    "serving_quantum",
+                    op=request.op,
+                    client=connection.identity,
+                    kind=iterator.kind,
+                ) as span:
+                    report = iterator.run_quantum(
+                        config.quantum_seconds, max_rows=config.page_size
+                    )
+                    span.set("rows", len(report.rows))
+                    span.set("exhausted", report.exhausted)
+            else:
+                # Degraded baseline: the whole closure in one blocking turn.
+                report = iterator.run_quantum(float("inf"), max_rows=None)
+            quanta_run += 1
+            self._quanta.inc()
+            self._quantum_seconds.observe(report.seconds)
+            for start in range(0, len(report.rows), config.page_size):
+                page = report.rows[start : start + config.page_size]
+                seq += 1
+                self._pages.inc()
+                self._rows.inc(len(page))
+                await self._send(
+                    writer,
+                    {
+                        "id": request_id,
+                        "ok": True,
+                        "seq": seq,
+                        "page": [list(row) for row in page],
+                        "done": False,
+                    },
+                )
+            if config.preemption and not report.exhausted:
+                # Yield the loop between quanta: this is the preemption
+                # point where queued point queries get served.
+                await asyncio.sleep(0)
+        self._call_quanta.observe(float(max(1, quanta_run)))
+        if iterator.exhausted:
+            self._requests.inc(op=request.op, outcome="ok")
+            await self._send(
+                writer,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "done": True,
+                    "produced": iterator.produced,
+                    "pages": seq,
+                },
+            )
+            return
+        token = self.continuations.put(iterator.save(), client=connection.identity)
+        self._saved_states.set(float(len(self.continuations)))
+        self._suspends.inc(reason=suspend_reason or "quanta_budget")
+        self._requests.inc(op=request.op, outcome="suspended")
+        await self._send(
+            writer,
+            {
+                "id": request_id,
+                "ok": True,
+                "done": False,
+                "suspended": True,
+                "reason": suspend_reason,
+                "continuation": token,
+                "produced": iterator.produced,
+                "pages": seq,
+            },
+        )
+
+    # ------------------------------------------------------------- background
+
+    async def _idle_loop(self) -> None:
+        """Run auto-refragmentation assessment in quiet moments only."""
+        assert self.config.idle_assess_seconds is not None
+        while True:
+            await asyncio.sleep(self.config.idle_assess_seconds)
+            if self.admission.active > 0 or self._waiters:
+                self._idle_assessments.inc(outcome="busy")
+                continue
+            outcome = self.service.auto_refragment_now()
+            self._idle_assessments.inc(outcome=outcome)

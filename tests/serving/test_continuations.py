@@ -1,0 +1,81 @@
+"""Tests for the continuation store: ownership, eviction, adoption."""
+
+import pytest
+
+from repro.serving import ContinuationStore, ProtocolError, SavedQueryState
+
+
+def state(version="v1"):
+    return SavedQueryState(kind="reachability", catalog_version=version)
+
+
+class TestOwnership:
+    def test_put_take_round_trips_the_state(self):
+        store = ContinuationStore()
+        token = store.put(state(), client="alice")
+        taken = store.take(token, client="alice")
+        assert taken.kind == "reachability"
+        assert taken.catalog_version == "v1"
+        assert len(store) == 0
+
+    def test_take_is_single_shot(self):
+        store = ContinuationStore()
+        token = store.put(state(), client="alice")
+        store.take(token, client="alice")
+        with pytest.raises(ProtocolError, match="unknown continuation token"):
+            store.take(token, client="alice")
+
+    def test_tokens_are_not_transferable(self):
+        store = ContinuationStore()
+        token = store.put(state(), client="alice")
+        with pytest.raises(ProtocolError, match="belongs to another client"):
+            store.take(token, client="mallory")
+        # The failed take must not consume the state.
+        assert store.take(token, client="alice") is not None
+
+    def test_drop_client_frees_only_that_clients_states(self):
+        store = ContinuationStore()
+        store.put(state(), client="alice")
+        store.put(state(), client="alice")
+        bob = store.put(state(), client="bob")
+        assert store.drop_client("alice") == 2
+        assert len(store) == 1
+        assert store.take(bob, client="bob") is not None
+
+    def test_adopt_transfers_ownership(self):
+        store = ContinuationStore()
+        token = store.put(state(), client="conn-1")
+        assert store.adopt("conn-1", "alice") == 1
+        assert store.take(token, client="alice") is not None
+
+    def test_discard_respects_ownership(self):
+        store = ContinuationStore()
+        token = store.put(state(), client="alice")
+        assert not store.discard(token, client="bob")
+        assert store.discard(token, client="alice")
+        assert not store.discard(token, client="alice")
+
+
+class TestBounds:
+    def test_capacity_evicts_oldest_first(self):
+        store = ContinuationStore(capacity=2)
+        first = store.put(state(), client="a")
+        store.put(state(), client="a")
+        store.put(state(), client="a")
+        assert len(store) == 2
+        assert store.evictions == 1
+        with pytest.raises(ProtocolError, match="unknown continuation token"):
+            store.take(first, client="a")
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuationStore(capacity=0)
+
+    def test_states_are_pickled_on_put(self):
+        # The plain-data contract is enforced at suspension time: anything
+        # unpicklable in the state fails put(), not a later resume.
+        store = ContinuationStore()
+        bad = state()
+        bad.current = {"handle": lambda: None}
+        with pytest.raises(Exception):
+            store.put(bad, client="a")
