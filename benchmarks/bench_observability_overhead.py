@@ -31,6 +31,14 @@ allocations are a double-digit *relative* cost there while the *absolute*
 cost stays below ~5µs — the report keeps that honest instead of hiding
 the cached path inside a blended number.
 
+A second gated section prices the request-lifecycle observability stack
+end to end: every round wrapped in a context-adopting request root span
+(the distributed-trace propagation the network server performs per
+request) **with the continuous sampling profiler actively sampling** the
+serving thread, against the bare hot path with the profiler paused.  That
+full bill must also stay within the 5% budget, and the run asserts the
+profiler actually took samples while it was being priced.
+
 The run also asserts that instrumentation changes no answer and that it
 actually recorded what it priced (traces finished, query log filled,
 Prometheus output parseable).
@@ -50,6 +58,7 @@ import time
 from pathlib import Path
 
 from repro.fragmentation import CenterBasedFragmenter
+from repro.observability import SamplingProfiler
 from repro.generators import (
     TransportationGraphConfig,
     cross_cluster_queries,
@@ -185,6 +194,89 @@ def _compare(service, round_fn, queries, rounds, reference):
     }
 
 
+def _propagated_round(service, queries):
+    """The batched round under a full request trace context (the serving shape).
+
+    This is what one network request costs the service: a root span adopting
+    a freshly minted :class:`TraceContext` (the propagation machinery the
+    server runs per request), with the batch's own spans nesting under it.
+    """
+    tracer = service.tracer
+    service.cache.clear()
+    started = time.perf_counter()
+    with tracer.request_span("request", context=tracer.new_context()):
+        first = service.query_batch(queries)
+        second = service.query_batch(queries)
+    elapsed = time.perf_counter() - started
+    return [a.value for a in first] + [a.value for a in second], elapsed
+
+
+def _compare_propagation(service, profiler, queries, rounds, reference):
+    """Price trace propagation plus live profiler sampling, robustly.
+
+    The on mode is the serving tier's full observability bill: tracing and
+    query log enabled, every round wrapped in a context-adopting request
+    span, and the sampling profiler actively sampling the serving thread.
+    The off mode is the bare hot path with the profiler *paused* — same
+    thread, same sampler thread parked on its event, so the comparison
+    prices exactly what enabling observability costs, not thread churn.
+    The same interleaving/median/best-of-blocks defences as :func:`_compare`
+    apply.
+    """
+    bare_times = []
+    on_times = []
+    block_ratios = []
+    for _ in range(BLOCKS):
+        block_bare = []
+        block_on = []
+        for iteration in range(rounds):
+            modes = (False, True) if iteration % 2 == 0 else (True, False)
+            for on in modes:
+                _set_instrumented(service, on)
+                if on:
+                    profiler.resume()
+                    answers, seconds = _propagated_round(service, queries)
+                    profiler.pause()
+                    block_on.append(seconds)
+                else:
+                    answers, seconds = _batched_round(service, queries)
+                    block_bare.append(seconds)
+                assert answers == reference, (
+                    "propagation must not change any answer"
+                )
+        block_ratios.append(_median(block_on) / _median(block_bare))
+        bare_times.extend(block_bare)
+        on_times.extend(block_on)
+    return {
+        "bare_seconds": bare_times,
+        "instrumented_seconds": on_times,
+        "bare_min": min(bare_times),
+        "instrumented_min": min(on_times),
+        "bare_median": _median(bare_times),
+        "instrumented_median": _median(on_times),
+        "min_ratio": round(min(on_times) / min(bare_times), 4),
+        "block_ratios": [round(ratio, 4) for ratio in block_ratios],
+        "overhead_ratio": round(min(block_ratios), 4),
+    }
+
+
+def bench_propagation(service, queries, rounds, *, profiler_interval=0.002):
+    """Price the tentpole: context propagation + continuous profiling on."""
+    profiler = SamplingProfiler(profiler_interval, tracer=service.tracer)
+    profiler.start()  # samples the calling thread — where the rounds run
+    profiler.pause()  # the comparison gates sampling per mode
+    try:
+        _set_instrumented(service, False)
+        reference, _ = _batched_round(service, queries)
+        figures = _compare_propagation(service, profiler, queries, rounds, reference)
+    finally:
+        profiler.stop()
+    figures["profiler_interval_seconds"] = profiler_interval
+    figures["profiler_samples"] = profiler.samples
+    figures["profiler_backend_shares"] = profiler.backend_shares()
+    return figures
+
+
 def bench_overhead(fragmentation, queries, rounds):
     """Price the batched hot path (asserted) and the single-query paths."""
     service = QueryService(fragmentation)
@@ -249,12 +341,21 @@ def run_overhead_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
     rounds = 14 if tiny else 16  # iterations per block (x BLOCKS blocks)
 
     instrumented, bare, overhead = bench_overhead(fragmentation, queries, rounds)
+    overhead["propagation"] = bench_propagation(instrumented, queries, rounds)
     receipts = telemetry_receipts(instrumented, bare)
 
     assert overhead["batched"]["overhead_ratio"] <= OVERHEAD_BUDGET, (
         f"instrumented batched hot path is "
         f"{overhead['batched']['overhead_ratio']}x the bare one, over the "
         f"{OVERHEAD_BUDGET}x budget"
+    )
+    assert overhead["propagation"]["overhead_ratio"] <= OVERHEAD_BUDGET, (
+        f"trace propagation + live profiling costs "
+        f"{overhead['propagation']['overhead_ratio']}x the bare hot path, "
+        f"over the {OVERHEAD_BUDGET}x budget"
+    )
+    assert overhead["propagation"]["profiler_samples"] > 0, (
+        "the profiler was on during the propagation rounds but took no samples"
     )
     # The cached single-query path cannot meet a relative budget (its base is
     # tens of microseconds) — bound its absolute bill instead.
@@ -300,17 +401,19 @@ def run_overhead_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
             f"{overhead[key]['overhead_ratio']:>8.4f}"
             for label, key in (
                 ("batched (asserted)", "batched"),
+                ("propagation+profiler", "propagation"),
                 ("single, evaluated", "single_evaluated"),
                 ("single, cached", "single_cached"),
             )
         ),
-        f"batched budget {OVERHEAD_BUDGET}x; cached single queries pay "
-        f"{per_query_cost * 1e6:.1f}µs each (absolute bound 20µs); "
-        "identical answers throughout",
+        f"batched and propagation budgets {OVERHEAD_BUDGET}x; cached single "
+        f"queries pay {per_query_cost * 1e6:.1f}µs each (absolute bound "
+        "20µs); identical answers throughout",
         "",
         f"receipts: {receipts['traces_finished']} traces, "
         f"{receipts['query_log_recorded']} query-log entries, "
-        f"{receipts['prometheus_samples']} Prometheus samples; "
+        f"{receipts['prometheus_samples']} Prometheus samples, "
+        f"{overhead['propagation']['profiler_samples']} profiler samples; "
         f"last trace spans {receipts['last_trace_spans']}",
         "",
         f"figures written to {output}",
@@ -323,6 +426,8 @@ def test_observability_overhead_report():
     """The telemetry bill stays within budget and the receipts exist."""
     report = run_overhead_comparison(tiny=True)
     assert report["overhead"]["batched"]["overhead_ratio"] <= OVERHEAD_BUDGET
+    assert report["overhead"]["propagation"]["overhead_ratio"] <= OVERHEAD_BUDGET
+    assert report["overhead"]["propagation"]["profiler_samples"] > 0
     assert report["telemetry"]["traces_finished"] > 0
     assert report["telemetry"]["query_log_recorded"] > 0
 

@@ -23,7 +23,11 @@ Python:
   speaking newline-delimited JSON over the same grammar, with preemptable
   closure streaming, continuation tokens, and admission control,
 * ``stats``     — run a query workload and render the telemetry it produced
-  (text with latency percentiles, JSON, or Prometheus text exposition).
+  (text with latency percentiles, JSON, or Prometheus text exposition;
+  ``--health`` renders the pool-liveness/SLO health document instead),
+* ``profile``   — run a query workload under the continuous sampling
+  profiler and print the hot frames, span breakdown, and kernel-backend
+  shares.
 
 Both serving front-ends parse commands through the one shared grammar in
 :mod:`repro.serving.protocol`, so the surfaces cannot drift apart.
@@ -50,6 +54,7 @@ from .generators import (
     generate_transportation_graph,
 )
 from .graph import DiGraph, load_json, save_json
+from .observability import SamplingProfiler, SLOMonitor, default_slos
 from .refragmentation import (
     REFRAGMENT_ALGORITHMS,
     RefragmentationAdvisor,
@@ -263,6 +268,10 @@ def _print_slowlog(service: QueryService, count: int) -> None:
         return
     for entry in entries:
         suffix = " (cached)" if entry.cached else ""
+        if entry.trace_id is not None:
+            # The link into the tracing layer: feed this id to the tracer's
+            # retained traces to see the query's full span tree.
+            suffix += f" trace {entry.trace_id}"
         if entry.error is not None:
             suffix += f" error: {entry.error}"
         print(
@@ -312,9 +321,45 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     with contextlib.redirect_stdout(sys.stderr):
         service = _build_service(args)
     with service:
+        # The monitor baselines *before* the workload so the health view
+        # reflects what the workload did, not a zero-delta snapshot.
+        monitor = SLOMonitor(service.registry, default_slos()) if args.health else None
         if queries:
             service.query_batch(queries)
-        _render_metrics(service, args.format)
+        if monitor is not None:
+            _print_health(service, monitor, ready=False)
+        else:
+            _render_metrics(service, args.format)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.queries:
+        queries = [
+            (_decode_node(str(pair[0])), _decode_node(str(pair[1])))
+            for pair in json.loads(Path(args.queries).read_text())
+        ]
+    else:
+        queries = _parse_pairs(args.pairs)
+    if not queries:
+        raise ReproError("no queries given: pass SOURCE:TARGET pairs or --queries FILE")
+    with contextlib.redirect_stdout(sys.stderr):
+        service = _build_service(args)
+    with service:
+        profiler = SamplingProfiler(args.interval, tracer=service.tracer)
+        profiler.start()
+        try:
+            for _ in range(max(1, args.repeat)):
+                # Re-evaluate every round: a cached repeat loop would give
+                # the sampler nothing but cache hits to look at.
+                service.cache.clear()
+                service.query_batch(queries)
+        finally:
+            profiler.stop()
+        if args.json:
+            print(json.dumps(profiler.report(top=args.top), indent=2, sort_keys=True))
+        else:
+            _print_profile(profiler, args.top)
     return 0
 
 
@@ -331,7 +376,60 @@ def _print_placement(service: QueryService) -> None:
         print(f"worker {worker}: owns {owned}{suffix}")
 
 
-def _execute_console_command(service: QueryService, request: Request) -> bool:
+def _print_health(
+    service: QueryService, monitor: SLOMonitor, *, ready: bool
+) -> None:
+    """Console rendering of the ``healthz`` / ``readyz`` documents.
+
+    Mirrors the network server's checks minus the admission queue (stdin
+    serves one command at a time, so there is no queue to saturate).
+    """
+    pool = service.pool_health()
+    statuses = monitor.evaluate()
+    severity = monitor.worst_severity(statuses)
+    healthy = bool(pool.get("healthy", True))
+    if ready:
+        is_ready = healthy and severity != "page"
+        print("ready" if is_ready else "not_ready")
+    else:
+        print("ok" if healthy else "degraded")
+    print(
+        f"pool: {pool.get('mode')} ({pool.get('alive')}/{pool.get('workers')} "
+        f"workers alive)"
+    )
+    print(f"catalog_version: {service.catalog_version}")
+    print(f"slo_severity: {severity}")
+    for status in statuses.values():
+        print(
+            f"slo {status.name}: error_rate {status.error_rate:.6f}, "
+            f"budget_remaining {status.budget_remaining:.3f}, "
+            f"severity {status.severity}"
+        )
+
+
+def _print_profile(profiler: Optional[SamplingProfiler], top: int) -> None:
+    if profiler is None:
+        print("profiling disabled (start with --profile-interval)")
+        return
+    report = profiler.report(top=top)
+    print(
+        f"samples: {report['samples']} (interval {report['interval_seconds']}s)"
+    )
+    for row in report["top_offenders"]:
+        print(f"{row['share']:.3f} [{row['backend']}] {row['frame']}")
+    for row in report["span_breakdown"]:
+        print(f"span {row['span']} [{row['backend']}]: {row['share']:.3f}")
+    for backend, share in sorted(report["backend_shares"].items()):
+        print(f"backend {backend}: {share:.3f}")
+
+
+def _execute_console_command(
+    service: QueryService,
+    request: Request,
+    *,
+    slo_monitor: Optional[SLOMonitor] = None,
+    profiler: Optional[SamplingProfiler] = None,
+) -> bool:
     """Execute one validated console command; returns ``False`` on quit/exit.
 
     Arity and choices were already checked by the shared grammar
@@ -366,6 +464,14 @@ def _execute_console_command(service: QueryService, request: Request) -> bool:
         print(f"tracing {toggle}")
     elif op == "slowlog":
         _print_slowlog(service, request.integer(0, 10) or 10)
+    elif op in ("healthz", "readyz"):
+        # A per-command throwaway monitor would baseline at the current
+        # counters and report zero burn forever; the serve loop passes one
+        # monitor that lives as long as the session.
+        monitor = slo_monitor or SLOMonitor(service.registry, default_slos())
+        _print_health(service, monitor, ready=op == "readyz")
+    elif op == "profile":
+        _print_profile(profiler, request.integer(0, 10) or 10)
     elif op == "placement":
         _print_placement(service)
     elif op == "migrate":
@@ -426,21 +532,34 @@ def _execute_console_command(service: QueryService, request: Request) -> bool:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     with _build_service(args) as service:
+        slo_monitor = SLOMonitor(service.registry, default_slos())
+        profiler: Optional[SamplingProfiler] = None
+        if getattr(args, "profile_interval", None) is not None:
+            # Sample the serve loop's own thread: stdin commands evaluate
+            # synchronously right here.
+            profiler = SamplingProfiler(args.profile_interval, tracer=service.tracer)
+            profiler.start()
         print("# ready; commands: " + " | ".join(commands_for("console")))
-        for line in sys.stdin:
-            try:
-                # One grammar, one error path: parse_line validates against
-                # the same specs the network server enforces, and every
-                # grammar/service failure renders as the same "error: ...".
-                request = parse_line(line, surface="console")
-                if request is None:
-                    continue
-                if not _execute_console_command(service, request):
-                    break
-            except (ReproError, ValueError, OSError, WorkerPoolError) as error:
-                # A bad line must not take the server down — nor must a
-                # routed-pool failure (worker error reply, reply timeout).
-                print(f"error: {error}")
+        try:
+            for line in sys.stdin:
+                try:
+                    # One grammar, one error path: parse_line validates against
+                    # the same specs the network server enforces, and every
+                    # grammar/service failure renders as the same "error: ...".
+                    request = parse_line(line, surface="console")
+                    if request is None:
+                        continue
+                    if not _execute_console_command(
+                        service, request, slo_monitor=slo_monitor, profiler=profiler
+                    ):
+                        break
+                except (ReproError, ValueError, OSError, WorkerPoolError) as error:
+                    # A bad line must not take the server down — nor must a
+                    # routed-pool failure (worker error reply, reply timeout).
+                    print(f"error: {error}")
+        finally:
+            if profiler is not None:
+                profiler.stop()
         print("# bye")
     return 0
 
@@ -461,6 +580,7 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
             quanta_per_call=args.quanta_per_call,
             preemption=not args.no_preemption,
             idle_assess_seconds=args.idle_assess,
+            profile_interval=args.profile_interval,
             admission=AdmissionConfig(
                 max_concurrent=args.max_concurrent,
                 max_queue=args.max_queue,
@@ -615,12 +735,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="with --auto-refragment: assess the layout on "
                                 "this idle cadence (seconds) instead of on the "
                                 "update hot path")
+    net_serve.add_argument("--profile-interval", type=float, default=None,
+                           help="enable the continuous sampling profiler at "
+                                "this interval (seconds); read it back with "
+                                "the 'profile' command")
     net_serve.set_defaults(handler=_cmd_net_serve)
 
     serve = subparsers.add_parser(
         "serve", help="serve queries from stdin against a prepared catalog"
     )
     add_service_options(serve)
+    serve.add_argument("--profile-interval", type=float, default=None,
+                       help="enable the continuous sampling profiler at this "
+                            "interval (seconds); read it back with the "
+                            "'profile' command")
     serve.set_defaults(handler=_cmd_serve)
 
     stats = subparsers.add_parser(
@@ -636,7 +764,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="text prints counters plus latency percentiles; json dumps "
              "QueryService.metrics(); prometheus emits text exposition format",
     )
+    stats.add_argument(
+        "--health",
+        action="store_true",
+        help="render the health document (pool liveness, SLO burn) instead "
+             "of the metrics",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a query workload under the sampling profiler and print the "
+             "hot frames, span breakdown, and kernel-backend shares",
+    )
+    add_service_options(profile)
+    profile.add_argument("pairs", nargs="*", help="queries as SOURCE:TARGET pairs")
+    profile.add_argument("--queries", help="JSON file with a list of [source, target] pairs")
+    profile.add_argument("--interval", type=float, default=0.002,
+                         help="profiler sampling interval in seconds")
+    profile.add_argument("--repeat", type=int, default=1,
+                         help="run the workload this many times (later runs "
+                              "profile the cache path)")
+    profile.add_argument("--top", type=int, default=10, help="hot frames to print")
+    profile.add_argument("--json", action="store_true",
+                         help="dump the full profile report as JSON")
+    profile.set_defaults(handler=_cmd_profile)
 
     return parser
 

@@ -71,6 +71,22 @@ _selections = _selection_registry.counter(
     labelnames=("backend", "context"),
 )
 
+# The backend currently executing a kernel, readable from other threads —
+# the sampling profiler's tag source.  A one-element list, not a lock: the
+# kernel thread writes around each dispatch, the profiler thread reads, and
+# a torn read costs at most one mis-tagged sample.
+_active_backend: list = [None]
+
+
+def set_active_backend(backend: Optional[str]) -> None:
+    """Mark ``backend`` as the one executing a kernel (``None`` to clear)."""
+    _active_backend[0] = backend
+
+
+def active_backend() -> Optional[str]:
+    """The backend executing a kernel right now, or ``None``."""
+    return _active_backend[0]
+
 
 # ------------------------------------------------------------- availability
 

@@ -35,6 +35,7 @@ from .backends import (
     packed_matrix,
     record_selection,
     select_kernel,
+    set_active_backend,
 )
 from .base import ClosureResult, ClosureStatistics, Pair
 from .semiring import Semiring, reachability_semiring, shortest_path_semiring
@@ -165,25 +166,34 @@ def reachability_rows(
         graph, sources=len(source_ids), whole_graph=whole_graph, override=backend
     )
     record_selection(chosen, context)
-    if chosen == BACKEND_NUMPY:
-        matrix = packed_matrix(graph)
-        if whole_graph and len(source_ids) == graph.node_count():
-            packed_rows = matrix.closure_rows()
-            rows = {sid: matrix.row_to_mask(packed_rows[sid]) for sid in source_ids}
-        else:
-            packed_rows = matrix.multi_source_rows(source_ids)
-            rows = {
-                sid: matrix.row_to_mask(packed_rows[index])
-                for index, sid in enumerate(source_ids)
-            }
-        return rows, chosen
-    if chosen == BACKEND_CHAIN:
-        index = chain_index(graph)
-        return {sid: index.reachable_mask(sid) for sid in source_ids}, chosen
-    return (
-        {sid: bitset_reachable(graph, sid, stop_mask=stop_mask) for sid in source_ids},
-        BACKEND_BIGINT,
-    )
+    # Published for the sampling profiler: any stack sampled between here
+    # and the finally is attributed to the chosen backend.
+    set_active_backend(chosen)
+    try:
+        if chosen == BACKEND_NUMPY:
+            matrix = packed_matrix(graph)
+            if whole_graph and len(source_ids) == graph.node_count():
+                packed_rows = matrix.closure_rows()
+                rows = {sid: matrix.row_to_mask(packed_rows[sid]) for sid in source_ids}
+            else:
+                packed_rows = matrix.multi_source_rows(source_ids)
+                rows = {
+                    sid: matrix.row_to_mask(packed_rows[index])
+                    for index, sid in enumerate(source_ids)
+                }
+            return rows, chosen
+        if chosen == BACKEND_CHAIN:
+            index = chain_index(graph)
+            return {sid: index.reachable_mask(sid) for sid in source_ids}, chosen
+        return (
+            {
+                sid: bitset_reachable(graph, sid, stop_mask=stop_mask)
+                for sid in source_ids
+            },
+            BACKEND_BIGINT,
+        )
+    finally:
+        set_active_backend(None)
 
 
 # ------------------------------------------------------------ dijkstra kernel

@@ -13,7 +13,12 @@ is the cross-cutting observability substrate they share:
 * :mod:`~repro.observability.querylog` — the bounded structured
   :class:`QueryLog` (endpoints, fragments touched, latency, cache/trace
   outcome, slow-query side car), the first real *workload* signal the
-  placement and refragmentation advisors consume.
+  placement and refragmentation advisors consume,
+* :mod:`~repro.observability.slo` — declarative latency/error objectives
+  evaluated from the registry with multi-window burn-rate alerting, the
+  substance behind the serving tier's ``healthz`` / ``readyz``,
+* :mod:`~repro.observability.profiler` — the continuous sampling profiler
+  tagging hot frames with the active trace/span and kernel backend.
 
 :class:`~repro.service.stats.ServiceStatistics` remains the operator-facing
 counter view, but is now a thin compatibility façade over a registry from
@@ -33,10 +38,21 @@ from .querylog import (
     QueryLog,
     QueryLogEntry,
 )
-from .tracing import NULL_SPAN, Span, Trace, Tracer
+from .profiler import SamplingProfiler
+from .slo import (
+    DEFAULT_BURN_WINDOWS,
+    BurnWindow,
+    SLODefinition,
+    SLOMonitor,
+    SLOStatus,
+    default_slos,
+)
+from .tracing import NULL_SPAN, Span, Trace, TraceContext, Tracer
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "DEFAULT_BURN_WINDOWS",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SLOW_THRESHOLD_SECONDS",
     "Gauge",
@@ -46,7 +62,13 @@ __all__ = [
     "NULL_SPAN",
     "QueryLog",
     "QueryLogEntry",
+    "SLODefinition",
+    "SLOMonitor",
+    "SLOStatus",
+    "SamplingProfiler",
     "Span",
     "Trace",
+    "TraceContext",
     "Tracer",
+    "default_slos",
 ]

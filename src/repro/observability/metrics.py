@@ -399,6 +399,8 @@ class MetricsRegistry:
                     f"histogram {name!r} already registered with buckets "
                     f"{list(existing.buckets)}"
                 )
+            if help and not existing.help:
+                existing.help = help
             return existing
         metric = Histogram(name, help, labelnames, buckets)
         self._metrics[name] = metric
@@ -408,6 +410,12 @@ class MetricsRegistry:
         existing = self._metrics.get(name)
         if existing is not None:
             self._check_compatible(existing, cls, labelnames)
+            # Backfill help on a metric first touched helplessly (a worker
+            # drain or a bare pre-registration): without this, whichever
+            # writer got there first decided forever whether the Prometheus
+            # exposition carries a # HELP line.
+            if help and not existing.help:
+                existing.help = help
             return existing
         metric = cls(name, help, labelnames)
         self._metrics[name] = metric

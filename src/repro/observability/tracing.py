@@ -22,6 +22,18 @@ and can be toggled live (``trace on|off`` in the serve loop); when disabled,
 ``span`` yields a shared no-op span and the hot path pays one attribute
 check.  The tracer is deliberately single-threaded — the service answers one
 call at a time — so the active-span stack needs no context variables.
+
+Distributed propagation builds on one rule the asyncio serving tier must
+obey: a span never stays open across an ``await`` (interleaved connection
+handlers share this one stack).  Instead each synchronous segment of a
+request — opening the iterator, every evaluation quantum, a resumed
+continuation — opens its own *root* span that adopts the request's
+:class:`TraceContext` via :meth:`Tracer.request_span`, so the segments file
+separate :class:`Trace` records sharing one trace id.  The context travels
+as a W3C ``traceparent`` string on the wire, as a plain tuple inside pickled
+``SavedQueryState``\\ s, and as a bare trace id over the pool's task queues;
+:meth:`Tracer.assemble` merges the filed segments back into the one logical
+trace.
 """
 
 from __future__ import annotations
@@ -31,7 +43,67 @@ import os
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+#: Span ids are ints locally; a parent adopted from the wire is a 16-hex
+#: string — the two never collide, which is what lets :meth:`Tracer.assemble`
+#: tell a local edge from a remote one.
+SpanId = Union[int, str]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of one request's trace.
+
+    ``trace_id`` names the trace every segment of the request joins;
+    ``parent_span_id`` is the span the next segment's root should hang
+    under — ``None`` for a brand-new request, a local span id when hopping
+    between segments in one process, or a 16-hex string when adopted from a
+    client's ``traceparent`` header.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[SpanId] = None
+
+    def to_traceparent(self) -> str:
+        """Render as a W3C ``traceparent`` header value (version 00)."""
+        parent = self.parent_span_id
+        if isinstance(parent, int):
+            span_hex = f"{parent & 0xFFFFFFFFFFFFFFFF:016x}"
+        elif isinstance(parent, str) and parent:
+            span_hex = parent
+        else:
+            span_hex = "0" * 16
+        return f"00-{self.trace_id}-{span_hex}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: object) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` value; tolerant — malformed input is ``None``.
+
+        A bad header from a client must never fail the request, only drop
+        the propagation (the server then starts a fresh trace).
+        """
+        if not isinstance(header, str):
+            return None
+        parts = header.strip().lower().split("-")
+        if len(parts) < 4:
+            return None
+        version, trace_id, span_id = parts[0], parts[1], parts[2]
+        if len(version) != 2 or not set(version) <= _HEX_DIGITS or version == "ff":
+            return None
+        if len(trace_id) != 32 or not set(trace_id) <= _HEX_DIGITS:
+            return None
+        if len(span_id) != 16 or not set(span_id) <= _HEX_DIGITS:
+            return None
+        if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+            return None
+        return cls(trace_id=trace_id, parent_span_id=span_id)
+
+    def as_tuple(self) -> Tuple[str, Optional[SpanId]]:
+        """Plain-data form, safe to pickle into a ``SavedQueryState``."""
+        return (self.trace_id, self.parent_span_id)
 
 
 class Span:
@@ -73,7 +145,7 @@ class Span:
         name: str,
         trace_id: str,
         span_id: int,
-        parent_id: Optional[int],
+        parent_id: Optional[SpanId],
         start: float,
         duration: float = 0.0,
         attributes: Optional[Dict[str, object]] = None,
@@ -208,7 +280,9 @@ class Tracer:
         self._live: List[Span] = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
-        self._prefix = f"{os.getpid():x}"
+        # Generated ids are valid 32-hex W3C trace ids: the pid makes them
+        # unique across the pool's processes, the counter within one.
+        self._prefix = f"{os.getpid() & 0xFFFFFFFF:08x}"
         self.traces_finished = 0
         self.traces_dropped = 0
 
@@ -246,12 +320,51 @@ class Tracer:
         tracing is off — callers may ``set`` attributes on either without
         checking).
         """
+        return self._open(name, None, None, attributes)
+
+    def new_trace_id(self) -> str:
+        """Mint a fresh 32-hex trace id without opening a span."""
+        return f"{self._prefix}{next(self._trace_ids):024x}"
+
+    def new_context(self) -> TraceContext:
+        """Mint a fresh request context (no parent — the next root is root)."""
+        return TraceContext(trace_id=self.new_trace_id())
+
+    def current_context(self) -> Optional[TraceContext]:
+        """A context parenting under the innermost open span, or ``None``."""
+        if not self._stack:
+            return None
+        current = self._stack[-1]
+        return TraceContext(trace_id=current.trace_id, parent_span_id=current.span_id)
+
+    def request_span(
+        self, name: str, *, context: Optional[TraceContext] = None, **attributes: object
+    ) -> object:
+        """Open a span that adopts ``context`` when it becomes a root.
+
+        The serving tier's entry point: each synchronous segment of a
+        network request opens one of these, so the segment's spans carry the
+        request's trace id (and hang under its ``parent_span_id``) instead
+        of minting a fresh trace.  Nested calls (a span already open) ignore
+        the context and behave exactly like :meth:`span`.
+        """
+        if context is None or self._stack:
+            return self._open(name, None, None, attributes)
+        return self._open(name, context.trace_id, context.parent_span_id, attributes)
+
+    def _open(
+        self,
+        name: str,
+        trace_id: Optional[str],
+        parent_id: Optional[SpanId],
+        attributes: Dict[str, object],
+    ) -> object:
         stack = self._stack
         if not stack:
             if not self._enabled:
                 return _NULL_SPAN_CONTEXT
-            trace_id = f"{self._prefix}-{next(self._trace_ids):08x}"
-            parent_id = None
+            if trace_id is None:
+                trace_id = self.new_trace_id()
             self._live = []
         else:
             parent = stack[-1]
@@ -347,6 +460,47 @@ class Tracer:
             if trace.trace_id == trace_id:
                 return trace
         return None
+
+    def spans_of(self, trace_id: str) -> List[Span]:
+        """Every retained span carrying ``trace_id``, oldest segment first.
+
+        A propagated request files one :class:`Trace` record per
+        synchronous segment (open, each quantum, resume); this gathers them
+        back into one flat list.
+        """
+        spans: List[Span] = []
+        for trace in self._traces:
+            if trace.trace_id == trace_id:
+                spans.extend(trace.spans)
+        return spans
+
+    def assemble(self, trace_id: str) -> Optional[Trace]:
+        """Merge every retained segment of ``trace_id`` into one trace.
+
+        Segment roots whose parent span lives in another segment become
+        interior nodes of the merged tree; a parent id that matches no
+        retained span (``None``, or a client's 16-hex wire span) marks a
+        top-level span.  The merged duration sums the top-level spans'
+        durations — time the request actually ran, suspension gaps
+        excluded.  Returns ``None`` when nothing with ``trace_id`` is
+        retained.
+        """
+        spans = self.spans_of(trace_id)
+        if not spans:
+            return None
+        local_ids = {span.span_id for span in spans}
+        top_level = [
+            span
+            for span in spans
+            if span.parent_id is None or span.parent_id not in local_ids
+        ]
+        anchors = top_level or spans
+        return Trace(
+            trace_id=trace_id,
+            root_name=anchors[0].name,
+            duration=sum(span.duration for span in anchors),
+            spans=spans,
+        )
 
     def clear(self) -> int:
         """Drop every retained trace; returns how many were dropped."""

@@ -277,6 +277,21 @@ class ResidentWorkerPool:
         """Return ``True`` while the workers are alive."""
         return self._pool is not None
 
+    def alive_workers(self) -> int:
+        """Count the pool's live worker processes (0 when closed).
+
+        ``multiprocessing.Pool`` hides its process list behind ``_pool``;
+        the health probe only needs a count, so a missing attribute (future
+        stdlib reshuffle) degrades to "all alive" rather than crashing the
+        probe.
+        """
+        if self._pool is None:
+            return 0
+        processes = getattr(self._pool, "_pool", None)
+        if processes is None:
+            return self._processes
+        return sum(1 for process in processes if process.is_alive())
+
     # ------------------------------------------------------------ operations
 
     def evaluate(self, tasks: Sequence[TaskKey]) -> Dict[TaskKey, LocalQueryResult]:
@@ -415,6 +430,11 @@ def _routed_worker_loop(
         try:
             if kind == "evaluate":
                 tasks: Sequence[TaskKey] = message[2]
+                # The coordinator's distributed trace id rides the message as
+                # an optional fourth element (older coordinators omit it); the
+                # worker echoes it back so the coordinator can prove which
+                # trace each worker's kernel spans were timed under.
+                trace_id = message[3] if len(message) > 3 else None
                 payloads = []
                 for task in tasks:
                     fragment_id, entry_nodes, exit_nodes = task
@@ -457,7 +477,11 @@ def _routed_worker_loop(
                         request_id,
                         worker_index,
                         "evaluated",
-                        {"payloads": payloads, "metrics": registry.drain()},
+                        {
+                            "payloads": payloads,
+                            "metrics": registry.drain(),
+                            "trace_id": trace_id,
+                        },
                     )
                 )
             elif kind == "pin":
@@ -551,6 +575,10 @@ class PlacedWorkerPool:
         # and the drained worker-registry payloads for the service to merge.
         self.last_task_workers: Dict[TaskKey, int] = {}
         self.last_worker_metrics: List[Dict] = []
+        # Per-evaluate trace plumbing: the trace id each replying worker
+        # echoed back, so the service can stamp worker spans with proof that
+        # the kernel work ran under the client's distributed trace.
+        self.last_trace_ids: Dict[int, Optional[str]] = {}
         self.queue_depth = 0
         self.queue_depth_peak = 0
         self.repins = 0
@@ -713,6 +741,15 @@ class PlacedWorkerPool:
         """Return each worker's OS pid (stable across repins and migrations)."""
         return [handle.process.pid for handle in self._workers]
 
+    def liveness(self) -> Dict[int, bool]:
+        """Return worker index -> process-alive, the health probe's raw signal.
+
+        Deliberately a pure read (no respawn side effects): ``healthz`` must
+        be able to report a degraded pool without mutating it — the next
+        routed evaluate is what heals dead owners.
+        """
+        return {handle.index: handle.is_alive() for handle in self._workers}
+
     def pinned_census(self, *, ask_workers: bool = True) -> Dict[int, List[int]]:
         """Return worker -> pinned fragment ids.
 
@@ -740,6 +777,7 @@ class PlacedWorkerPool:
         tasks: Sequence[TaskKey],
         *,
         owner_groups: Optional[Dict[int, List[TaskKey]]] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[TaskKey, LocalQueryResult]:
         """Route each task to its fragment's owner queue and gather the results.
 
@@ -755,6 +793,11 @@ class PlacedWorkerPool:
         re-derivation), anything else falls back to live routing — a batch
         planned just before a migration or a crash still lands correctly.
 
+        ``trace_id`` is the caller's distributed trace id; it rides every
+        routed message and each worker echoes it back in its reply
+        (collected into :attr:`last_trace_ids`), so worker-side kernel spans
+        can be attributed to the client trace that caused them.
+
         Raises:
             WorkerPoolError: when the pool is closed, a fragment is not
                 placed, or workers keep failing past the reply timeout.
@@ -767,6 +810,7 @@ class PlacedWorkerPool:
         self.last_route_counts = {}
         self.last_task_workers = {}
         self.last_worker_metrics = []
+        self.last_trace_ids = {}
         if not tasks:
             return results
         if owner_groups is not None:
@@ -784,14 +828,18 @@ class PlacedWorkerPool:
             # Fenced replicas refresh from the mirror before the read; queue
             # order guarantees the pin applies before the evaluate.
             self._refresh_fenced(worker_index, {task[0] for task in worker_tasks})
-            self._workers[worker_index].queue.put(("evaluate", request_id, worker_tasks))
+            self._workers[worker_index].queue.put(
+                ("evaluate", request_id, worker_tasks, trace_id)
+            )
             self.queue_depth_peak = max(self.queue_depth_peak, len(worker_tasks))
         replies = self._collect(
             request_id,
             list(groups),
             resubmit={worker: list(worker_tasks) for worker, worker_tasks in groups.items()},
+            trace_id=trace_id,
         )
         for worker_index, reply in replies.items():
+            self.last_trace_ids[worker_index] = reply.get("trace_id")
             metrics = reply.get("metrics")
             if metrics:
                 self.last_worker_metrics.append(metrics)
@@ -1093,6 +1141,7 @@ class PlacedWorkerPool:
         workers: List[int],
         *,
         resubmit: Optional[Dict[int, List[TaskKey]]],
+        trace_id: Optional[str] = None,
     ) -> Dict[int, object]:
         """Gather one reply per worker for ``request_id`` from the result pipes.
 
@@ -1139,7 +1188,9 @@ class PlacedWorkerPool:
             for worker_index in failed:
                 handle = self._respawn(worker_index)
                 if resubmit is not None and worker_index in resubmit:
-                    handle.queue.put(("evaluate", request_id, resubmit[worker_index]))
+                    handle.queue.put(
+                        ("evaluate", request_id, resubmit[worker_index], trace_id)
+                    )
                 else:
                     # Non-evaluate requests (pin/repin/census) were already
                     # folded into the mirror the respawn used.

@@ -986,6 +986,44 @@ class QueryService:
         assert isinstance(pool, PlacedWorkerPool)
         return pool
 
+    def pool_health(self) -> Dict[str, object]:
+        """Worker-pool liveness, as the health endpoints report it.
+
+        A dead owner worker is only *observed* when something looks — the
+        routed pool respawns crashed workers lazily on the next evaluate —
+        so the liveness probe checks the processes directly; a worker killed
+        while idle flips ``healthy`` before any query fails.
+        """
+        if not self._workers:
+            return {"mode": "in-process", "workers": 0, "alive": 0, "healthy": True}
+        pool = self._pool
+        if pool is None:
+            # Not started yet: healthy by definition (it will be built on
+            # first use), but report the configured size.
+            return {
+                "mode": "unstarted",
+                "workers": self._workers,
+                "alive": self._workers,
+                "healthy": True,
+            }
+        if isinstance(pool, PlacedWorkerPool):
+            liveness = pool.liveness()
+            alive = sum(1 for is_alive in liveness.values() if is_alive)
+            return {
+                "mode": "placed",
+                "workers": len(liveness),
+                "alive": alive,
+                "healthy": alive == len(liveness),
+                "per_worker": {str(worker): bool(is_alive) for worker, is_alive in sorted(liveness.items())},
+            }
+        alive = pool.alive_workers()
+        return {
+            "mode": "replicated",
+            "workers": self._workers,
+            "alive": alive,
+            "healthy": alive == self._workers,
+        }
+
     # -------------------------------------------------------------- snapshot
 
     def snapshot(self, directory: PathLike) -> SnapshotManifest:
@@ -1264,7 +1302,11 @@ class QueryService:
                 if isinstance(pool, PlacedWorkerPool):
                     espan.set("pool", "placed")
                     refreshes_before = pool.replica_refreshes
-                    results = pool.evaluate(tasks, owner_groups=owner_groups)
+                    results = pool.evaluate(
+                        tasks,
+                        owner_groups=owner_groups,
+                        trace_id=self._tracer.current_trace_id,
+                    )
                     self._stats.replica_refreshes += (
                         pool.replica_refreshes - refreshes_before
                     )
@@ -1298,6 +1340,10 @@ class QueryService:
                             sum(results[k].statistics.elapsed_seconds for k in keys),
                             worker=worker,
                             tasks=len(keys),
+                            # The trace id the worker echoed back over its
+                            # result channel: proof the client's context
+                            # actually crossed the task queue.
+                            trace_echo=pool.last_trace_ids.get(worker),
                         )
                         for key in keys:
                             self._tracer.remote_span(

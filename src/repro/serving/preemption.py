@@ -75,6 +75,11 @@ class SavedQueryState:
             ``None`` between sources.
         produced: rows already emitted before the suspension.
         whole_graph: whether the query asked for every source (``closure *``).
+        trace_context: the request's trace identity as a plain
+            ``(trace_id, parent_span_id)`` tuple (or ``None``); the serving
+            tier stamps it at suspension so a resumed continuation rejoins
+            its original distributed trace.  The iterator itself never
+            reads it — it rides the pickle.
     """
 
     kind: str
@@ -83,6 +88,7 @@ class SavedQueryState:
     current: Optional[Dict[str, object]] = None
     produced: int = 0
     whole_graph: bool = False
+    trace_context: Optional[Tuple[str, object]] = None
 
 
 @dataclass(frozen=True)

@@ -94,9 +94,17 @@ class CommandSpec:
                 )
 
 
-# The grammar.  Console-only commands are operator controls whose output is a
-# terminal rendering; network-only commands are the preemptive serving verbs
-# (streamed closures, continuations, identity) that make no sense on stdin.
+# The grammar.  Console-only commands are the ones that only make sense at
+# the server's own terminal (writing a snapshot to the local filesystem,
+# ending the process); network-only commands are the preemptive serving
+# verbs (streamed closures, continuations, identity) that make no sense on
+# stdin.  Everything else — queries, telemetry, health, and the operator
+# controls (placement/migrate/rebalance/refragment/advise) — is offered on
+# both surfaces, so a remote operator is never blinder than a local one.
+#
+# Network requests may carry a free-form ``traceparent`` option (a W3C
+# ``00-<32hex>-<16hex>-<2hex>`` value): the server adopts it as the
+# request's distributed trace context.
 _SPECS: Tuple[CommandSpec, ...] = (
     CommandSpec("query", "query SOURCE TARGET", 2, 2),
     CommandSpec("batch", "batch SOURCE TARGET [SOURCE TARGET ...]", 2, None, even_args=True),
@@ -105,11 +113,14 @@ _SPECS: Tuple[CommandSpec, ...] = (
     CommandSpec("stats", "stats [text|json|prometheus]", 0, 1),
     CommandSpec("slowlog", "slowlog [COUNT]", 0, 1),
     CommandSpec("trace", "trace on|off", 1, 1, choices=("on", "off")),
-    CommandSpec("placement", "placement", surfaces=(CONSOLE,)),
-    CommandSpec("migrate", "migrate FRAGMENT WORKER", 2, 2, surfaces=(CONSOLE,)),
-    CommandSpec("rebalance", "rebalance", surfaces=(CONSOLE,)),
-    CommandSpec("refragment", "refragment [ALGORITHM]", 0, 1, surfaces=(CONSOLE,)),
-    CommandSpec("advise", "advise", surfaces=(CONSOLE,)),
+    CommandSpec("healthz", "healthz", 0, 0),
+    CommandSpec("readyz", "readyz", 0, 0),
+    CommandSpec("profile", "profile [COUNT]", 0, 1),
+    CommandSpec("placement", "placement"),
+    CommandSpec("migrate", "migrate FRAGMENT WORKER", 2, 2),
+    CommandSpec("rebalance", "rebalance"),
+    CommandSpec("refragment", "refragment [ALGORITHM]", 0, 1),
+    CommandSpec("advise", "advise"),
     CommandSpec("snapshot", "snapshot DIRECTORY", 1, 1, surfaces=(CONSOLE,)),
     CommandSpec("quit", "quit", surfaces=(CONSOLE,)),
     CommandSpec("exit", "exit", surfaces=(CONSOLE,)),

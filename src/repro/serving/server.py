@@ -38,6 +38,22 @@ Everything observable lands in the service's shared metrics registry under
 quanta-per-call histograms, live queue-depth and active-request gauges,
 per-client dispatch counters) and every quantum runs under a tracer span.
 
+Every request also carries a **distributed trace context**: the server
+adopts a client ``traceparent`` option (or mints a fresh W3C trace id),
+opens a per-segment root span that the admission wait, the service's own
+spans, and the pool's worker kernel spans all land under, stamps the
+context into suspended ``SavedQueryState``\\ s so a resumed continuation
+rejoins its original trace, and echoes the trace id on every response.
+Spans never stay open across an ``await`` — the tracer's stack is shared
+by every connection handler on the loop — so each synchronous segment
+(request open, each quantum) files its own trace record and
+``Tracer.assemble`` merges them.
+
+``healthz`` / ``readyz`` report pool liveness, queue saturation, the
+catalog version, and the :class:`~repro.observability.slo.SLOMonitor`'s
+burn-rate state; ``profile`` exposes the continuous sampling profiler
+(enabled with ``ServingConfig.profile_interval``).
+
 With ``idle_assess_seconds`` set, the server also moves auto-refragmentation
 assessment off the update hot path: a background task calls
 :meth:`QueryService.auto_refragment_now` only while no request is active —
@@ -55,6 +71,14 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import NoChainError, ReproError
 from ..graph.compact import CompactGraph
+from ..observability import (
+    SamplingProfiler,
+    SLODefinition,
+    SLOMonitor,
+    TraceContext,
+    default_slos,
+)
+from ..refragmentation import RefragmentationAdvisor
 from ..service import QueryService, WorkerPoolError
 from .admission import AdmissionConfig, AdmissionController
 from .continuations import ContinuationStore
@@ -95,6 +119,11 @@ class ServingConfig:
             assessment on this background cadence while the server is idle
             (pair with ``QueryService(refragment_cadence="background")``).
         admission: the admission-control knobs.
+        profile_interval: when set, run the continuous sampling profiler at
+            this interval (seconds) against the serving thread; the
+            ``profile`` command reports it.
+        slos: the SLOs ``healthz``/``readyz`` evaluate (default:
+            :func:`~repro.observability.slo.default_slos`).
     """
 
     host: str = "127.0.0.1"
@@ -106,6 +135,8 @@ class ServingConfig:
     continuation_capacity: int = 256
     idle_assess_seconds: Optional[float] = None
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    profile_interval: Optional[float] = None
+    slos: Optional[Tuple[SLODefinition, ...]] = None
 
     def __post_init__(self) -> None:
         if self.quantum_seconds <= 0:
@@ -114,6 +145,10 @@ class ServingConfig:
             raise ValueError(f"page_size must be positive, got {self.page_size}")
         if self.quanta_per_call <= 0:
             raise ValueError(f"quanta_per_call must be positive, got {self.quanta_per_call}")
+        if self.profile_interval is not None and self.profile_interval <= 0:
+            raise ValueError(
+                f"profile_interval must be positive, got {self.profile_interval}"
+            )
 
 
 class _Connection:
@@ -140,6 +175,12 @@ class ClosureServer:
         registry = service.registry
         self.admission = AdmissionController(self.config.admission, registry=registry)
         self.continuations = ContinuationStore(self.config.continuation_capacity)
+        self.slo_monitor = SLOMonitor(registry, self.config.slos or default_slos())
+        self.profiler: Optional[SamplingProfiler] = (
+            SamplingProfiler(self.config.profile_interval, tracer=service.tracer)
+            if self.config.profile_interval is not None
+            else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._idle_task: Optional[asyncio.Task] = None
         self._waiters: Deque[Tuple[asyncio.Future, str]] = deque()
@@ -214,6 +255,9 @@ class ClosureServer:
         )
         if self.config.idle_assess_seconds is not None:
             self._idle_task = asyncio.get_running_loop().create_task(self._idle_loop())
+        if self.profiler is not None:
+            # The event loop's thread is where every quantum runs.
+            self.profiler.start()
         return self.address
 
     @property
@@ -235,6 +279,8 @@ class ClosureServer:
 
     async def aclose(self) -> None:
         """Stop accepting and shut the listener down (idempotent)."""
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._idle_task is not None:
             self._idle_task.cancel()
             try:
@@ -384,6 +430,15 @@ class ClosureServer:
         )
         return time.monotonic() + seconds
 
+    def _context_of(self, request: Request) -> TraceContext:
+        """The request's trace context: adopted from ``traceparent``, or fresh.
+
+        A malformed header degrades to a fresh trace — propagation is
+        best-effort, never a reason to fail the request.
+        """
+        context = TraceContext.from_traceparent(request.option("traceparent"))
+        return context if context is not None else self.service.tracer.new_context()
+
     # ---------------------------------------------------------- simple verbs
 
     async def _serve_simple(
@@ -429,22 +484,57 @@ class ClosureServer:
                         "latency": entry.latency,
                         "fragments": list(entry.fragments),
                         "cached": entry.cached,
+                        "trace": entry.trace_id,
                         "error": entry.error,
                     }
                     for entry in self.service.query_log.slowest(count)
                 ]
                 self._requests.inc(op=op, outcome="ok")
                 return {"ok": True, "slowlog": entries}
-            # The evaluating verbs pay admission.
+            if op in ("healthz", "readyz"):
+                response = self._health_response(ready=op == "readyz")
+                self._requests.inc(op=op, outcome="ok")
+                return response
+            if op == "profile":
+                self._requests.inc(op=op, outcome="ok")
+                if self.profiler is None:
+                    return {
+                        "ok": False,
+                        "error": "profiling disabled (start with profile_interval set)",
+                    }
+                return {
+                    "ok": True,
+                    "profile": self.profiler.report(top=request.integer(0, 10) or 10),
+                }
+            if op in ("placement", "migrate", "rebalance", "refragment", "advise"):
+                response = self._serve_operator(request)
+                self._requests.inc(op=op, outcome="ok")
+                return response
+            # The evaluating verbs pay admission and run under the
+            # request's trace context.
+            context = self._context_of(request)
             deadline = self._deadline_of(request)
+            wait_started = time.monotonic()
             rejection = await self._acquire_slot(
                 connection, cost=self.config.admission.light_cost, deadline=deadline
             )
             if rejection is not None:
                 self._requests.inc(op=op, outcome="rejected")
+                rejection.setdefault("trace", context.trace_id)
                 return rejection
+            waited = time.monotonic() - wait_started
+            tracer = self.service.tracer
             try:
-                return self._serve_light(request)
+                # The root span closes before the response is awaited out:
+                # spans must never straddle an await (the tracer stack is
+                # shared by every handler on the loop).
+                with tracer.request_span(
+                    "request", context=context, op=op, client=connection.identity
+                ):
+                    tracer.attach_span("admission_wait", waited)
+                    response = self._serve_light(request)
+                response.setdefault("trace", context.trace_id)
+                return response
             finally:
                 self._release_slot(connection)
         except SERVICE_ERRORS as error:
@@ -501,7 +591,132 @@ class ClosureServer:
                 "saved_states": len(self.continuations),
                 "clients": self.admission.client_stats(),
             },
+            "slo": self.slo_monitor.as_dict(),
         }
+
+    # ------------------------------------------------------- health & operator
+
+    def _health_response(self, *, ready: bool) -> Dict[str, object]:
+        """The ``healthz`` (liveness) / ``readyz`` (traffic-worthiness) doc.
+
+        Liveness fails only when the pool lost workers.  Readiness
+        additionally requires a non-saturated admission queue and no
+        page-severity SLO burn — the signals a load balancer should drain
+        on before the failure becomes an outage.
+        """
+        pool = self.service.pool_health()
+        statuses = self.slo_monitor.evaluate()
+        severity = self.slo_monitor.worst_severity(statuses)
+        queue_full = self.admission.queued >= self.config.admission.max_queue
+        healthy = bool(pool.get("healthy", True))
+        checks: Dict[str, object] = {
+            "pool": pool,
+            "catalog_version": self.service.catalog_version,
+            "queue_depth": self.admission.queued,
+            "queue_capacity": self.config.admission.max_queue,
+            "active_requests": self.admission.active,
+            "saved_states": len(self.continuations),
+            "slo": self.slo_monitor.as_dict(statuses),
+        }
+        if not ready:
+            return {
+                "ok": healthy,
+                "status": "ok" if healthy else "degraded",
+                "checks": checks,
+            }
+        is_ready = healthy and not queue_full and severity != "page"
+        reasons = []
+        if not healthy:
+            reasons.append("pool_degraded")
+        if queue_full:
+            reasons.append("queue_saturated")
+        if severity == "page":
+            reasons.append("slo_burn")
+        return {
+            "ok": is_ready,
+            "status": "ready" if is_ready else "not_ready",
+            "reasons": reasons,
+            "checks": checks,
+        }
+
+    def _serve_operator(self, request: Request) -> Dict[str, object]:
+        """The operator verbs, rendered as JSON for remote operators.
+
+        Same service calls the ``repro serve`` console makes; only the
+        rendering differs.  They skip admission deliberately: an operator
+        inspecting or repairing a saturated server must not queue behind
+        the saturation.
+        """
+        op = request.op
+        service = self.service
+        if op == "placement":
+            plan = service.placement_plan
+            if plan is None:
+                return {"ok": True, "placement": None, "mode": "replicated"}
+            workers = {}
+            for worker in range(plan.worker_count):
+                owned = plan.owned_by(worker)
+                replicas = sorted(set(plan.fragments_on(worker)) - set(owned))
+                workers[str(worker)] = {"owns": list(owned), "replicas": replicas}
+            return {
+                "ok": True,
+                "mode": "placed",
+                "placement": {"policy": plan.policy, "workers": workers},
+            }
+        if op == "migrate":
+            fragment, worker = request.integer(0), request.integer(1)
+            moved = service.migrate(fragment, worker)
+            return {"ok": True, "fragment": fragment, "worker": worker, "moved": moved}
+        if op == "rebalance":
+            migrations = service.rebalance()
+            return {
+                "ok": True,
+                "migrations": [
+                    {
+                        "fragment": migration.fragment_id,
+                        "from_worker": migration.from_worker,
+                        "to_worker": migration.to_worker,
+                        "reason": migration.reason,
+                    }
+                    for migration in migrations
+                ],
+            }
+        if op == "refragment":
+            redraws_before = service.stats.refragments
+            result = service.refragment(request.text(0))
+            if result is not None:
+                return {
+                    "ok": True,
+                    "refragmented": True,
+                    "scoped": True,
+                    "changed": len(result.changed),
+                    "unchanged": len(result.unchanged),
+                    "border_nodes_recovered": result.border_nodes_recovered(),
+                    "version": service.catalog_version,
+                }
+            refragmented = service.stats.refragments > redraws_before
+            return {
+                "ok": True,
+                "refragmented": refragmented,
+                "scoped": False,
+                "version": service.catalog_version,
+            }
+        if op == "advise":
+            advisor = service.refragment_advisor or RefragmentationAdvisor()
+            fragmentation = service.database.fragmentation()
+            assessment = advisor.assess(
+                fragmentation,
+                version_vector=service.version_vector,
+                delta_log=service.database.delta_log,
+                query_log=service.query_log,
+            )
+            return {
+                "ok": True,
+                "signals": assessment.signals.as_dict(),
+                "update_skew": assessment.update_skew,
+                "rationale": list(advisor.recommend(fragmentation).rationale),
+            }
+        raise ProtocolError(f"unrecognised command {op!r}")
 
     # ------------------------------------------------------- closure streaming
 
@@ -518,6 +733,7 @@ class ClosureServer:
         op = request.op
         request_id = request.option("id")
         deadline = self._deadline_of(request)
+        wait_started = time.monotonic()
         rejection = await self._acquire_slot(
             connection, cost=self.config.admission.heavy_cost, deadline=deadline
         )
@@ -526,11 +742,14 @@ class ClosureServer:
             self._requests.inc(op=op, outcome="rejected")
             await self._send(writer, rejection)
             return
+        waited = time.monotonic() - wait_started
         try:
             version = self.service.catalog_version
             mirror = self._mirror_for(version)
             try:
-                iterator = self._open_iterator(request, connection, mirror, version)
+                iterator, context = self._open_iterator(
+                    request, connection, mirror, version
+                )
             except StaleStateError as error:
                 self._stale.inc()
                 self._requests.inc(op=op, outcome="stale")
@@ -543,7 +762,27 @@ class ClosureServer:
                 self._requests.inc(op=op, outcome="error")
                 await self._send(writer, {"id": request_id, "ok": False, "error": str(error)})
                 return
-            await self._stream(iterator, request, connection, writer, deadline)
+            # One root segment per call: admission wait and call metadata
+            # live here, every quantum of this call parents under it, and a
+            # later resume's segment parents under it too (via the context
+            # stamped into the saved state).  Closed before the first send —
+            # spans never straddle an await.
+            tracer = self.service.tracer
+            quantum_context = context
+            with tracer.request_span(
+                "request",
+                context=context,
+                op=op,
+                client=connection.identity,
+                kind=iterator.kind,
+            ):
+                tracer.attach_span("admission_wait", waited)
+                inner = tracer.current_context()
+                if inner is not None:
+                    quantum_context = inner
+            await self._stream(
+                iterator, request, connection, writer, deadline, quantum_context
+            )
         finally:
             self._release_slot(connection)
 
@@ -553,7 +792,7 @@ class ClosureServer:
         connection: _Connection,
         mirror: CompactGraph,
         version: str,
-    ) -> PreemptableClosureIterator:
+    ) -> Tuple[PreemptableClosureIterator, TraceContext]:
         if request.op == "resume":
             state = self.continuations.take(
                 str(request.args[0]), client=connection.identity
@@ -563,15 +802,21 @@ class ClosureServer:
                 mirror, state, catalog_version=version
             )
             self._resumes.inc()
-            return iterator
+            # The pickled context wins over anything on the resume request:
+            # the continuation rejoins the trace it suspended under.
+            if state.trace_context is not None:
+                trace_id, parent_span_id = state.trace_context
+                return iterator, TraceContext(trace_id, parent_span_id)
+            return iterator, self._context_of(request)
         source = request.args[0]
         sources: object = ALL_SOURCES if source == ALL_SOURCES else request.node(0)
-        return PreemptableClosureIterator(
+        iterator = PreemptableClosureIterator(
             mirror,
             sources,
             kind=self.service.semiring.name,
             catalog_version=version,
         )
+        return iterator, self._context_of(request)
 
     async def _stream(
         self,
@@ -580,6 +825,7 @@ class ClosureServer:
         connection: _Connection,
         writer: asyncio.StreamWriter,
         deadline: float,
+        context: TraceContext,
     ) -> None:
         config = self.config
         tracer = self.service.tracer
@@ -595,8 +841,13 @@ class ClosureServer:
                 suspend_reason = "deadline"
                 break
             if config.preemption:
-                with tracer.span(
+                # Each quantum is its own root segment under the call's
+                # context — the span (and any kernel spans the evaluation
+                # attaches) carries the client's trace id and closes before
+                # the pages are awaited out.
+                with tracer.request_span(
                     "serving_quantum",
+                    context=context,
                     op=request.op,
                     client=connection.identity,
                     kind=iterator.kind,
@@ -642,10 +893,16 @@ class ClosureServer:
                     "done": True,
                     "produced": iterator.produced,
                     "pages": seq,
+                    "trace": context.trace_id,
                 },
             )
             return
-        token = self.continuations.put(iterator.save(), client=connection.identity)
+        state = iterator.save()
+        # A resumed continuation rejoins this trace: the context rides the
+        # (picklable) saved state, parenting the resume segment under this
+        # call's root span.
+        state.trace_context = context.as_tuple()
+        token = self.continuations.put(state, client=connection.identity)
         self._saved_states.set(float(len(self.continuations)))
         self._suspends.inc(reason=suspend_reason or "quanta_budget")
         self._requests.inc(op=request.op, outcome="suspended")
@@ -660,6 +917,7 @@ class ClosureServer:
                 "continuation": token,
                 "produced": iterator.produced,
                 "pages": seq,
+                "trace": context.trace_id,
             },
         )
 

@@ -1,0 +1,146 @@
+"""Sampling profiler: lifecycle, tagging, aggregation, pause/resume."""
+
+import threading
+import time
+
+import pytest
+
+from repro.observability import SamplingProfiler, Tracer
+
+
+def spin(seconds: float) -> None:
+    """Busy-work the sampler can catch (sleep parks the thread off-stack)."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(50))
+    return total
+
+
+def make_profiler(**kwargs) -> SamplingProfiler:
+    kwargs.setdefault("backend_probe", lambda: None)
+    return SamplingProfiler(0.001, **kwargs)
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(0.0)
+
+    def test_start_stop_and_sample_counts(self):
+        profiler = make_profiler()
+        profiler.start()
+        assert profiler.running and profiler.sampling
+        spin(0.05)
+        profiler.stop()
+        assert not profiler.running
+        assert profiler.samples > 0
+        assert profiler.top_offenders(5)
+
+    def test_start_is_idempotent(self):
+        profiler = make_profiler()
+        profiler.start()
+        thread = profiler._thread
+        profiler.start()
+        assert profiler._thread is thread
+        profiler.stop()
+
+    def test_pause_gates_sampling_without_stopping(self):
+        profiler = make_profiler()
+        profiler.start()
+        spin(0.03)
+        profiler.pause()
+        assert profiler.running and not profiler.sampling
+        time.sleep(0.02)  # let any in-flight sample land
+        paused_at = profiler.samples
+        spin(0.05)
+        assert profiler.samples == paused_at
+        profiler.resume()
+        spin(0.05)
+        profiler.stop()
+        assert profiler.samples > paused_at
+
+    def test_reset_drops_aggregates(self):
+        profiler = make_profiler()
+        profiler.start()
+        spin(0.03)
+        profiler.pause()
+        time.sleep(0.02)
+        assert profiler.samples > 0
+        profiler.reset()
+        assert profiler.samples == 0
+        assert profiler.top_offenders(5) == []
+        profiler.stop()
+
+
+class TestTagging:
+    def test_samples_carry_trace_and_span(self):
+        tracer = Tracer()
+        profiler = make_profiler(tracer=tracer)
+        profiler.start()
+        with tracer.span("serving_quantum") as span:
+            spin(0.08)
+        profiler.stop()
+        traced = profiler.recent_traced_samples()
+        assert traced, "no sample landed inside the open span"
+        assert traced[0]["trace"] == span.trace_id
+        assert traced[0]["span"] == "serving_quantum"
+        breakdown = profiler.span_breakdown()
+        assert any(row["span"] == "serving_quantum" for row in breakdown)
+
+    def test_samples_carry_the_backend_probe(self):
+        backend = [None]
+        profiler = make_profiler(backend_probe=lambda: backend[0])
+        profiler.start()
+        backend[0] = "numpy"
+        spin(0.05)
+        backend[0] = None
+        spin(0.02)
+        profiler.stop()
+        shares = profiler.backend_shares()
+        assert "numpy" in shares
+        assert shares["numpy"] > 0
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_samples_target_the_requested_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=lambda: stop.wait(2.0) or None)
+        worker.start()
+        profiler = make_profiler()
+        profiler.start(target_ident=worker.ident)
+        spin(0.05)  # the *calling* thread burns; the target idles in wait()
+        profiler.pause()
+        time.sleep(0.02)
+        stop.set()
+        worker.join()
+        profiler.stop()
+        spinning = [
+            row for row in profiler.top_offenders(20) if "spin" in row["frame"]
+        ]
+        assert not spinning, "sampler followed the wrong thread"
+
+
+class TestReport:
+    def test_report_is_plain_data(self):
+        import json
+
+        tracer = Tracer()
+        profiler = make_profiler(tracer=tracer)
+        profiler.start()
+        with tracer.span("request"):
+            spin(0.05)
+        profiler.stop()
+        report = profiler.report(top=3)
+        json.dumps(report)
+        assert report["samples"] == profiler.samples
+        assert len(report["top_offenders"]) <= 3
+        assert report["interval_seconds"] == profiler.interval
+        total_share = sum(row["share"] for row in report["span_breakdown"])
+        assert total_share == pytest.approx(1.0)
+
+    def test_shares_sum_to_one(self):
+        profiler = make_profiler()
+        profiler.start()
+        spin(0.05)
+        profiler.stop()
+        assert sum(profiler.backend_shares().values()) == pytest.approx(1.0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.observability import NULL_SPAN, Tracer
+from repro.observability import NULL_SPAN, TraceContext, Tracer
 
 
 class TestSpanParenting:
@@ -142,6 +142,121 @@ class TestBoundedRing:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        context = TraceContext(trace_id="ab" * 16, parent_span_id="cd" * 8)
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_fresh_context_renders_zero_parent(self):
+        header = TraceContext(trace_id="ab" * 16).to_traceparent()
+        assert header == f"00-{'ab' * 16}-{'0' * 16}-01"
+        # An all-zero parent span id is invalid per W3C; parsing drops it.
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_local_int_parent_renders_as_16_hex(self):
+        header = TraceContext(trace_id="ab" * 16, parent_span_id=255).to_traceparent()
+        assert header.split("-")[2] == f"{255:016x}"
+
+    def test_malformed_headers_parse_to_none(self):
+        for bad in (
+            None,
+            42,
+            "",
+            "not-a-traceparent",
+            "00-short-0123456789abcdef-01",
+            f"00-{'g' * 32}-{'1' * 16}-01",  # non-hex trace id
+            f"ff-{'a' * 32}-{'1' * 16}-01",  # forbidden version
+            f"00-{'0' * 32}-{'1' * 16}-01",  # all-zero trace id
+        ):
+            assert TraceContext.from_traceparent(bad) is None
+
+    def test_minted_trace_ids_are_valid_w3c_ids(self):
+        tracer = Tracer()
+        trace_id = tracer.new_trace_id()
+        assert len(trace_id) == 32
+        assert set(trace_id) <= set("0123456789abcdef")
+        assert tracer.new_trace_id() != trace_id
+
+    def test_as_tuple_is_plain_data(self):
+        context = TraceContext(trace_id="ab" * 16, parent_span_id=7)
+        assert context.as_tuple() == ("ab" * 16, 7)
+
+
+class TestRequestSpanPropagation:
+    def test_request_span_adopts_the_context(self):
+        tracer = Tracer()
+        context = TraceContext(trace_id="ab" * 16, parent_span_id="cd" * 8)
+        with tracer.request_span("request", context=context) as root:
+            assert root.trace_id == context.trace_id
+            assert root.parent_id == context.parent_span_id
+        assert tracer.recent(1)[0].trace_id == context.trace_id
+
+    def test_nested_request_span_ignores_the_context(self):
+        tracer = Tracer()
+        foreign = TraceContext(trace_id="ab" * 16)
+        with tracer.span("outer") as outer:
+            with tracer.request_span("inner", context=foreign) as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_current_context_points_under_the_innermost_span(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        with tracer.span("root") as root:
+            context = tracer.current_context()
+            assert context.trace_id == root.trace_id
+            assert context.parent_span_id == root.span_id
+
+    def test_segments_sharing_a_context_assemble_into_one_trace(self):
+        # The serving shape: the open segment, two quanta, and a resumed
+        # continuation each file their own Trace record under one trace id;
+        # assemble() merges them with the quanta parented under the opener.
+        tracer = Tracer()
+        context = tracer.new_context()
+        with tracer.request_span("request", context=context):
+            quantum_context = tracer.current_context()
+        for _ in range(2):
+            with tracer.request_span("serving_quantum", context=quantum_context):
+                tracer.attach_span("kernel", 0.01)
+        merged = tracer.assemble(context.trace_id)
+        assert merged.trace_id == context.trace_id
+        assert merged.root_name == "request"
+        assert merged.span_names() == [
+            "request",
+            "serving_quantum",
+            "kernel",
+            "serving_quantum",
+            "kernel",
+        ]
+        request_span = merged.find("request")[0]
+        quanta = merged.find("serving_quantum")
+        assert all(span.parent_id == request_span.span_id for span in quanta)
+        # Suspension gaps are excluded: only the request root is top-level.
+        assert merged.duration == request_span.duration
+
+    def test_assemble_unknown_trace_returns_none(self):
+        assert Tracer().assemble("ab" * 16) is None
+
+    def test_wire_parent_marks_top_level(self):
+        tracer = Tracer()
+        context = TraceContext(trace_id="ab" * 16, parent_span_id="cd" * 8)
+        with tracer.request_span("request", context=context):
+            pass
+        merged = tracer.assemble(context.trace_id)
+        # The client's 16-hex span id matches no local span, so the segment
+        # root stays top-level rather than dangling.
+        assert merged.root_name == "request"
+
+    def test_disabled_tracer_still_mints_contexts(self):
+        tracer = Tracer(enabled=False)
+        context = tracer.new_context()
+        assert len(context.trace_id) == 32
+        with tracer.request_span("request", context=context) as span:
+            assert span is NULL_SPAN
+        assert tracer.assemble(context.trace_id) is None
 
 
 class TestSerialization:

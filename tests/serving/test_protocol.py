@@ -50,9 +50,16 @@ class TestParseLine:
                 parse_line(f"{op} x", surface="console")
 
     def test_console_only_commands_are_unknown_on_the_network(self):
-        for op in ("placement", "rebalance", "quit"):
+        for op in ("snapshot", "quit", "exit"):
             with pytest.raises(ProtocolError, match="unrecognised command"):
-                parse_line(op, surface="network")
+                parse_line(f"{op} x" if op == "snapshot" else op, surface="network")
+
+    def test_operator_commands_exist_on_both_surfaces(self):
+        # A remote operator must never be blinder than a local one: the
+        # operator controls and the health probes parse on both surfaces.
+        for op in ("placement", "rebalance", "refragment", "advise", "healthz", "readyz", "profile"):
+            assert parse_line(op, surface="console").op == op
+            assert parse_line(op, surface="network").op == op
 
     def test_unknown_surface_raises(self):
         with pytest.raises(ValueError, match="unknown surface"):
@@ -97,7 +104,8 @@ class TestGrammarTable:
         console, network = set(commands_for("console")), set(commands_for("network"))
         assert {"query", "batch", "update", "delete", "stats"} <= console & network
         assert {"closure", "resume", "cancel", "hello", "ping"} <= network - console
-        assert {"placement", "migrate", "snapshot", "quit"} <= console - network
+        assert {"snapshot", "quit", "exit"} <= console - network
+        assert {"placement", "migrate", "healthz", "readyz", "profile"} <= console & network
         assert console | network == set(COMMAND_SPECS)
 
     def test_decode_node_matches_the_cli_convention(self):
