@@ -11,6 +11,11 @@ Two claims are measured and asserted on the sample transportation workload:
   full-invalidate baseline (``incremental=False``: every update tears the
   engine down and the next query pays a complete complementary
   recomputation), while returning bit-identical answers.
+* **O(delta) writes** — a single-edge ``apply_delta`` absorbed as an overlay
+  splice beats the compact-every-apply rebuild (``overlay_threshold=0``) at
+  two scales (largest fragment, whole graph) with bit-identical answers, and
+  queries reading *through* a non-empty overlay stay within 10% of
+  compacted-CSR latency.
 
 Figures are written to ``BENCH_updates.json``.  Run
 ``python benchmarks/bench_incremental_updates.py`` directly (``--tiny`` for
@@ -26,12 +31,18 @@ import os
 import time
 from pathlib import Path
 
+from time import perf_counter
+
+from repro.closure import select_kernel
+from repro.closure.backends import BACKEND_BIGINT
+from repro.closure.kernels import array_dijkstra, reachability_rows
 from repro.fragmentation import CenterBasedFragmenter
 from repro.generators import (
     TransportationGraphConfig,
     cross_cluster_queries,
     generate_transportation_graph,
 )
+from repro.graph import CompactDelta, CompactGraph, DiGraph
 from repro.service import QueryService
 
 try:  # pytest provides print_report when collected as part of the harness
@@ -141,6 +152,134 @@ def bench_locality(fragmentation, queries):
     }
 
 
+def _timed_single_edge_apply(state, delta, *, threshold: int, trials: int = 7):
+    """Best-of-``trials`` seconds for one ``apply_delta`` at a threshold.
+
+    ``threshold=0`` compacts inside every apply — the from-scratch rebuild
+    baseline; a huge threshold keeps the change in the overlay — the
+    O(delta) path.  Each trial starts from a fresh hydration of the same
+    state so interning and row order are identical on both sides.
+    """
+    best = float("inf")
+    graph = None
+    for _ in range(trials):
+        graph = CompactGraph.from_state(state)
+        graph.overlay_threshold = threshold
+        started = perf_counter()
+        graph.apply_delta(delta)
+        best = min(best, perf_counter() - started)
+    return best, graph
+
+
+def _min_seconds(function, trials: int):
+    best = float("inf")
+    for _ in range(trials):
+        started = perf_counter()
+        function()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def bench_overlay_updates(graph, fragmentation, *, tiny: bool):
+    """Single-edge apply_delta: overlay splice vs compact-every-apply rebuild.
+
+    Measured at two scales — the largest bench fragment and the whole graph.
+    Answers (edge lists, reachability rows, Dijkstra distances) must be
+    bit-identical whether the graph reads through the overlay or from the
+    rebuilt CSR; the overlay path must also be selected by the kernel
+    dispatcher (``select_kernel`` routes non-empty overlays to the big-int
+    mask kernel).
+    """
+    largest = max(fragmentation.fragments, key=lambda fragment: len(fragment.edges))
+    fragment_graph = DiGraph(
+        [
+            (a, b, graph.edge_weight(a, b))
+            for a, b in sorted(largest.edges, key=repr)
+        ]
+    )
+    scales = [
+        (f"largest_fragment_{largest.fragment_id}", fragment_graph),
+        ("whole_graph", graph),
+    ]
+    results = {}
+    read_ratio = None
+    for label, digraph in scales:
+        base = CompactGraph.from_digraph(digraph)
+        state = base.state()
+        nodes = sorted(digraph.nodes(), key=repr)
+        delta = CompactDelta(inserts=((nodes[0], nodes[-1], 1.0e9),))
+        overlay_seconds, overlay_graph = _timed_single_edge_apply(
+            state, delta, threshold=1 << 30
+        )
+        rebuild_seconds, rebuild_graph = _timed_single_edge_apply(
+            state, delta, threshold=0
+        )
+        assert overlay_graph.has_overlay(), "the O(delta) side must stay an overlay"
+        assert not rebuild_graph.has_overlay(), "threshold 0 must compact inside apply"
+        assert select_kernel(overlay_graph) == BACKEND_BIGINT, (
+            "a non-empty overlay must route to the mask-reading kernel"
+        )
+        # Bit-identical answers through the overlay: same state hydration on
+        # both sides means ids match, so rows compare directly.
+        assert sorted(overlay_graph.weighted_edges()) == sorted(
+            rebuild_graph.weighted_edges()
+        )
+        ids = list(range(overlay_graph.node_count()))
+        overlay_rows, chosen = reachability_rows(overlay_graph, ids, whole_graph=True)
+        rebuild_rows, _ = reachability_rows(
+            rebuild_graph, ids, whole_graph=True, backend=BACKEND_BIGINT
+        )
+        assert chosen == BACKEND_BIGINT and overlay_rows == rebuild_rows
+        for source_id in ids[: min(4, len(ids))]:
+            assert (
+                array_dijkstra(overlay_graph, source_id)[0]
+                == array_dijkstra(rebuild_graph, source_id)[0]
+            )
+        speedup = rebuild_seconds / overlay_seconds if overlay_seconds else float("inf")
+        results[label] = {
+            "nodes": overlay_graph.node_count(),
+            "edges": overlay_graph.edge_count(),
+            "overlay_apply_seconds": overlay_seconds,
+            "rebuild_apply_seconds": rebuild_seconds,
+            "apply_speedup": speedup,
+            "overlay_selected": True,
+            "identical_answers": True,
+        }
+        if not tiny:
+            assert speedup >= 10.0, (
+                f"single-edge apply at {label} must be >=10x faster through the "
+                f"overlay, got {speedup:.1f}x"
+            )
+        if label == "whole_graph":
+            # Overlay-read latency: the big-int kernel reads the maintained
+            # masks, so a query through a live overlay must cost what the
+            # compacted graph costs.  Masks are warm from the row check above.
+            trials = 9 if tiny else 25
+            through_overlay = _min_seconds(
+                lambda: reachability_rows(
+                    overlay_graph, ids, whole_graph=True, backend=BACKEND_BIGINT
+                ),
+                trials,
+            )
+            overlay_graph.compact_now(reason="benchmark")
+            compacted = _min_seconds(
+                lambda: reachability_rows(
+                    overlay_graph, ids, whole_graph=True, backend=BACKEND_BIGINT
+                ),
+                trials,
+            )
+            read_ratio = through_overlay / compacted if compacted else 1.0
+            if not tiny:
+                assert read_ratio <= 1.10, (
+                    f"overlay reads must stay within 10% of compacted-CSR "
+                    f"latency, got {read_ratio:.3f}x"
+                )
+    return {
+        "scales": results,
+        "overlay_read_over_compacted_latency": read_ratio,
+    }
+
+
 def _mixed_run(fragmentation, queries, update_edges, rounds: int, *, incremental: bool):
     """Interleave query rounds with edge reweights; return answers + figures."""
     service = QueryService(fragmentation, incremental=incremental)
@@ -206,6 +345,7 @@ def run_update_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
     rounds = 4 if tiny else 12
 
     locality = bench_locality(fragmentation, queries)
+    overlay = bench_overlay_updates(graph, fragmentation, tiny=tiny)
     mixed = bench_mixed_workload(fragmentation, queries, rounds)
 
     report = {
@@ -218,6 +358,7 @@ def run_update_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
             "queries": len(queries),
         },
         "locality": locality,
+        "overlay": overlay,
         "mixed": mixed,
     }
     Path(output).write_text(json.dumps(report, indent=2, sort_keys=True))
@@ -233,6 +374,15 @@ def run_update_comparison(*, tiny: bool = False, output: str = OUTPUT_FILE):
         f"{locality['fragments']} fragments, "
         f"{locality['cache_entries_after']}/{locality['cache_entries_before']} "
         "cached answers kept, untouched compact states object-identical",
+        "",
+        f"{'single-edge apply_delta':<26} {'overlay s':>11} {'rebuild s':>11} {'speedup':>9}",
+        *(
+            f"{label:<26} {row['overlay_apply_seconds']:>11.7f} "
+            f"{row['rebuild_apply_seconds']:>11.7f} {row['apply_speedup']:>8.1f}x"
+            for label, row in overlay["scales"].items()
+        ),
+        f"overlay-read latency / compacted: "
+        f"{overlay['overlay_read_over_compacted_latency']:.3f}x",
         "",
         f"{'mixed read/write':<26} {'seconds':>9} {'ops/s':>9} {'rebuilds':>9} {'hit rate':>9}",
         f"{'incremental':<26} {incremental['seconds']:>9.4f} "
@@ -258,6 +408,9 @@ def test_incremental_update_report():
     assert report["mixed"]["identical_answers"]
     assert report["mixed"]["speedup"] > 1.0
     assert report["mixed"]["incremental"]["engine_rebuilds"] == 1  # the initial build only
+    for row in report["overlay"]["scales"].values():
+        assert row["overlay_selected"] and row["identical_answers"]
+        assert row["apply_speedup"] > 1.0
 
 
 if __name__ == "__main__":

@@ -126,6 +126,8 @@ def graph_shape(graph: CompactGraph) -> Dict[str, object]:
     if isinstance(state, dict) and state.get("format") == SHAPE_STATE_FORMAT:
         graph.derived_set(SHAPE_KEY, dict(state))
         return graph.derived_get(SHAPE_KEY)
+    if graph.has_overlay():
+        graph.compact_now(reason="shape_probe")
     n = graph.node_count()
     m = graph.edge_count()
     _, comp_count = strongly_connected_components(graph)
@@ -153,6 +155,11 @@ def packed_matrix(graph: CompactGraph) -> PackedBitMatrix:
         except (ValueError, RuntimeError):
             matrix = None  # stale format or numpy missing: rebuild below
     if matrix is None:
+        if graph.has_overlay():
+            # Building the packed matrix scans raw CSR; fold the overlay
+            # first so the build sees every spliced row (a *cached* matrix
+            # is row-patched by apply_delta and never forces this).
+            graph.compact_now(reason="packed_matrix")
         matrix = PackedBitMatrix.from_graph(graph)
     graph.derived_set(PACKED_KEY, matrix)
     return matrix
@@ -170,6 +177,8 @@ def chain_index(graph: CompactGraph) -> ChainIndex:
         except ValueError:
             index = None
     if index is None:
+        if graph.has_overlay():
+            graph.compact_now(reason="chain_index")
         index = ChainIndex.from_graph(graph)
     graph.derived_set(CHAIN_KEY, index)
     return index
@@ -205,6 +214,12 @@ def select_kernel(
         if pinned == BACKEND_NUMPY and not numpy_available():
             return BACKEND_BIGINT
         return pinned
+    if graph.has_overlay():
+        # The big-int kernel reads straight through overlay-maintained
+        # masks; choosing it keeps a freshly-updated graph answering at
+        # full speed instead of paying a compaction + index rebuild on the
+        # first query after a write burst.
+        return BACKEND_BIGINT
     n = graph.node_count()
     if n < SMALL_GRAPH_NODES:
         return BACKEND_BIGINT

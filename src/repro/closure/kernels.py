@@ -227,7 +227,7 @@ def array_dijkstra(
         settled nodes (the work figure the cost model consumes).
     """
     n = graph.node_count()
-    offsets, targets, weights = graph.backward_csr if backward else graph.forward_csr
+    offsets, targets, weights, over, base_nodes = graph.adjacency_view(backward=backward)
     dist = [inf] * n
     pred = [-1] * n
     done = bytearray(n)
@@ -245,6 +245,19 @@ def array_dijkstra(
             remaining.discard(node_id)
             if not remaining:
                 break
+        row = over.get(node_id) if over is not None else None
+        if row is not None:
+            for target_id, edge_weight in row:
+                if done[target_id]:
+                    continue
+                candidate = distance + edge_weight
+                if candidate < dist[target_id]:
+                    dist[target_id] = candidate
+                    pred[target_id] = node_id
+                    heapq.heappush(heap, (candidate, target_id))
+            continue
+        if node_id >= base_nodes:
+            continue
         for index in range(offsets[node_id], offsets[node_id + 1]):
             target_id = targets[index]
             if done[target_id]:
@@ -292,19 +305,31 @@ def seminaive_closure_ids(
     Mirrors :func:`repro.closure.iterative.seminaive_transitive_closure` but
     joins the delta against the CSR arrays instead of dict adjacency.
     """
-    offsets, targets, weights = graph.forward_csr
+    offsets, targets, weights, over, base_nodes = graph.adjacency_view()
     edge_value = semiring.edge_value
     plus = semiring.plus
     times = semiring.times
     restrict = set(source_ids) if source_ids is not None else None
 
+    def row_entries(node_id: int) -> Iterable[Tuple[int, float]]:
+        if over is not None:
+            row = over.get(node_id)
+            if row is not None:
+                return row
+        if node_id >= base_nodes:
+            return ()
+        return [
+            (targets[index], weights[index])
+            for index in range(offsets[node_id], offsets[node_id + 1])
+        ]
+
     values: Dict[Tuple[int, int], object] = {}
     for source_id in range(graph.node_count()):
         if restrict is not None and source_id not in restrict:
             continue
-        for index in range(offsets[source_id], offsets[source_id + 1]):
-            pair = (source_id, targets[index])
-            candidate = edge_value(weights[index])
+        for target_id, weight in row_entries(source_id):
+            pair = (source_id, target_id)
+            candidate = edge_value(weight)
             incumbent = values.get(pair)
             values[pair] = candidate if incumbent is None else plus(incumbent, candidate)
     delta = dict(values)
@@ -312,9 +337,9 @@ def seminaive_closure_ids(
     while delta and stats.iterations < max_iterations:
         candidates: Dict[Tuple[int, int], object] = {}
         for (a, b), left in delta.items():
-            for index in range(offsets[b], offsets[b + 1]):
-                candidate = times(left, edge_value(weights[index]))
-                pair = (a, targets[index])
+            for target_id, weight in row_entries(b):
+                candidate = times(left, edge_value(weight))
+                pair = (a, target_id)
                 incumbent = candidates.get(pair)
                 candidates[pair] = candidate if incumbent is None else plus(incumbent, candidate)
         improved: Dict[Tuple[int, int], object] = {}

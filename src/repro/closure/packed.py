@@ -162,6 +162,22 @@ class PackedBitMatrix:
                 return reach
             reach = squared
 
+    # ------------------------------------------------------------ row patching
+
+    def patch_rows(self, row_masks: Dict[int, int], node_count: int) -> bool:
+        """Overwrite the packed rows named in ``row_masks`` in place.
+
+        The O(delta) write path calls this with the post-splice successor
+        bitset of every touched row.  Returns ``False`` (caller must evict
+        and rebuild) when the delta interned new nodes — the matrix's word
+        width and row count are frozen at build time.
+        """
+        if node_count != self.node_count:
+            return False
+        for node_id, mask in row_masks.items():
+            self.rows[node_id] = self.mask_to_row(mask)
+        return True
+
     # ---------------------------------------------------------- mask interop
 
     def row_to_mask(self, row) -> int:

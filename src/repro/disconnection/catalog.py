@@ -26,7 +26,6 @@ from .complementary import ComplementaryInformation, precompute_complementary_in
 Node = Hashable
 
 
-@dataclass
 class CompactFragmentSite:
     """The plain-data, kernel-ready form of one fragment site.
 
@@ -37,16 +36,35 @@ class CompactFragmentSite:
     reloads rebuild kernels directly from it — no dict-of-dicts adjacency is
     ever reconstructed on the hot path.
 
+    :attr:`state` is *lazily refreshed*: an :meth:`apply_delta` only marks
+    the captured state dirty, and the next reader (a snapshot writer, a
+    worker shipment) re-captures it from the pinned graph — so an O(delta)
+    splice is never followed by an eager O(V+E) state rebuild.
+
     Attributes:
         fragment_id: the fragment / site identifier.
-        state: the augmented compact graph's plain-data state.
         estimated_iterations: the site's cached ``hop_diameter + 1`` figure.
     """
 
-    fragment_id: int
-    state: Dict[str, object]
-    estimated_iterations: int
-    _graph: Optional[CompactGraph] = field(default=None, init=False, repr=False, compare=False)
+    __slots__ = ("fragment_id", "estimated_iterations", "_state", "_graph")
+
+    def __init__(
+        self,
+        fragment_id: int,
+        state: Dict[str, object],
+        estimated_iterations: int,
+    ) -> None:
+        self.fragment_id = fragment_id
+        self.estimated_iterations = estimated_iterations
+        self._state: Optional[Dict[str, object]] = state
+        self._graph: Optional[CompactGraph] = None
+
+    @property
+    def state(self) -> Dict[str, object]:
+        """The augmented compact graph's plain-data state (lazily refreshed)."""
+        if self._state is None:
+            self._state = self.compact().state()
+        return self._state
 
     def compact(self, *, use_shortcuts: bool = True) -> CompactGraph:
         """Return (and cache) the compact graph.
@@ -64,7 +82,7 @@ class CompactFragmentSite:
                 "run ablations against the full FragmentSite"
             )
         if self._graph is None:
-            self._graph = CompactGraph.from_state(self.state)
+            self._graph = CompactGraph.from_state(self._state)
         return self._graph
 
     def local_iterations(self) -> int:
@@ -75,16 +93,32 @@ class CompactFragmentSite:
         """Apply an edge delta to the pinned compact graph in place.
 
         This is how a resident worker (or a snapshot-seeded site) absorbs an
-        incremental update: the delta rebuilds only this fragment's CSR
-        arrays, the plain-data ``state`` is refreshed from the mutated graph,
-        and the iteration estimate is replaced by the coordinator's new
-        figure.  Shipping a delta is the scoped alternative to re-shipping
-        the whole fragment payload.
+        incremental update: the delta splices only the touched overlay rows
+        of this fragment's compact graph (O(delta), no CSR rebuild), the
+        captured plain-data ``state`` is marked stale and re-captured on the
+        next read, and the iteration estimate is replaced by the
+        coordinator's new figure.  Shipping a delta is the scoped
+        alternative to re-shipping the whole fragment payload.
         """
         graph = self.compact()
         graph.apply_delta(delta)
-        self.state = graph.state()
+        self._state = None
         self.estimated_iterations = estimated_iterations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompactFragmentSite):
+            return NotImplemented
+        return (
+            self.fragment_id == other.fragment_id
+            and self.estimated_iterations == other.estimated_iterations
+            and self.state == other.state
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactFragmentSite(fragment_id={self.fragment_id}, "
+            f"estimated_iterations={self.estimated_iterations})"
+        )
 
     def __getstate__(self) -> Dict[str, object]:
         # Ship only the plain state; the worker rebuilds the graph lazily.
@@ -96,8 +130,8 @@ class CompactFragmentSite:
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.fragment_id = state["fragment_id"]  # type: ignore[assignment]
-        self.state = state["state"]  # type: ignore[assignment]
         self.estimated_iterations = state["estimated_iterations"]  # type: ignore[assignment]
+        self._state = state["state"]
         self._graph = None
 
 

@@ -100,6 +100,7 @@ def precompute_complementary_information(
     *,
     semiring: Optional[Semiring] = None,
     store_paths: bool = False,
+    compact: Optional[CompactGraph] = None,
 ) -> ComplementaryInformation:
     """Precompute the complementary information for every disconnection set.
 
@@ -115,9 +116,12 @@ def precompute_complementary_information(
         store_paths: additionally store the node sequences realising the
             values (shortest-path semiring only); needed when actual routes
             will be reconstructed, at the cost of larger complementary data.
+        compact: a prebuilt compact form of ``fragmentation.graph`` (the
+            maintainer's resident mirror); when provided the whole-graph
+            compile is skipped entirely.
     """
     semiring = semiring or shortest_path_semiring()
-    graph = CompactGraph.from_digraph(fragmentation.graph)
+    graph = compact if compact is not None else CompactGraph.from_digraph(fragmentation.graph)
     info = ComplementaryInformation(semiring_name=semiring.name)
     for (i, j), border in fragmentation.disconnection_sets().items():
         pair_values: Dict[BorderPair, object] = {}

@@ -59,6 +59,9 @@ class LocalQueryResult:
         backend: which kernel backend served the evaluation (``bigint``,
             ``numpy``, ``chain``, or ``dijkstra``/``dict`` for the non-bitset
             paths); surfaces in worker payloads and trace spans.
+        overlay: whether the site's compact graph carried an uncompacted
+            delta overlay at evaluation time — the kernels read straight
+            through it; surfaces in worker payloads and trace spans.
     """
 
     fragment_id: int
@@ -67,6 +70,7 @@ class LocalQueryResult:
     estimated_iterations: int = 0
     semiring: Optional[Semiring] = field(default=None, repr=False, compare=False)
     backend: Optional[str] = field(default=None, compare=False)
+    overlay: bool = field(default=False, compare=False)
 
     def exit_values(self, semiring: Optional[Semiring] = None) -> Dict[Node, PathValue]:
         """Return the best value per exit node over all entry nodes (for reporting).
@@ -165,6 +169,7 @@ class LocalQueryEvaluator:
         result: LocalQueryResult,
     ) -> LocalQueryResult:
         graph = site.compact(use_shortcuts=self._use_shortcuts)
+        result.overlay = graph.has_overlay()
         result.estimated_iterations = site.local_iterations()
         entries = [
             (node, node_id)

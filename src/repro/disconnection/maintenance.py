@@ -41,8 +41,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 from ..closure import Semiring, shortest_path_semiring
 from ..exceptions import FragmentationError
 from ..fragmentation import Fragmentation, Fragmenter
-from ..graph import DiGraph
-from ..incremental.delta import DeltaLog, DeltaRecord, EdgeChange
+from ..graph import CompactGraph, DiGraph
+from ..incremental.delta import DeltaLog, DeltaRecord, EdgeChange, changes_to_delta
 from ..incremental.versions import VersionVector
 from .catalog import CompactFragmentSite
 from .complementary import ComplementaryInformation, precompute_complementary_information
@@ -158,6 +158,7 @@ class FragmentedDatabase:
         self.statistics = UpdateStatistics()
         self._incremental = incremental
         self._maintainer = None  # lazily bound to the live engine generation
+        self._mirror: Optional[CompactGraph] = None  # resident whole-graph compact mirror
         self.version_vector = version_vector.copy() if version_vector else VersionVector()
         self.delta_log = DeltaLog()
         self.last_delta = None  # the AppliedDelta of the newest incremental update
@@ -206,12 +207,44 @@ class FragmentedDatabase:
         """Return the live engine if one exists and is fresh (no rebuild)."""
         return self._engine if not self._stale else None
 
+    def compact_mirror(self) -> CompactGraph:
+        """Return the resident whole-graph compact mirror (built lazily once).
+
+        One :class:`CompactGraph` of the entire base graph, shared by the
+        incremental maintainer's repair searches, complementary
+        precomputation, and :class:`~repro.refragmentation.live.LiveRefragmenter`.
+        After every applied update the database splices the change into it as
+        an O(delta) overlay patch — consumers never pay a whole-graph
+        recompile again.
+        """
+        if self._mirror is None:
+            self._mirror = CompactGraph.from_digraph(self._graph)
+        return self._mirror
+
+    def _sync_mirror(self, changes: List[EdgeChange]) -> None:
+        """Splice applied changes into the resident mirror (O(delta)).
+
+        A failure drops the mirror instead of propagating: the next
+        :meth:`compact_mirror` call recompiles it from the base graph, so a
+        stale mirror can never outlive the update that broke it.
+        """
+        if self._mirror is None:
+            return
+        try:
+            self._mirror.apply_delta(changes_to_delta(changes))
+        except Exception:
+            self._mirror = None
+
     def engine(self) -> DisconnectionSetEngine:
         """Return a query engine for the current state (rebuilt lazily after updates)."""
         if self._stale or self._engine is None:
             fragmentation = self.fragmentation()
+            previous = self._engine.catalog.complementary if self._engine is not None else None
             complementary = precompute_complementary_information(
-                fragmentation, semiring=self._semiring
+                fragmentation,
+                semiring=self._semiring,
+                store_paths=bool(previous is not None and previous.paths),
+                compact=self.compact_mirror(),
             )
             self._engine = DisconnectionSetEngine(
                 fragmentation, semiring=self._semiring, complementary=complementary
@@ -502,7 +535,7 @@ class FragmentedDatabase:
         from ..refragmentation.live import IncrementalFallback, LiveRefragmenter
 
         try:
-            refragmenter = LiveRefragmenter(self._engine)
+            refragmenter = LiveRefragmenter(self._engine, mirror=self.compact_mirror())
             new_fragmentation = Fragmentation(
                 self._graph, new_layout, algorithm=algorithm
             )
@@ -555,6 +588,7 @@ class FragmentedDatabase:
                 self._maintainer = None
         for change in changes:
             self._mutate(change)
+        self._sync_mirror(changes)
         applied = None
         if maintainer is not None and began:
             try:

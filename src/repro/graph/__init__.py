@@ -18,7 +18,17 @@ from .coordinates import (
     pairwise_distances,
     spread_out_selection,
 )
-from .compact import CompactDelta, CompactGraph
+from .compact import (
+    DEFAULT_OVERLAY_THRESHOLD,
+    ENV_OVERLAY_THRESHOLD,
+    OVERLAY_COMPACTIONS_COUNTER,
+    OVERLAY_DEPTH_GAUGE,
+    CompactDelta,
+    CompactGraph,
+    merge_overlay_metrics,
+    overlay_compaction_counts,
+    overlay_threshold_default,
+)
 from .connectivity import (
     articulation_points,
     k_connectivity,
@@ -68,6 +78,10 @@ from .traversal import (
 )
 
 __all__ = [
+    "DEFAULT_OVERLAY_THRESHOLD",
+    "ENV_OVERLAY_THRESHOLD",
+    "OVERLAY_COMPACTIONS_COUNTER",
+    "OVERLAY_DEPTH_GAUGE",
     "CompactDelta",
     "CompactGraph",
     "DiGraph",
@@ -100,8 +114,11 @@ __all__ = [
     "load_json",
     "mean",
     "mean_absolute_deviation",
+    "merge_overlay_metrics",
     "multi_source_shortest_paths",
     "nodes_sorted_by_x",
+    "overlay_compaction_counts",
+    "overlay_threshold_default",
     "pairwise_distances",
     "rank_by_status",
     "reachable_set",

@@ -1,4 +1,4 @@
-"""Compact, immutable graph representation: interned nodes + CSR adjacency.
+"""Compact graph representation: interned nodes + CSR adjacency + delta overlay.
 
 The mutable :class:`~repro.graph.digraph.DiGraph` is the right front-end for
 building and updating graphs, but its dict-of-dicts adjacency makes every hot
@@ -15,18 +15,33 @@ layout (bitset BFS over precomputed successor masks, array-heap Dijkstra,
 semi-naive fixpoints over int pairs) and translate their results back through
 the interner, so every public API keeps speaking original node keys.
 
-The representation is deliberately *plain data*: :meth:`CompactGraph.state`
-returns only lists and ``array`` objects, which pickle compactly (cheap to
-ship to resident worker processes) and persist losslessly inside snapshots.
+Writes are O(delta) amortised.  :meth:`CompactGraph.apply_delta` does not
+rebuild the CSR arrays; it splices the touched rows into a small **overlay**
+(per-node replacement rows in ``_fwd_over`` / ``_bwd_over``) that every
+adjacency accessor, mask, and kernel consults before the frozen arrays.  Once
+the number of absorbed elementary changes crosses
+:attr:`CompactGraph.overlay_threshold` (default
+:data:`DEFAULT_OVERLAY_THRESHOLD`, overridable through the
+:data:`ENV_OVERLAY_THRESHOLD` environment variable), the overlay is lazily
+**compacted** back into clean CSR in one O(V+E) pass.  Backends that need raw
+CSR arrays (numpy packed matrix, chain index, Tarjan shape probes) force a
+compaction and record the reason in ``repro_overlay_compactions_total``.
+
+The representation stays *plain data*: :meth:`CompactGraph.state` returns
+lists, ``array`` objects, and (when an overlay is pending) a plain dict of
+overlay rows, which pickle compactly (cheap to ship to resident worker
+processes) and persist losslessly inside snapshots.
 """
 
 from __future__ import annotations
 
+import os
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import NodeNotFoundError
+from ..observability.metrics import MetricsRegistry
 
 Node = Hashable
 
@@ -38,7 +53,8 @@ class CompactDelta:
     This is the wire format of incremental maintenance: small enough to ship
     to a resident worker instead of the fragment's whole CSR state, and
     deterministic — applying the same delta to two identical graphs yields
-    identical interners and arrays.
+    identical interners and logical adjacency, regardless of when either
+    copy compacts its overlay.
 
     Attributes:
         inserts: ``(source, target, weight)`` triples to add (new endpoints
@@ -59,15 +75,75 @@ class CompactDelta:
         """Return ``True`` when the delta changes nothing."""
         return not (self.inserts or self.deletes or self.reweights)
 
+    def op_count(self) -> int:
+        """Return the number of elementary changes in this delta."""
+        return len(self.inserts) + len(self.deletes) + len(self.reweights)
+
 _OFFSET_TYPECODE = "l"
 _TARGET_TYPECODE = "l"
 _WEIGHT_TYPECODE = "d"
 
 COMPACT_STATE_FORMAT = "compact-graph-v1"
 
+# How many elementary delta operations an overlay absorbs before it is
+# compacted back into clean CSR.  Small enough that reads through the
+# overlay stay near CSR speed, large enough that a burst of single-edge
+# updates never pays the O(V+E) rebuild per edge.
+DEFAULT_OVERLAY_THRESHOLD = 64
+ENV_OVERLAY_THRESHOLD = "REPRO_OVERLAY_THRESHOLD"
+
+OVERLAY_DEPTH_GAUGE = "repro_overlay_depth"
+OVERLAY_COMPACTIONS_COUNTER = "repro_overlay_compactions_total"
+
+_overlay_registry = MetricsRegistry()
+_overlay_depth = _overlay_registry.gauge(
+    OVERLAY_DEPTH_GAUGE,
+    "High-water count of pending overlay operations on any compact graph.",
+)
+_overlay_compactions = _overlay_registry.counter(
+    OVERLAY_COMPACTIONS_COUNTER,
+    "Overlay-to-CSR compactions by trigger reason.",
+    labelnames=("reason",),
+)
+
+
+def overlay_threshold_default() -> int:
+    """Return the process-wide overlay threshold (env knob or the default)."""
+    raw = os.environ.get(ENV_OVERLAY_THRESHOLD, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_OVERLAY_THRESHOLD
+
+
+def overlay_compaction_counts() -> Dict[str, int]:
+    """Return the current ``reason -> count`` compaction series (tests, benchmarks)."""
+    return {key[0]: int(value) for key, value in _overlay_compactions.series().items()}
+
+
+def merge_overlay_metrics(registry: MetricsRegistry) -> None:
+    """Drain the module-level overlay metrics into ``registry``.
+
+    Mirrors the kernel-selection pipeline: resident workers fold before
+    shipping their drained registries, the coordinator folds before serving
+    a scrape, and nothing double-counts.  The depth gauge merges as a
+    high-water mark; the compaction counter sums.
+    """
+    payload = _overlay_registry.drain()
+    if payload:
+        registry.merge_dict(payload)
+
+
+# A replacement adjacency row: the full effective row for one node, in the
+# same order a from-scratch rebuild would produce (counting sort is stable
+# within a row, so splicing a row in place preserves rebuild ordering).
+OverlayRow = List[Tuple[int, float]]
+
 
 class CompactGraph:
-    """An immutable directed graph over dense int ids with CSR adjacency.
+    """A directed graph over dense int ids with CSR adjacency + delta overlay.
 
     Build one with :meth:`from_digraph` or :meth:`from_edges`; the instance
     interns every node to an id in ``[0, node_count)`` and freezes adjacency
@@ -76,9 +152,16 @@ class CompactGraph:
     semiring, which for min-style semirings matches the ``DiGraph`` behaviour
     of keeping the best weight).
 
+    Small updates (:meth:`apply_delta`) do not rebuild the arrays: the touched
+    rows are spliced into the overlay dictionaries, consulted by every
+    accessor before the CSR arrays, and lazily compacted once
+    :attr:`overlay_threshold` elementary changes accumulate (or immediately
+    when a consumer demands raw CSR through :attr:`forward_csr` /
+    :attr:`backward_csr`).
+
     The class is intentionally small: it is a *kernel substrate*, not a
-    general graph API — mutation goes through ``DiGraph`` and rebuilds the
-    affected fragment's compact form.
+    general graph API — semantic mutation goes through ``DiGraph`` and flows
+    in as :class:`CompactDelta` patches.
     """
 
     __slots__ = (
@@ -94,6 +177,12 @@ class CompactGraph:
         "_pred_masks",
         "_derived",
         "_derived_states",
+        "_base_nodes",
+        "_fwd_over",
+        "_bwd_over",
+        "_overlay_ops",
+        "_edge_count",
+        "_overlay_threshold",
     )
 
     def __init__(
@@ -118,6 +207,14 @@ class CompactGraph:
         self._pred_masks: Optional[List[int]] = None
         self._derived: Dict[str, object] = {}
         self._derived_states: Dict[str, object] = {}
+        # Ids >= _base_nodes were interned after the last CSR build and have
+        # no CSR row; their adjacency lives purely in the overlay.
+        self._base_nodes: int = max(len(fwd_offsets) - 1, 0)
+        self._fwd_over: Dict[int, OverlayRow] = {}
+        self._bwd_over: Dict[int, OverlayRow] = {}
+        self._overlay_ops: int = 0
+        self._edge_count: int = len(fwd_targets)
+        self._overlay_threshold: Optional[int] = None
 
     # ---------------------------------------------------------- construction
 
@@ -176,7 +273,7 @@ class CompactGraph:
 
     def edge_count(self) -> int:
         """Return the number of directed edges (parallel entries included)."""
-        return len(self._fwd_targets)
+        return self._edge_count
 
     def __len__(self) -> int:
         return self.node_count()
@@ -208,10 +305,104 @@ class CompactGraph:
         """Return the original node key for a dense id."""
         return self._nodes[node_id]
 
+    # --------------------------------------------------------------- overlay
+
+    @property
+    def overlay_threshold(self) -> int:
+        """Pending operations tolerated before the overlay is compacted."""
+        if self._overlay_threshold is not None:
+            return self._overlay_threshold
+        return overlay_threshold_default()
+
+    @overlay_threshold.setter
+    def overlay_threshold(self, value: int) -> None:
+        self._overlay_threshold = max(0, int(value))
+
+    def has_overlay(self) -> bool:
+        """Return ``True`` while un-compacted overlay rows are pending."""
+        return bool(self._fwd_over or self._bwd_over)
+
+    def overlay_depth(self) -> int:
+        """Return the number of elementary changes absorbed since compaction."""
+        return self._overlay_ops
+
+    def compact_now(self, reason: str = "explicit") -> None:
+        """Fold the overlay back into clean CSR arrays (O(V+E), lazy trigger).
+
+        The effective adjacency is re-enumerated row by row (overlay rows
+        shadow CSR rows) and both directions are rebuilt; because overlay
+        splices preserve within-row order, the result is identical to the
+        arrays a from-scratch rebuild after the same deltas would produce.
+        Masks and row-patched derived structures are already current and
+        survive.  ``reason`` lands on ``repro_overlay_compactions_total``.
+        """
+        if not (self._fwd_over or self._bwd_over):
+            return
+        edges: List[Tuple[int, int, float]] = []
+        offsets = self._fwd_offsets
+        targets = self._fwd_targets
+        weights = self._fwd_weights
+        over = self._fwd_over
+        for source_id in range(len(self._nodes)):
+            row = over.get(source_id)
+            if row is not None:
+                for target_id, weight in row:
+                    edges.append((source_id, target_id, weight))
+            elif source_id < self._base_nodes:
+                for index in range(offsets[source_id], offsets[source_id + 1]):
+                    edges.append((source_id, targets[index], weights[index]))
+        n = len(self._nodes)
+        self._fwd_offsets, self._fwd_targets, self._fwd_weights = _build_csr(
+            edges, n, forward=True
+        )
+        self._bwd_offsets, self._bwd_sources, self._bwd_weights = _build_csr(
+            edges, n, forward=False
+        )
+        self._base_nodes = n
+        self._fwd_over = {}
+        self._bwd_over = {}
+        self._overlay_ops = 0
+        self._edge_count = len(edges)
+        _overlay_compactions.inc(reason=reason)
+
+    def adjacency_view(
+        self, *, backward: bool = False
+    ) -> Tuple[array, array, array, Optional[Dict[int, OverlayRow]], int]:
+        """Return one direction's adjacency without forcing a compaction.
+
+        Returns:
+            ``(offsets, neighbours, weights, overlay_rows, base_nodes)``.
+            ``overlay_rows`` is ``None`` when no overlay is pending (the
+            caller's hot loop can skip the per-row lookup entirely); ids at
+            or above ``base_nodes`` have no CSR segment and read only from
+            the overlay.
+        """
+        if backward:
+            return (
+                self._bwd_offsets,
+                self._bwd_sources,
+                self._bwd_weights,
+                self._bwd_over or None,
+                self._base_nodes,
+            )
+        return (
+            self._fwd_offsets,
+            self._fwd_targets,
+            self._fwd_weights,
+            self._fwd_over or None,
+            self._base_nodes,
+        )
+
     # ------------------------------------------------------------- adjacency
 
     def successor_ids(self, node_id: int) -> Iterator[Tuple[int, float]]:
         """Yield ``(target_id, weight)`` for the outgoing edges of ``node_id``."""
+        row = self._fwd_over.get(node_id) if self._fwd_over else None
+        if row is not None:
+            yield from row
+            return
+        if node_id >= self._base_nodes:
+            return
         start = self._fwd_offsets[node_id]
         stop = self._fwd_offsets[node_id + 1]
         targets = self._fwd_targets
@@ -221,6 +412,12 @@ class CompactGraph:
 
     def predecessor_ids(self, node_id: int) -> Iterator[Tuple[int, float]]:
         """Yield ``(source_id, weight)`` for the incoming edges of ``node_id``."""
+        row = self._bwd_over.get(node_id) if self._bwd_over else None
+        if row is not None:
+            yield from row
+            return
+        if node_id >= self._base_nodes:
+            return
         start = self._bwd_offsets[node_id]
         stop = self._bwd_offsets[node_id + 1]
         sources = self._bwd_sources
@@ -229,17 +426,34 @@ class CompactGraph:
             yield sources[index], weights[index]
 
     def out_degree_of_id(self, node_id: int) -> int:
-        """Return the number of outgoing CSR entries of ``node_id``."""
+        """Return the number of outgoing entries of ``node_id``."""
+        row = self._fwd_over.get(node_id) if self._fwd_over else None
+        if row is not None:
+            return len(row)
+        if node_id >= self._base_nodes:
+            return 0
         return self._fwd_offsets[node_id + 1] - self._fwd_offsets[node_id]
 
     @property
     def forward_csr(self) -> Tuple[array, array, array]:
-        """The forward adjacency as ``(offsets, targets, weights)`` arrays."""
+        """The forward adjacency as ``(offsets, targets, weights)`` arrays.
+
+        Demanding raw CSR compacts any pending overlay first (recorded as a
+        ``csr_access`` compaction) — direct array consumers never observe a
+        stale row.
+        """
+        if self._fwd_over or self._bwd_over:
+            self.compact_now(reason="csr_access")
         return self._fwd_offsets, self._fwd_targets, self._fwd_weights
 
     @property
     def backward_csr(self) -> Tuple[array, array, array]:
-        """The backward adjacency as ``(offsets, sources, weights)`` arrays."""
+        """The backward adjacency as ``(offsets, sources, weights)`` arrays.
+
+        Compacts any pending overlay first, like :attr:`forward_csr`.
+        """
+        if self._fwd_over or self._bwd_over:
+            self.compact_now(reason="csr_access")
         return self._bwd_offsets, self._bwd_sources, self._bwd_weights
 
     def successor_masks(self) -> List[int]:
@@ -248,15 +462,22 @@ class CompactGraph:
         ``masks[i]`` has bit ``j`` set iff the edge ``i -> j`` exists; the
         bitset BFS kernel ORs these masks word-parallel, which is how a pure
         Python loop gets within sight of the hardware's memory bandwidth.
+        Overlay splices maintain the cached masks row by row, so the bitset
+        kernels read through a pending overlay at full speed.
         """
         if self._succ_masks is None:
             masks = [0] * len(self._nodes)
             offsets = self._fwd_offsets
             targets = self._fwd_targets
-            for node_id in range(len(self._nodes)):
+            for node_id in range(self._base_nodes):
                 mask = 0
                 for index in range(offsets[node_id], offsets[node_id + 1]):
                     mask |= 1 << targets[index]
+                masks[node_id] = mask
+            for node_id, row in self._fwd_over.items():
+                mask = 0
+                for target_id, _ in row:
+                    mask |= 1 << target_id
                 masks[node_id] = mask
             self._succ_masks = masks
         return self._succ_masks
@@ -272,10 +493,15 @@ class CompactGraph:
             masks = [0] * len(self._nodes)
             offsets = self._bwd_offsets
             sources = self._bwd_sources
-            for node_id in range(len(self._nodes)):
+            for node_id in range(self._base_nodes):
                 mask = 0
                 for index in range(offsets[node_id], offsets[node_id + 1]):
                     mask |= 1 << sources[index]
+                masks[node_id] = mask
+            for node_id, row in self._bwd_over.items():
+                mask = 0
+                for source_id, _ in row:
+                    mask |= 1 << source_id
                 masks[node_id] = mask
             self._pred_masks = masks
         return self._pred_masks
@@ -331,7 +557,10 @@ class CompactGraph:
         Derived kernel structures ride along under ``"derived"``: hydrated
         objects are serialised through their ``to_state()``, unhydrated
         reloaded states pass through as-is, so the caches survive any number
-        of ship/reload hops.
+        of ship/reload hops.  A pending overlay persists under ``"overlay"``
+        as copied plain rows — shipping a state never forces a compaction,
+        and later mutations of this graph cannot alias into a captured
+        state.
         """
         state: Dict[str, object] = {
             "format": COMPACT_STATE_FORMAT,
@@ -343,6 +572,13 @@ class CompactGraph:
             "bwd_sources": self._bwd_sources,
             "bwd_weights": self._bwd_weights,
         }
+        if self._fwd_over or self._bwd_over:
+            state["overlay"] = {
+                "ops": self._overlay_ops,
+                "edge_count": self._edge_count,
+                "fwd": {node_id: list(row) for node_id, row in self._fwd_over.items()},
+                "bwd": {node_id: list(row) for node_id, row in self._bwd_over.items()},
+            }
         derived: Dict[str, object] = dict(self._derived_states)
         for key, value in self._derived.items():
             to_state = getattr(value, "to_state", None)
@@ -371,72 +607,155 @@ class CompactGraph:
             state["bwd_sources"],  # type: ignore[arg-type]
             state["bwd_weights"],  # type: ignore[arg-type]
         )
+        overlay = state.get("overlay")
+        if overlay:
+            graph._fwd_over = {
+                int(node_id): [(int(t), float(w)) for t, w in row]
+                for node_id, row in overlay["fwd"].items()  # type: ignore[index]
+            }
+            graph._bwd_over = {
+                int(node_id): [(int(s), float(w)) for s, w in row]
+                for node_id, row in overlay["bwd"].items()  # type: ignore[index]
+            }
+            graph._overlay_ops = int(overlay.get("ops", 0))  # type: ignore[union-attr]
+            graph._edge_count = int(overlay["edge_count"])  # type: ignore[index]
         graph._derived_states = dict(state.get("derived") or {})  # type: ignore[arg-type]
         return graph
 
     # ------------------------------------------------------- in-place delta
 
     def apply_delta(self, delta: CompactDelta) -> None:
-        """Rebuild this graph's CSR arrays in place from an edge delta.
+        """Splice an edge delta into this graph in O(delta) amortised time.
 
-        This is the incremental-maintenance hot path: the interner is reused
-        (new endpoints are appended, so ids of existing nodes never move) and
-        only this graph's offset/target/weight arrays are reconstructed — in a
-        fragmented catalog, every other fragment's compact state is untouched.
-        Nodes whose last edge was deleted stay interned as isolated ids; the
-        kernels never reach them, and node membership questions are answered
-        by the mutable front-end, not by this substrate.
+        The interner is reused (new endpoints are appended, so ids of
+        existing nodes never move) and only the *touched rows* are
+        materialised into the overlay — the CSR arrays, and every other
+        row, are untouched until the overlay crosses
+        :attr:`overlay_threshold` and is compacted in one pass.  Within a
+        row the splice reproduces exactly what a full rebuild would emit
+        (deletes drop every parallel entry, reweights collapse parallels at
+        the first occurrence and upsert by appending, inserts append), so
+        replicas applying the same deltas agree on logical adjacency no
+        matter when each compacts.
 
-        Lazy successor/predecessor masks and every derived kernel structure
-        (packed bit matrices, chain indexes, shape stats — hydrated or still
-        in reloaded-state form) are invalidated and rebuilt on next use: a
+        Cached successor/predecessor masks are *maintained* per touched row
+        rather than invalidated.  Derived kernel structures offering a
+        ``patch_rows(row_masks, node_count)`` hook (the packed bit matrix)
+        are patched in place; everything else — chain indexes, shape stats,
+        reloaded-state blobs — is invalidated and rebuilt on next use: a
         kernel query after a delta can never observe pre-delta caches.
         """
         if delta.is_empty():
             return
-        edges: List[Tuple[int, int, float]] = []
-        for source_id in range(len(self._nodes)):
-            for index in range(self._fwd_offsets[source_id], self._fwd_offsets[source_id + 1]):
-                edges.append((source_id, self._fwd_targets[index], self._fwd_weights[index]))
-        removed = set()
-        rewritten: Dict[Tuple[int, int], float] = {}
+        fwd_touched: Set[int] = set()
+        bwd_touched: Set[int] = set()
         for source, target in delta.deletes:
-            removed.add((self._ids.get(source, -1), self._ids.get(target, -1)))
+            source_id = self._ids.get(source, -1)
+            target_id = self._ids.get(target, -1)
+            if source_id < 0 or target_id < 0:
+                continue
+            row = self._materialize(source_id, self._fwd_over, forward=True)
+            before = len(row)
+            row[:] = [entry for entry in row if entry[0] != target_id]
+            removed = before - len(row)
+            if removed:
+                self._edge_count -= removed
+                back = self._materialize(target_id, self._bwd_over, forward=False)
+                back[:] = [entry for entry in back if entry[0] != source_id]
+                fwd_touched.add(source_id)
+                bwd_touched.add(target_id)
         for source, target, weight in delta.reweights:
             source_id = self._intern(source)
             target_id = self._intern(target)
-            rewritten[(source_id, target_id)] = float(weight)
-        if removed or rewritten:
-            kept: List[Tuple[int, int, float]] = []
-            emitted = set()
-            for source_id, target_id, weight in edges:
-                pair = (source_id, target_id)
-                if pair in removed:
-                    continue
-                if pair in rewritten:
-                    if pair in emitted:
-                        continue  # collapse parallel entries to one reweighted edge
-                    emitted.add(pair)
-                    kept.append((source_id, target_id, rewritten[pair]))
-                else:
-                    kept.append((source_id, target_id, weight))
-            for pair, weight in rewritten.items():
-                if pair not in emitted:
-                    kept.append((pair[0], pair[1], weight))  # reweight of an absent pair upserts
-            edges = kept
+            value = float(weight)
+            row = self._materialize(source_id, self._fwd_over, forward=True)
+            self._edge_count += _reweight_row(row, target_id, value)
+            back = self._materialize(target_id, self._bwd_over, forward=False)
+            _reweight_row(back, source_id, value)
+            fwd_touched.add(source_id)
+            bwd_touched.add(target_id)
         for source, target, weight in delta.inserts:
-            edges.append((self._intern(source), self._intern(target), float(weight)))
-        n = len(self._nodes)
-        self._fwd_offsets, self._fwd_targets, self._fwd_weights = _build_csr(
-            edges, n, forward=True
-        )
-        self._bwd_offsets, self._bwd_sources, self._bwd_weights = _build_csr(
-            edges, n, forward=False
-        )
-        self._succ_masks = None
-        self._pred_masks = None
-        self._derived = {}
+            source_id = self._intern(source)
+            target_id = self._intern(target)
+            value = float(weight)
+            self._materialize(source_id, self._fwd_over, forward=True).append(
+                (target_id, value)
+            )
+            self._materialize(target_id, self._bwd_over, forward=False).append(
+                (source_id, value)
+            )
+            self._edge_count += 1
+            fwd_touched.add(source_id)
+            bwd_touched.add(target_id)
+        self._overlay_ops += delta.op_count()
+        _overlay_depth.max_of(float(self._overlay_ops))
+        node_count = len(self._nodes)
+        if self._succ_masks is not None:
+            masks = self._succ_masks
+            while len(masks) < node_count:
+                masks.append(0)
+            for source_id in fwd_touched:
+                mask = 0
+                for target_id, _ in self._fwd_over[source_id]:
+                    mask |= 1 << target_id
+                masks[source_id] = mask
+        if self._pred_masks is not None:
+            masks = self._pred_masks
+            while len(masks) < node_count:
+                masks.append(0)
+            for target_id in bwd_touched:
+                mask = 0
+                for source_id, _ in self._bwd_over[target_id]:
+                    mask |= 1 << source_id
+                masks[target_id] = mask
         self._derived_states = {}
+        if self._derived:
+            patched: Dict[str, object] = {}
+            row_masks: Optional[Dict[int, int]] = None
+            for key, value in self._derived.items():
+                patch = getattr(value, "patch_rows", None)
+                if not callable(patch):
+                    continue
+                if row_masks is None:
+                    row_masks = {}
+                    for source_id in fwd_touched:
+                        mask = 0
+                        for target_id, _ in self._fwd_over[source_id]:
+                            mask |= 1 << target_id
+                        row_masks[source_id] = mask
+                if patch(row_masks, node_count):
+                    patched[key] = value
+            self._derived = patched
+        if self._overlay_ops >= self.overlay_threshold:
+            self.compact_now(reason="threshold")
+
+    def _materialize(
+        self, node_id: int, over: Dict[int, OverlayRow], *, forward: bool
+    ) -> OverlayRow:
+        """Return the node's mutable overlay row, copying its CSR row on first edit."""
+        row = over.get(node_id)
+        if row is None:
+            if node_id < self._base_nodes:
+                if forward:
+                    offsets, neighbours, weights = (
+                        self._fwd_offsets,
+                        self._fwd_targets,
+                        self._fwd_weights,
+                    )
+                else:
+                    offsets, neighbours, weights = (
+                        self._bwd_offsets,
+                        self._bwd_sources,
+                        self._bwd_weights,
+                    )
+                row = [
+                    (neighbours[index], weights[index])
+                    for index in range(offsets[node_id], offsets[node_id + 1])
+                ]
+            else:
+                row = []
+            over[node_id] = row
+        return row
 
     def _intern(self, node: Node) -> int:
         """Return the dense id of ``node``, interning it when new."""
@@ -456,7 +775,32 @@ class CompactGraph:
             setattr(self, slot, getattr(rebuilt, slot))
 
     def __repr__(self) -> str:
-        return f"CompactGraph(nodes={self.node_count()}, edges={self.edge_count()})"
+        overlay = f", overlay={self._overlay_ops}" if self.has_overlay() else ""
+        return f"CompactGraph(nodes={self.node_count()}, edges={self.edge_count()}{overlay})"
+
+
+def _reweight_row(row: OverlayRow, neighbour_id: int, weight: float) -> int:
+    """Apply reweight semantics to one overlay row; return the edge-count delta.
+
+    Every entry for ``neighbour_id`` collapses to a single entry at the
+    position of the first occurrence; when the pair is absent the entry is
+    appended (upsert) — byte-for-byte what the legacy full rebuild emitted.
+    """
+    before = len(row)
+    replaced: OverlayRow = []
+    seen = False
+    for entry in row:
+        if entry[0] == neighbour_id:
+            if seen:
+                continue
+            seen = True
+            replaced.append((neighbour_id, weight))
+        else:
+            replaced.append(entry)
+    if not seen:
+        replaced.append((neighbour_id, weight))
+    row[:] = replaced
+    return len(replaced) - before
 
 
 def _build_csr(

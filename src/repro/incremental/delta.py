@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graph.compact import CompactDelta
 
 Node = Hashable
 
@@ -39,6 +41,29 @@ class EdgeChange:
     weight: float = 0.0
     old_weight: Optional[float] = None
     fragment_id: int = -1
+
+
+def changes_to_delta(changes: Sequence[EdgeChange]) -> CompactDelta:
+    """Fold elementary edge changes into one compact-graph delta.
+
+    This is the bridge between the update front-end's change records and the
+    O(delta) overlay splice of :meth:`CompactGraph.apply_delta`: the database
+    keeps its resident whole-graph mirror in sync by folding every applied
+    change list through here.
+    """
+    inserts: List[Tuple[Node, Node, float]] = []
+    deletes: List[Tuple[Node, Node]] = []
+    reweights: List[Tuple[Node, Node, float]] = []
+    for change in changes:
+        if change.op == "insert":
+            inserts.append((change.source, change.target, change.weight))
+        elif change.op == "delete":
+            deletes.append((change.source, change.target))
+        else:
+            reweights.append((change.source, change.target, change.weight))
+    return CompactDelta(
+        inserts=tuple(inserts), deletes=tuple(deletes), reweights=tuple(reweights)
+    )
 
 
 @dataclass(frozen=True)

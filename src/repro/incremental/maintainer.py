@@ -10,7 +10,9 @@ the disconnection sets it borders:
 1. **before** the base graph mutates, it probes the *old* graph for the
    stored border-to-border values whose optimal paths ran through the changed
    edge (the only values a delete or weight increase can degrade),
-2. the whole-graph compact mirror absorbs the edge delta in place,
+2. the database's resident whole-graph compact mirror absorbs the edge delta
+   as an O(delta) overlay splice (the same mirror backs precompute and live
+   refragmentation),
 3. disconnection sets whose *membership* changed (a fragment gained or lost a
    node) are recomputed wholesale; for everything else only the probed rows
    plus the rows an insert provably improves are re-searched,
@@ -21,10 +23,13 @@ the disconnection sets it borders:
    and their compact deltas, which drives per-fragment version bumps, scoped
    cache eviction, and worker re-pinning upstream.
 
-When an update falls outside the supported envelope (custom semiring, stored
-complementary paths, a fragment emptied out, refragmentation) the maintainer
-raises :class:`IncrementalFallback` and the database performs the classic
-full rebuild — correctness never depends on the fast path applying.
+When an update falls outside the supported envelope (custom semiring, a
+fragment emptied out, refragmentation) the maintainer raises
+:class:`IncrementalFallback` and the database performs the classic full
+rebuild — correctness never depends on the fast path applying.  Stored
+complementary paths (``store_paths=True``) *are* inside the envelope: the
+repairer rebuilds the route expansions of every recomputed row from the same
+predecessor arrays that refresh the values.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, List, Optional, Set
 
 from ..disconnection.engine import DisconnectionSetEngine
 from ..fragmentation import Fragmentation
-from ..graph.compact import CompactDelta, CompactGraph
+from ..graph.compact import CompactDelta
 from .delta import EdgeChange
 from .repair import REPAIRABLE_SEMIRINGS, ComplementaryRepairer, RepairReport
 
@@ -77,17 +82,16 @@ class AppliedDelta:
 def supports_incremental(database: "FragmentedDatabase") -> bool:
     """Return whether the database's configuration fits the fast path.
 
-    The repair machinery covers the two standard semirings and plain
-    (path-free) complementary information; anything else takes the classic
-    full-rebuild route.
+    The repair machinery covers the two standard semirings, with or without
+    stored route expansions (``store_paths=True`` rows are re-derived from
+    the repair searches' predecessor arrays); custom semirings take the
+    classic full-rebuild route.
     """
     engine = database.current_engine()
     if engine is None:
         return False
     if engine.semiring.name not in REPAIRABLE_SEMIRINGS:
         return False
-    if engine.catalog.complementary.paths:
-        return False  # stored route expansions are not repaired incrementally
     return True
 
 
@@ -107,7 +111,10 @@ class IncrementalMaintainer:
         self._engine = engine
         self._repairer = ComplementaryRepairer(engine.semiring)
         self._fragmentation = engine.catalog.fragmentation
-        self._full_compact = CompactGraph.from_digraph(database.graph)
+        # The database's long-lived resident mirror — shared with precompute
+        # and LiveRefragmenter, kept in sync by the database after every
+        # mutation (an O(delta) overlay splice, never a rebuild).
+        self._full_compact = database.compact_mirror()
         self._pending_suspects: Optional[Dict[FragmentPair, Set[Node]]] = None
         self._pending_report: Optional[RepairReport] = None
 
@@ -155,8 +162,9 @@ class IncrementalMaintainer:
                 "a fragment emptied out; fragment ids would shift under renumbering"
             )
 
-        # The whole-graph mirror absorbs the edge delta in place.
-        self._full_compact.apply_delta(_changes_to_delta(changes))
+        # The shared whole-graph mirror already absorbed the edge delta: the
+        # database splices it in right after mutating the base graph, before
+        # calling complete().
 
         info = self._engine.catalog.complementary
         old_sets = self._fragmentation.disconnection_sets()
@@ -211,18 +219,3 @@ class IncrementalMaintainer:
         )
 
 
-def _changes_to_delta(changes: List[EdgeChange]) -> CompactDelta:
-    """Fold elementary edge changes into one compact-graph delta."""
-    inserts: List[Tuple[Node, Node, float]] = []
-    deletes: List[Tuple[Node, Node]] = []
-    reweights: List[Tuple[Node, Node, float]] = []
-    for change in changes:
-        if change.op == "insert":
-            inserts.append((change.source, change.target, change.weight))
-        elif change.op == "delete":
-            deletes.append((change.source, change.target))
-        else:
-            reweights.append((change.source, change.target, change.weight))
-    return CompactDelta(
-        inserts=tuple(inserts), deletes=tuple(deletes), reweights=tuple(reweights)
-    )

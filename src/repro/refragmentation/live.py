@@ -25,17 +25,19 @@ applies to edge updates:
    drives scoped cache eviction, per-fragment version bumps, placement-plan
    remapping and owner-only re-pins upstream.
 
-When the configuration falls outside the envelope (custom semiring, stored
-complementary paths, no live engine) :class:`LiveRefragmenter` raises
+When the configuration falls outside the envelope (custom semiring, no live
+engine) :class:`LiveRefragmenter` raises
 :class:`~repro.incremental.maintainer.IncrementalFallback` and the database
 performs the classic full rebuild — correctness never depends on the scoped
-path applying.
+path applying.  Stored complementary paths are inside the envelope: the
+repairer's pair recomputation rebuilds their route expansions from the same
+searches that refresh the values.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..disconnection.engine import DisconnectionSetEngine
 from ..fragmentation import Fragmentation
@@ -146,27 +148,31 @@ class LiveRefragmenter:
     Args:
         engine: the live engine to reorganise in place; its semiring must be
             one of the standard repairable ones.
+        mirror: the database's resident whole-graph
+            :class:`~repro.graph.compact.CompactGraph` mirror; when provided
+            the repair searches reuse it instead of recompiling the whole
+            graph per redraw (a refragmentation never changes the base
+            graph, so the mirror is always current).
 
     Raises:
         IncrementalFallback: at construction when the engine's configuration
-            falls outside the scoped-repair envelope (custom semiring or
-            stored complementary paths — route reconstruction state is not
-            repaired in place).
+            falls outside the scoped-repair envelope (custom semiring).
     """
 
-    def __init__(self, engine: DisconnectionSetEngine) -> None:
+    def __init__(
+        self,
+        engine: DisconnectionSetEngine,
+        *,
+        mirror: Optional[CompactGraph] = None,
+    ) -> None:
         if engine.semiring.name not in REPAIRABLE_SEMIRINGS:
             raise IncrementalFallback(
                 f"scoped refragmentation supports the {REPAIRABLE_SEMIRINGS} "
                 f"semirings only, got {engine.semiring.name!r}"
             )
-        if engine.catalog.complementary.paths:
-            raise IncrementalFallback(
-                "stored complementary paths are not repaired in place; "
-                "refragment with a full rebuild"
-            )
         self._engine = engine
         self._repairer = ComplementaryRepairer(engine.semiring)
+        self._mirror = mirror
 
     def apply(self, new_fragmentation: Fragmentation) -> RefragmentResult:
         """Reorganise the engine's catalog to ``new_fragmentation`` in place.
@@ -203,7 +209,11 @@ class LiveRefragmenter:
         new_sets = new_fragmentation.disconnection_sets()
         info = catalog.complementary
         report = RepairReport()
-        graph: CompactGraph = CompactGraph.from_digraph(new_fragmentation.graph)
+        graph: CompactGraph = (
+            self._mirror
+            if self._mirror is not None
+            else CompactGraph.from_digraph(new_fragmentation.graph)
+        )
         pairs_kept = 0
         for pair, border in new_sets.items():
             if old_sets.get(pair) == border:

@@ -53,7 +53,7 @@ from ..closure import (
 from ..disconnection import LocalQueryEvaluator, LocalQueryResult
 from ..disconnection.catalog import CompactFragmentSite, DistributedCatalog
 from ..disconnection.planner import LocalQuerySpec
-from ..graph.compact import CompactDelta
+from ..graph.compact import CompactDelta, merge_overlay_metrics
 from ..observability import MetricsRegistry
 from ..placement import PlacementError, PlacementPlan
 
@@ -198,6 +198,7 @@ def _worker_evaluate(task: TaskKey) -> Tuple[TaskKey, Dict]:
         "tuples": result.statistics.tuples_produced,
         "elapsed": result.statistics.elapsed_seconds,
         "backend": result.backend,
+        "overlay": result.overlay,
     }
 
 
@@ -219,6 +220,7 @@ def result_from_payload(
         estimated_iterations=payload["iterations"],
         semiring=semiring,
         backend=payload.get("backend"),
+        overlay=payload.get("overlay", False),
     )
 
 
@@ -465,13 +467,15 @@ def _routed_worker_loop(
                                 "tuples": result.statistics.tuples_produced,
                                 "elapsed": result.statistics.elapsed_seconds,
                                 "backend": result.backend,
+                                "overlay": result.overlay,
                             },
                         )
                     )
-                # Fold this worker's kernel-selection counters into its local
-                # registry so the drained delta carries them to the
-                # coordinator alongside the timing series.
+                # Fold this worker's kernel-selection and overlay counters
+                # into its local registry so the drained delta carries them
+                # to the coordinator alongside the timing series.
                 merge_selection_metrics(registry)
+                merge_overlay_metrics(registry)
                 result_conn.send(
                     (
                         request_id,

@@ -70,6 +70,7 @@ from ..disconnection.maintenance import UpdateEvent
 from ..disconnection.planner import LocalQuerySpec
 from ..exceptions import NoChainError
 from ..fragmentation import Fragmentation, Fragmenter
+from ..graph.compact import merge_overlay_metrics
 from ..incremental import DeltaLog, VersionVector
 from ..observability import (
     DEFAULT_SLOW_THRESHOLD_SECONDS,
@@ -452,11 +453,13 @@ class QueryService:
         ``format="prometheus"`` returns the registry in Prometheus text
         exposition format, ready for a scrape endpoint.
         """
-        # Fold any kernel-selection counts recorded in this process (engine
-        # builds, in-process evaluation, complementary precompute) into the
-        # registry before exporting; worker-side selections arrive through
-        # the drained worker registries instead.
+        # Fold any kernel-selection counts and overlay depth/compaction
+        # counters recorded in this process (engine builds, in-process
+        # evaluation, complementary precompute, mirror splices) into the
+        # registry before exporting; worker-side series arrive through the
+        # drained worker registries instead.
         merge_selection_metrics(self._registry)
+        merge_overlay_metrics(self._registry)
         if format == "prometheus":
             return self._registry.to_prometheus()
         if format != "json":
@@ -1353,6 +1356,7 @@ class QueryService:
                                 worker=worker,
                                 fragment=key[0],
                                 backend=results[key].backend,
+                                overlay=results[key].overlay,
                             )
                 else:
                     espan.set("pool", "replicated")
@@ -1376,6 +1380,7 @@ class QueryService:
                             results[key].statistics.elapsed_seconds,
                             fragment=key[0],
                             backend=results[key].backend,
+                            overlay=results[key].overlay,
                         )
             else:
                 espan.set("pool", "in-process")
@@ -1388,6 +1393,7 @@ class QueryService:
                 kernel_seconds: Dict[int, float] = {}
                 kernel_tasks: Dict[int, int] = {}
                 kernel_backends: Dict[int, Optional[str]] = {}
+                kernel_overlays: Dict[int, bool] = {}
                 for key in tasks:
                     fragment_id, entry_nodes, exit_nodes = key
                     spec = LocalQuerySpec(
@@ -1408,6 +1414,9 @@ class QueryService:
                             kernel_tasks.get(fragment_id, 0) + 1
                         )
                         kernel_backends[fragment_id] = result.backend
+                        kernel_overlays[fragment_id] = (
+                            kernel_overlays.get(fragment_id, False) or result.overlay
+                        )
                 if tracing:
                     attach = self._tracer.attach_span
                     for fragment_id, seconds in kernel_seconds.items():
@@ -1417,10 +1426,13 @@ class QueryService:
                             fragment=fragment_id,
                             tasks=kernel_tasks[fragment_id],
                             backend=kernel_backends[fragment_id],
+                            overlay=kernel_overlays[fragment_id],
                         )
-                # In-process selections land on the module-level registry;
-                # fold the delta here so scrapes between queries stay fresh.
+                # In-process selections and overlay counters land on the
+                # module-level registries; fold the deltas here so scrapes
+                # between queries stay fresh.
                 merge_selection_metrics(self._registry)
+                merge_overlay_metrics(self._registry)
         # One dispatch per *task*: a batch of n shared subqueries records n
         # site dispatches, never one per batch.
         for key in tasks:

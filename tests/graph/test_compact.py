@@ -249,3 +249,139 @@ class TestApplyDelta:
     def test_state_without_derived_matches_legacy_format(self, sample_graph):
         compact = CompactGraph.from_digraph(sample_graph)
         assert "derived" not in compact.state()
+
+
+class TestOverlay:
+    def _delta(self):
+        from repro.graph import CompactDelta
+
+        return CompactDelta(
+            inserts=(("d", "e", 4.0), ("a", "d", 1.0)),
+            deletes=(("c", "a"),),
+            reweights=(("b", "c", 7.0),),
+        )
+
+    def test_small_delta_stays_in_the_overlay(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(self._delta())
+        assert compact.has_overlay()
+        assert compact.overlay_depth() == 4
+        mutated = sample_graph.copy()
+        mutated.add_edge("d", "e", 4.0)
+        mutated.add_edge("a", "d", 1.0)
+        mutated.remove_edge("c", "a")
+        mutated.add_edge("b", "c", 7.0)
+        assert sorted(compact.weighted_edges()) == sorted(mutated.weighted_edges())
+        assert compact.edge_count() == mutated.edge_count()
+
+    def test_threshold_triggers_compaction(self, sample_graph):
+        from repro.graph import CompactDelta, overlay_compaction_counts
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.overlay_threshold = 2
+        before = overlay_compaction_counts().get("threshold", 0)
+        compact.apply_delta(CompactDelta(inserts=(("a", "d", 1.0), ("d", "a", 2.0))))
+        assert not compact.has_overlay()
+        assert compact.overlay_depth() == 0
+        assert overlay_compaction_counts().get("threshold", 0) == before + 1
+
+    def test_csr_property_access_forces_compaction(self, sample_graph):
+        from repro.graph import CompactDelta, overlay_compaction_counts
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(CompactDelta(inserts=(("a", "d", 1.0),)))
+        assert compact.has_overlay()
+        before = overlay_compaction_counts().get("csr_access", 0)
+        compact.forward_csr
+        assert not compact.has_overlay()
+        assert overlay_compaction_counts().get("csr_access", 0) == before + 1
+
+    def test_compaction_matches_a_from_scratch_build(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(self._delta())
+        compact.compact_now()
+        mutated = sample_graph.copy()
+        mutated.add_edge("d", "e", 4.0)
+        mutated.add_edge("a", "d", 1.0)
+        mutated.remove_edge("c", "a")
+        mutated.add_edge("b", "c", 7.0)
+        fresh = CompactGraph.from_digraph(mutated)
+        assert list(compact.forward_csr[0]) == list(fresh.forward_csr[0])
+        assert list(compact.forward_csr[1]) == list(fresh.forward_csr[1])
+        assert list(compact.forward_csr[2]) == list(fresh.forward_csr[2])
+        assert list(compact.backward_csr[0]) == list(fresh.backward_csr[0])
+        assert list(compact.backward_csr[1]) == list(fresh.backward_csr[1])
+
+    def test_masks_stay_current_through_the_overlay(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.successor_masks()
+        compact.predecessor_masks()
+        compact.apply_delta(self._delta())
+        assert compact.has_overlay()
+        control = CompactGraph.from_state(
+            {k: v for k, v in compact.state().items() if k != "derived"}
+        )
+        control.compact_now()
+        assert compact.successor_masks() == control.successor_masks()
+        assert compact.predecessor_masks() == control.predecessor_masks()
+
+    def test_state_round_trip_with_a_live_overlay(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(self._delta())
+        assert compact.has_overlay()
+        state = compact.state()
+        assert "overlay" in state
+        rebuilt = CompactGraph.from_state(state)
+        assert rebuilt.has_overlay()
+        assert rebuilt.overlay_depth() == compact.overlay_depth()
+        assert sorted(rebuilt.weighted_edges()) == sorted(compact.weighted_edges())
+        assert rebuilt.edge_count() == compact.edge_count()
+        via_pickle = pickle.loads(pickle.dumps(compact))
+        assert sorted(via_pickle.weighted_edges()) == sorted(compact.weighted_edges())
+
+    def test_captured_state_survives_later_compaction(self, sample_graph):
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(self._delta())
+        state = compact.state()
+        edges_then = sorted(compact.weighted_edges())
+        compact.compact_now()
+        from repro.graph import CompactDelta
+
+        compact.apply_delta(CompactDelta(deletes=(("a", "b"),)))
+        assert sorted(CompactGraph.from_state(state).weighted_edges()) == edges_then
+
+    def test_overlay_routes_kernels_to_bigint(self, sample_graph):
+        from repro.closure import select_kernel
+        from repro.closure.backends import BACKEND_BIGINT
+        from repro.graph import CompactDelta
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(CompactDelta(inserts=(("a", "d", 1.0),)))
+        assert select_kernel(compact) == BACKEND_BIGINT
+        assert compact.has_overlay()  # shape probing must not have compacted
+
+    def test_merge_overlay_metrics_exports_depth_and_compactions(self, sample_graph):
+        from repro.graph import (
+            OVERLAY_COMPACTIONS_COUNTER,
+            OVERLAY_DEPTH_GAUGE,
+            merge_overlay_metrics,
+        )
+        from repro.observability import MetricsRegistry
+
+        compact = CompactGraph.from_digraph(sample_graph)
+        compact.apply_delta(self._delta())
+        compact.compact_now()
+        registry = MetricsRegistry()
+        merge_overlay_metrics(registry)
+        exported = set(registry.drain())
+        assert OVERLAY_DEPTH_GAUGE in exported
+        assert OVERLAY_COMPACTIONS_COUNTER in exported
+
+    def test_env_var_overrides_the_default_threshold(self, sample_graph, monkeypatch):
+        from repro.graph import ENV_OVERLAY_THRESHOLD
+        from repro.graph.compact import overlay_threshold_default
+
+        monkeypatch.setenv(ENV_OVERLAY_THRESHOLD, "7")
+        assert overlay_threshold_default() == 7
+        compact = CompactGraph.from_digraph(sample_graph)
+        assert compact.overlay_threshold == 7

@@ -12,10 +12,12 @@ import pytest
 
 from repro.closure import reachability_semiring, shortest_path_semiring, widest_path_semiring
 from repro.disconnection import DisconnectionSetEngine, FragmentedDatabase
+from repro.disconnection.complementary import precompute_complementary_information
 from repro.exceptions import NoChainError
 from repro.fragmentation import GroundTruthFragmenter
 from repro.generators import two_cluster_dumbbell
 from repro.graph import DiGraph
+from repro.incremental.maintainer import supports_incremental
 
 
 def _random_database(seed, semiring, *, blocks=3, nodes_per_block=4):
@@ -249,6 +251,82 @@ class TestFallbacks:
         assert record.kind == "refragment"
         assert record.incremental is False
         assert record.layout is not None  # replayable even on the classic path
+
+
+class TestStoredPathRepair:
+    """``store_paths=True`` catalogs are repaired in place, not rebuilt."""
+
+    def _database(self):
+        graph = two_cluster_dumbbell(4, bridge_nodes=2)
+        fragmentation = GroundTruthFragmenter(
+            [set(range(4)), set(range(4, 8))]
+        ).fragment(graph)
+        complementary = precompute_complementary_information(
+            fragmentation, store_paths=True
+        )
+        database = FragmentedDatabase(
+            fragmentation, complementary=complementary, incremental=True
+        )
+        database.engine()
+        return database
+
+    def _assert_paths_valid(self, database):
+        """Stored route expansions must cover the same pairs a fresh
+        precompute would, and every path must be a real walk whose cost
+        equals the stored value (equal-cost alternatives may differ)."""
+        info = database.engine().catalog.complementary
+        fresh = precompute_complementary_information(
+            database.fragmentation(), store_paths=True
+        )
+        assert set(info.paths) == set(fresh.paths)
+        for pair, fresh_paths in fresh.paths.items():
+            assert set(info.paths[pair]) == set(fresh_paths)
+            for (source, target), path in info.paths[pair].items():
+                assert path[0] == source and path[-1] == target
+                cost = sum(
+                    database.graph.edge_weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert cost == pytest.approx(info.values[pair][(source, target)])
+
+    def test_store_paths_is_inside_the_envelope(self):
+        database = self._database()
+        assert supports_incremental(database)
+        engine = database.engine()
+        database.update_edge_weight(4, 5, 10.0)  # degrade the direct border edge
+        assert database.engine() is engine
+        assert database.statistics.incremental_updates == 1
+        self._assert_paths_valid(database)
+
+    def test_paths_follow_the_values_through_an_update_stream(self):
+        database = self._database()
+        engine = database.engine()
+        database.update_edge_weight(4, 5, 10.0)
+        database.insert_edge(0, 7, 3.0)
+        database.update_edge_weight(0, 7, 1.0)
+        database.delete_edge(0, 7)
+        assert database.engine() is engine
+        assert database.statistics.incremental_updates == 4
+        self._assert_paths_valid(database)
+        _assert_matches_rebuild(database, [(0, 7), (4, 5), (1, 6), (7, 0)])
+
+    def test_custom_semiring_with_stored_paths_still_falls_back(self):
+        graph = two_cluster_dumbbell(3, bridge_nodes=1)
+        fragmentation = GroundTruthFragmenter(
+            [set(range(3)), set(range(3, 6))]
+        ).fragment(graph)
+        semiring = widest_path_semiring()
+        complementary = precompute_complementary_information(
+            fragmentation, semiring=semiring, store_paths=True
+        )
+        database = FragmentedDatabase(
+            fragmentation, semiring=semiring, complementary=complementary, incremental=True
+        )
+        first = database.engine()
+        assert not supports_incremental(database)
+        database.insert_edge(0, 2, 5.0)
+        assert database.engine() is not first
+        assert database.statistics.incremental_updates == 0
+        assert not database.delta_log.last().incremental
 
 
 class TestPostEmptyConsistency:

@@ -162,15 +162,33 @@ class TestLiveRefragmenter:
         with pytest.raises(IncrementalFallback):
             LiveRefragmenter(engine)
 
-    def test_stored_paths_are_outside_the_envelope(self):
-        graph, blocks = clique_line(blocks=2)
+    def test_stored_paths_are_repaired_in_place(self):
+        graph, blocks = clique_line()
         fragmentation = GroundTruthFragmenter([set(b) for b in blocks]).fragment(graph)
         complementary = precompute_complementary_information(
             fragmentation, store_paths=True
         )
         engine = DisconnectionSetEngine(fragmentation, complementary=complementary)
-        with pytest.raises(IncrementalFallback):
-            LiveRefragmenter(engine)
+        new_blocks = [set(blocks[0]), set(blocks[1]), set(blocks[2]) | {12}, set(blocks[3]) - {12}]
+        proposed = GroundTruthFragmenter(new_blocks).fragment(graph)
+        aligned = align_layout(
+            [f.edges for f in engine.catalog.fragmentation.fragments],
+            [set(f.edges) for f in proposed.fragments],
+        )
+        new_fragmentation = Fragmentation(graph, aligned, algorithm=proposed.algorithm)
+        LiveRefragmenter(engine).apply(new_fragmentation)
+        info = engine.catalog.complementary
+        fresh = precompute_complementary_information(new_fragmentation, store_paths=True)
+        assert set(info.paths) == set(fresh.paths)
+        for pair, fresh_paths in fresh.paths.items():
+            assert set(info.paths[pair]) == set(fresh_paths)
+            # Equal-cost alternatives may differ between the repaired and the
+            # fresh expansion; every stored path must be a real walk through
+            # the graph whose cost equals the stored value.
+            for (source, target), path in info.paths[pair].items():
+                assert path[0] == source and path[-1] == target
+                cost = sum(graph.edge_weight(a, b) for a, b in zip(path, path[1:]))
+                assert cost == pytest.approx(info.values[pair][(source, target)])
 
 
 class TestDatabaseRefragment:
